@@ -1,0 +1,53 @@
+// Command cooper-agent runs one networked Cooper agent: it registers its
+// job with the coordinator (see cooperd), waits for a colocation
+// assignment, assesses it, and prints the assignment and epoch summary.
+//
+// Usage:
+//
+//	cooper-agent -addr 127.0.0.1:7077 -job dedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cooper/internal/netproto"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "coordinator address")
+	job := flag.String("job", "", "catalog job to run (e.g. dedup, correlation)")
+	alpha := flag.Float64("alpha", 0.02, "minimum gain before recommending break-away")
+	flag.Parse()
+	if *job == "" {
+		fmt.Fprintln(os.Stderr, "cooper-agent: -job is required")
+		os.Exit(2)
+	}
+
+	c, err := netproto.Dial(*addr, *job)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	c.Alpha = *alpha
+	fmt.Printf("cooper-agent: registered %s as agent %d\n", *job, c.AgentID)
+
+	assignment, summary, err := c.RunEpoch()
+	if err != nil {
+		fatal(err)
+	}
+	if assignment.PartnerID < 0 {
+		fmt.Println("cooper-agent: assigned to run alone")
+	} else {
+		fmt.Printf("cooper-agent: colocated with agent %d (%s), predicted penalty %.3f\n",
+			assignment.PartnerID, assignment.PartnerJob, assignment.PredictedPenalty)
+	}
+	fmt.Printf("cooper-agent: epoch summary — mean penalty %.3f, %d participating, %d breaking away\n",
+		summary.MeanPenalty, summary.Participating, summary.BreakAways)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cooper-agent:", err)
+	os.Exit(1)
+}

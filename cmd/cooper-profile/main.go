@@ -1,0 +1,77 @@
+// Command cooper-profile runs the offline profiling campaign: every
+// catalog job standalone plus a sampled fraction of the colocation space,
+// on the simulated CMP. The resulting measurement database is written as
+// JSON lines, ready for cooperd (-profiles) or offline analysis.
+//
+// Usage:
+//
+//	cooper-profile -fraction 0.25 -o profiles.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cooper/internal/arch"
+	"cooper/internal/profiler"
+	"cooper/internal/recommend"
+	"cooper/internal/workload"
+)
+
+func main() {
+	fraction := flag.Float64("fraction", 0.25, "fraction of the colocation space to sample")
+	out := flag.String("o", "profiles.jsonl", "output path for the measurement database")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	sparkLogs := flag.Bool("spark-logs", false, "measure Spark jobs via generated event logs")
+	verify := flag.Bool("verify", false, "train the predictor on the campaign and report accuracy")
+	flag.Parse()
+
+	cmp := arch.DefaultCMP()
+	catalog, err := workload.Catalog(cmp)
+	if err != nil {
+		fatal(err)
+	}
+	db := profiler.NewDatabase()
+	p := profiler.New(cmp, db, *seed)
+	p.UseSparkLogs = *sparkLogs
+	if err := p.Campaign(catalog, *fraction); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cooper-profile: %d records (%d jobs, %.0f%% of colocations) -> %s\n",
+		db.Len(), len(catalog), *fraction*100, *out)
+
+	if *verify {
+		sparse, err := profiler.PenaltyMatrix(db, catalog)
+		if err != nil {
+			fatal(err)
+		}
+		filled, iters, err := recommend.Default().Complete(sparse)
+		if err != nil {
+			fatal(err)
+		}
+		truth := profiler.DensePenalties(cmp, catalog)
+		acc, err := recommend.PreferenceAccuracy(truth, filled)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cooper-profile: predictor filled matrix in %d iterations, "+
+			"%.1f%% of pairwise preferences correct\n", iters, acc*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cooper-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command cooper-sim regenerates the paper's tables and figures on the
+// simulated cluster, plus this reproduction's extension studies. Each
+// subcommand reproduces one artifact; "all" runs the full evaluation.
+//
+// Usage:
+//
+//	cooper-sim [flags] <experiment>
+//
+// Experiments: table1, fig1, fig2, fig5, fig7, fig8, fig9, fig10, fig11,
+// fig12, fig13, fig14, ablations, load, strategic, shapley, all.
+//
+// Flags:
+//
+//	-n      population size (default 1000, the paper's scale)
+//	-pops   populations for multi-population experiments (default: paper's)
+//	-seed   RNG seed (default 1)
+//	-quick  scale everything down for a fast smoke run
+//	-json   emit results as JSON instead of text renderings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cooper/internal/experiments"
+	"cooper/internal/simcli"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "population size (agents per epoch)")
+	pops := flag.Int("pops", 0, "number of populations (0 = per-figure paper default)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	quick := flag.Bool("quick", false, "scale experiments down for a fast run")
+	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cooper-sim [flags] <experiment>\n\n"+
+			"experiments: %s\n\nflags:\n", strings.Join(simcli.Names(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lab, err := experiments.NewLab()
+	if err != nil {
+		fatal(err)
+	}
+	opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, JSON: *jsonOut}
+	if err := simcli.Run(os.Stdout, lab, flag.Arg(0), opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cooper-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command cooperd runs Cooper's networked coordinator: it waits for a
+// full epoch of agent registrations (see cooper-agent), assigns
+// colocations with the configured policy, collects the agents' strategic
+// assessments, and prints the epoch summary.
+//
+// Usage:
+//
+//	cooperd -addr 127.0.0.1:7077 -epoch 4 -policy SMR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cooper/internal/arch"
+	"cooper/internal/netproto"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/recommend"
+	"cooper/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
+	epoch := flag.Int("epoch", 4, "agents per scheduling epoch")
+	policyName := flag.String("policy", "SMR", "colocation policy (GR, CO, SMP, SMR, SR)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	profiles := flag.String("profiles", "",
+		"measurement database from cooper-profile; penalties then come from "+
+			"profiled data completed by the predictor instead of the oracle")
+	flag.Parse()
+
+	pol, err := policy.ByName(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	cmp := arch.DefaultCMP()
+	catalog, err := workload.Catalog(cmp)
+	if err != nil {
+		fatal(err)
+	}
+	penalties := profiler.DensePenalties(cmp, catalog)
+	if *profiles != "" {
+		f, err := os.Open(*profiles)
+		if err != nil {
+			fatal(err)
+		}
+		db, err := profiler.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sparse, err := profiler.PenaltyMatrix(db, catalog)
+		if err != nil {
+			fatal(err)
+		}
+		penalties, _, err = recommend.Default().Complete(sparse)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cooperd: predicted penalties from %d profiled records\n", db.Len())
+	}
+	srv := &netproto.Server{
+		Epoch:     *epoch,
+		Policy:    pol,
+		Catalog:   catalog,
+		Penalties: penalties,
+		Seed:      *seed,
+	}
+	err = srv.Serve(*addr, func(bound string) {
+		fmt.Printf("cooperd: coordinating %d-agent epochs on %s with %s\n",
+			*epoch, bound, pol.Name())
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("cooperd: epoch complete")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cooperd:", err)
+	os.Exit(1)
+}

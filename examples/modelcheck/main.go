@@ -1,0 +1,76 @@
+// Modelcheck: validate the analytic contention model against first-
+// principles simulators — a trace-driven LRU cache and a discrete-event
+// memory channel. Cooper's colocation results rest on the arch package's
+// miss-ratio curves, demand-proportional cache sharing, and queueing-
+// based latency inflation; this example derives all three empirically.
+//
+//	go run ./examples/modelcheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cooper/internal/arch"
+	"cooper/internal/cachesim"
+	"cooper/internal/memsim"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(1))
+
+	// 1. Miss-ratio curves: simulate a 256 KB working set against caches
+	// from 16 KB to 1 MB and compare with the analytic exponential MRC.
+	fmt.Println("1. miss-ratio curve: trace-driven LRU vs analytic model")
+	const ws = 1 << 18
+	trace := cachesim.WorkingSetTrace{WSBytes: ws, LineBytes: 64}
+	capacities := []int{1 << 14, 1 << 16, 1 << 17, 1 << 18, 1 << 20}
+	empirical, err := cachesim.MeasureMRC(trace, capacities, 8, 64, 60000, 60000, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := arch.TaskModel{CPI0: 1, WSBytes: ws, MissFloor: 0, ThreadScale: 1}
+	fmt.Printf("   %-10s %-10s %-10s\n", "capacity", "simulated", "analytic")
+	for i, cap := range capacities {
+		fmt.Printf("   %-10s %-10.3f %-10.3f\n",
+			fmt.Sprintf("%dKB", cap>>10), empirical[i], model.MissRatio(float64(cap)))
+	}
+
+	// 2. Shared-cache occupancy: a streaming thief against a reusing
+	// victim. The arch model assumes insertion-rate-proportional shares.
+	fmt.Println("\n2. shared LRU cache: occupancy under contention")
+	victim := cachesim.WorkingSetTrace{WSBytes: 1 << 17, LineBytes: 64, Base: 1 << 40}
+	thief := &cachesim.StreamingTrace{LineBytes: 64}
+	missV, missT, occV, err := cachesim.SharedRun(
+		victim, thief, 1.0, 1<<17, 8, 64, 50000, 100000, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   victim: miss ratio %.3f, cache share %.0f%%\n", missV, occV*100)
+	fmt.Printf("   thief:  miss ratio %.3f, cache share %.0f%%\n", missT, (1-occV)*100)
+	fmt.Println("   the thief's insertions dominate, stealing the victim's capacity —")
+	fmt.Println("   the mechanism behind dedup's suffering in the paper's Figure 7")
+
+	// 3. Memory latency inflation: M/M/1 and M/M/8 bracket the model.
+	fmt.Println("\n3. memory latency vs utilization: queueing simulators vs model")
+	loads := []float64{0.3, 0.6, 0.85}
+	banked := memsim.Channel{Banks: 8, ServiceNS: 30}
+	serial := memsim.Channel{Banks: 1, ServiceNS: 30}
+	lower, err := banked.LatencyCurve(loads, 80000, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	upper, err := serial.LatencyCurve(loads, 80000, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   %-6s %-12s %-10s %-12s\n", "load", "M/M/8 (ideal)", "model", "M/M/1 (serial)")
+	for i, rho := range loads {
+		modelInfl := 1 + 0.5*rho*rho/(1-rho)
+		fmt.Printf("   %-6.2f %-13.2f %-10.2f %-12.2f\n",
+			rho, lower[i], modelInfl, upper[i])
+	}
+	fmt.Println("   arch's damped inflation sits between ideally banked and fully")
+	fmt.Println("   serialized DRAM — the regime real memory controllers occupy")
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a Cooper framework, sample a population, run one
+// scheduling epoch with Stable Marriage Random, and inspect fairness.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"cooper"
+)
+
+func main() {
+	// A framework profiles 25% of the colocation space on the simulated
+	// Xeon-class CMP and trains the preference predictor.
+	f, err := cooper.New(cooper.Options{
+		Policy: cooper.SMR(),
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := f.PredictionAccuracy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor: %d iterations, %.0f%% of pairwise preferences correct\n",
+		f.PredictorIterations(), acc*100)
+
+	// One epoch: 100 agents sampled uniformly from the 20-job catalog.
+	pop := f.SamplePopulation(100, cooper.Uniform())
+	report, err := f.RunEpoch(pop)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nepoch: %d agents, mean penalty %.3f, %d break-away recommendations\n",
+		len(pop.Jobs), report.MeanTruePenalty(), report.BreakAwayCount())
+	fmt.Printf("cluster: %d jobs, makespan %.0fs, utilization %.0f%%\n",
+		report.Cluster.Jobs, report.Cluster.MakespanS, report.Cluster.UtilizationPct)
+
+	// Fairness: mean penalty per application, ordered by contentiousness.
+	type appStat struct {
+		name string
+		bw   float64
+		pens []float64
+	}
+	byApp := map[string]*appStat{}
+	for i, job := range pop.Jobs {
+		s := byApp[job.Name]
+		if s == nil {
+			s = &appStat{name: job.Name, bw: job.BandwidthGBps}
+			byApp[job.Name] = s
+		}
+		s.pens = append(s.pens, report.TruePenalty[i])
+	}
+	apps := make([]*appStat, 0, len(byApp))
+	for _, s := range byApp {
+		apps = append(apps, s)
+	}
+	sort.Slice(apps, func(a, b int) bool { return apps[a].bw < apps[b].bw })
+
+	fmt.Println("\nfair attribution (penalty should rise with bandwidth):")
+	fmt.Printf("%-12s %10s %10s\n", "app", "GB/s", "penalty")
+	for _, s := range apps {
+		var sum float64
+		for _, p := range s.pens {
+			sum += p
+		}
+		fmt.Printf("%-12s %10.2f %10.3f\n", s.name, s.bw, sum/float64(len(s.pens)))
+	}
+}

@@ -1,0 +1,219 @@
+// Package agent implements Cooper's decentralized agents. An agent acts
+// on a user's behalf: it queries the system profiler for sparse colocation
+// profiles, predicts preferences for co-runners, and — once the
+// coordinator assigns colocations — assesses the assignment and
+// recommends strategic action: participate in the shared system, or break
+// away with mutually preferring partners.
+//
+// The action recommender follows the paper's message-exchange protocol
+// (§IV-B): an agent sends a message to every agent it prefers over its
+// assigned co-runner; receiving such a message from an agent it also
+// prefers reveals a blocking pair.
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cooper/internal/matching"
+)
+
+// Action is an agent's strategic recommendation to its user.
+type Action int
+
+// Possible recommendations.
+const (
+	// Participate: the assignment satisfies the agent's preferences well
+	// enough that no mutually better partner exists.
+	Participate Action = iota
+	// BreakAway: at least one blocking partner exists; the agent
+	// recommends forming a separate subsystem with one of them.
+	BreakAway
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case Participate:
+		return "participate"
+	case BreakAway:
+		return "break-away"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Agent represents one user and her job in the colocation game.
+type Agent struct {
+	// ID is the agent's index in the population.
+	ID int
+	// JobName is the catalog application the agent runs.
+	JobName string
+	// Penalties is the agent's predicted disutility with every candidate
+	// co-runner (its row of the completed penalty matrix).
+	Penalties []float64
+
+	inbox chan int
+}
+
+// New returns an agent with the given predicted penalty row.
+func New(id int, jobName string, penalties []float64) *Agent {
+	return &Agent{
+		ID:        id,
+		JobName:   jobName,
+		Penalties: penalties,
+		inbox:     make(chan int, len(penalties)),
+	}
+}
+
+// PreferenceList returns candidate co-runners ordered best-first (lowest
+// predicted penalty), excluding the agent itself. Ties break by index.
+func (a *Agent) PreferenceList() []int {
+	list := make([]int, 0, len(a.Penalties)-1)
+	for j := range a.Penalties {
+		if j != a.ID {
+			list = append(list, j)
+		}
+	}
+	sort.SliceStable(list, func(x, y int) bool {
+		if a.Penalties[list[x]] != a.Penalties[list[y]] {
+			return a.Penalties[list[x]] < a.Penalties[list[y]]
+		}
+		return list[x] < list[y]
+	})
+	return list
+}
+
+// preferredOver returns the agents this agent strictly prefers (by more
+// than alpha) over its assigned partner. An unmatched agent runs alone
+// with zero penalty, so it prefers nobody.
+func (a *Agent) preferredOver(partner int, alpha float64) []int {
+	current := 0.0
+	if partner != matching.Unmatched {
+		current = a.Penalties[partner]
+	}
+	var better []int
+	for j := range a.Penalties {
+		if j == a.ID || j == partner {
+			continue
+		}
+		if current-a.Penalties[j] > alpha {
+			better = append(better, j)
+		}
+	}
+	return better
+}
+
+// Recommendation is the action recommender's output for one agent.
+type Recommendation struct {
+	AgentID int
+	Action  Action
+	// BlockingPartners lists agents that mutually prefer this agent, best
+	// first.
+	BlockingPartners []int
+	// ExpectedGain is the penalty reduction from pairing with the best
+	// blocking partner (zero when participating).
+	ExpectedGain float64
+}
+
+// Exchange runs the message-exchange protocol over a population of agents
+// and their assigned matching: each agent messages everyone it prefers
+// over its co-runner (by more than alpha); agents then cross incoming
+// messages with their own preferences to identify blocking partners. The
+// exchange runs concurrently, one goroutine per agent, as in the paper's
+// distributed Java implementation.
+func Exchange(agents []*Agent, match matching.Matching, alpha float64) ([]Recommendation, error) {
+	n := len(agents)
+	if len(match) != n {
+		return nil, fmt.Errorf("agent: %d agents but matching of %d", n, len(match))
+	}
+	for i, a := range agents {
+		if a.ID != i {
+			return nil, fmt.Errorf("agent: agent at position %d has ID %d", i, a.ID)
+		}
+		if len(a.Penalties) != n {
+			return nil, fmt.Errorf("agent: agent %d has %d penalties, want %d",
+				i, len(a.Penalties), n)
+		}
+		// Fresh inbox sized for the worst case of messages from everyone.
+		a.inbox = make(chan int, n)
+	}
+
+	// Phase 1: every agent sends its preference messages concurrently.
+	var wg sync.WaitGroup
+	for _, a := range agents {
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			for _, j := range a.preferredOver(match[a.ID], alpha) {
+				agents[j].inbox <- a.ID
+			}
+		}(a)
+	}
+	wg.Wait()
+	for _, a := range agents {
+		close(a.inbox)
+	}
+
+	// Phase 2: every agent crosses received messages with its own
+	// preferences.
+	recs := make([]Recommendation, n)
+	for _, a := range agents {
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			prefer := make(map[int]bool)
+			for _, j := range a.preferredOver(match[a.ID], alpha) {
+				prefer[j] = true
+			}
+			var blocking []int
+			for sender := range a.inbox {
+				if prefer[sender] {
+					blocking = append(blocking, sender)
+				}
+			}
+			sort.Slice(blocking, func(x, y int) bool {
+				return a.Penalties[blocking[x]] < a.Penalties[blocking[y]]
+			})
+			rec := Recommendation{AgentID: a.ID, Action: Participate}
+			if len(blocking) > 0 {
+				current := 0.0
+				if match[a.ID] != matching.Unmatched {
+					current = a.Penalties[match[a.ID]]
+				}
+				rec.Action = BreakAway
+				rec.BlockingPartners = blocking
+				rec.ExpectedGain = current - a.Penalties[blocking[0]]
+			}
+			recs[a.ID] = rec
+		}(a)
+	}
+	wg.Wait()
+	return recs, nil
+}
+
+// BlockingPairsFromRecommendations reconstructs the set of mutual blocking
+// pairs from agents' recommendations (each pair counted once, i < j).
+func BlockingPairsFromRecommendations(recs []Recommendation) [][2]int {
+	partners := make(map[[2]int]bool)
+	for _, r := range recs {
+		for _, j := range r.BlockingPartners {
+			i := r.AgentID
+			if i > j {
+				i, j = j, i
+			}
+			partners[[2]int{i, j}] = true
+		}
+	}
+	pairs := make([][2]int, 0, len(partners))
+	for p := range partners {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
+}

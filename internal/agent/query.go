@@ -1,0 +1,85 @@
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"cooper/internal/profiler"
+	"cooper/internal/workload"
+)
+
+// QueryInterface is the agent-side view of the coordinator's profiler
+// (paper §IV, Figure 4): agents query observed performance for their job
+// under varied colocations and assemble the sparse penalty row the
+// preference predictor completes. Queries go through the profiler
+// database's job/machine/timestamp filters, exactly as the paper's
+// Google-wide-profiling-style store supports.
+type QueryInterface struct {
+	DB *profiler.Database
+	// Machine restricts queries to one machine ID; empty means any.
+	Machine string
+}
+
+// StandaloneThroughput returns the mean standalone throughput observed
+// for the job, and how many runs back it.
+func (q *QueryInterface) StandaloneThroughput(job string) (float64, int) {
+	recs := q.DB.Select(profiler.Query{Job: job, CoRunner: profiler.Solo, Machine: q.Machine})
+	if len(recs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, r := range recs {
+		sum += r.ThroughputIPS
+	}
+	return sum / float64(len(recs)), len(recs)
+}
+
+// ColocatedThroughput returns the mean throughput observed for the job
+// when colocated with coRunner, and the number of observations.
+func (q *QueryInterface) ColocatedThroughput(job, coRunner string) (float64, int) {
+	recs := q.DB.Select(profiler.Query{Job: job, CoRunner: coRunner, Machine: q.Machine})
+	if len(recs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, r := range recs {
+		sum += r.ThroughputIPS
+	}
+	return sum / float64(len(recs)), len(recs)
+}
+
+// ObservedCoRunners lists the co-runners for which the job has at least
+// one colocated observation.
+func (q *QueryInterface) ObservedCoRunners(job string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range q.DB.Select(profiler.Query{Job: job, Machine: q.Machine}) {
+		if r.CoRunner == "" || seen[r.CoRunner] {
+			continue
+		}
+		seen[r.CoRunner] = true
+		out = append(out, r.CoRunner)
+	}
+	return out
+}
+
+// PenaltyRow assembles the job's sparse disutility row over the given
+// candidate co-runners: d = 1 - colocated/standalone throughput, with NaN
+// where no observation exists. It errors when the job has no standalone
+// profile (the baseline every penalty needs).
+func (q *QueryInterface) PenaltyRow(job string, candidates []workload.Job) ([]float64, error) {
+	solo, n := q.StandaloneThroughput(job)
+	if n == 0 || solo <= 0 {
+		return nil, fmt.Errorf("agent: no standalone profile for %s", job)
+	}
+	row := make([]float64, len(candidates))
+	for i, c := range candidates {
+		colo, m := q.ColocatedThroughput(job, c.Name)
+		if m == 0 {
+			row[i] = math.NaN()
+			continue
+		}
+		row[i] = 1 - colo/solo
+	}
+	return row, nil
+}

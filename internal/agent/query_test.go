@@ -1,0 +1,105 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"cooper/internal/arch"
+	"cooper/internal/profiler"
+	"cooper/internal/workload"
+)
+
+func queryFixture(t *testing.T) (*QueryInterface, []workload.Job) {
+	t.Helper()
+	cmp := arch.DefaultCMP()
+	jobs, err := workload.Catalog(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profiler.NewDatabase()
+	p := profiler.New(cmp, db, 1)
+	p.Sim = arch.SimConfig{DurationS: 3, StepS: 1}
+	p.MeasureNoise = 0
+	dedup, _ := workload.Find(jobs, "dedup")
+	corr, _ := workload.Find(jobs, "correlation")
+	swapt, _ := workload.Find(jobs, "swapt")
+	p.ProfileStandalone(dedup)
+	p.ProfileStandalone(dedup) // repeated runs average
+	p.ProfilePair(dedup, corr)
+	p.ProfilePair(dedup, swapt)
+	return &QueryInterface{DB: db}, jobs
+}
+
+func TestStandaloneThroughput(t *testing.T) {
+	q, _ := queryFixture(t)
+	tput, n := q.StandaloneThroughput("dedup")
+	if n != 2 || tput <= 0 {
+		t.Errorf("tput=%v n=%d", tput, n)
+	}
+	if _, n := q.StandaloneThroughput("nonesuch"); n != 0 {
+		t.Errorf("unknown job had %d runs", n)
+	}
+}
+
+func TestColocatedThroughput(t *testing.T) {
+	q, _ := queryFixture(t)
+	withCorr, n1 := q.ColocatedThroughput("dedup", "correlation")
+	withSwapt, n2 := q.ColocatedThroughput("dedup", "swapt")
+	if n1 != 1 || n2 != 1 {
+		t.Fatalf("counts = %d, %d", n1, n2)
+	}
+	if withCorr >= withSwapt {
+		t.Errorf("dedup should run slower next to correlation: %v vs %v",
+			withCorr, withSwapt)
+	}
+}
+
+func TestObservedCoRunners(t *testing.T) {
+	q, _ := queryFixture(t)
+	got := q.ObservedCoRunners("dedup")
+	if len(got) != 2 {
+		t.Fatalf("co-runners = %v", got)
+	}
+	if got[0] != "correlation" || got[1] != "swapt" {
+		t.Errorf("co-runners = %v (insertion order expected)", got)
+	}
+}
+
+func TestPenaltyRow(t *testing.T) {
+	q, jobs := queryFixture(t)
+	row, err := q.PenaltyRow("dedup", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := 0
+	for i, j := range jobs {
+		if math.IsNaN(row[i]) {
+			continue
+		}
+		known++
+		if j.Name == "correlation" && row[i] < 0.05 {
+			t.Errorf("penalty with correlation = %v, want material", row[i])
+		}
+		if j.Name == "swapt" && row[i] > 0.05 {
+			t.Errorf("penalty with swaptions = %v, want small", row[i])
+		}
+	}
+	if known != 2 {
+		t.Errorf("known entries = %d, want 2", known)
+	}
+}
+
+func TestPenaltyRowNeedsStandalone(t *testing.T) {
+	q, jobs := queryFixture(t)
+	if _, err := q.PenaltyRow("correlation", jobs); err == nil {
+		t.Error("missing standalone baseline accepted")
+	}
+}
+
+func TestQueryInterfaceMachineFilter(t *testing.T) {
+	q, _ := queryFixture(t)
+	q.Machine = "not-a-machine"
+	if _, n := q.StandaloneThroughput("dedup"); n != 0 {
+		t.Error("machine filter ignored")
+	}
+}

@@ -1,0 +1,343 @@
+package arch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// testTask returns a mid-range task model useful as a baseline in tests.
+func testTask() TaskModel {
+	return TaskModel{
+		CPI0:        1.0,
+		API:         0.005,
+		WSBytes:     64 << 20,
+		MissFloor:   0.3,
+		ThreadScale: 0.9,
+	}
+}
+
+func TestCMPValidate(t *testing.T) {
+	good := DefaultCMP()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default CMP invalid: %v", err)
+	}
+	mutations := []func(*CMP){
+		func(c *CMP) { c.Cores = 0 },
+		func(c *CMP) { c.Threads = -1 },
+		func(c *CMP) { c.FreqHz = 0 },
+		func(c *CMP) { c.LLCBytes = 0 },
+		func(c *CMP) { c.LineBytes = 0 },
+		func(c *CMP) { c.MemBWBytes = 0 },
+		func(c *CMP) { c.MissCycles = 0 },
+		func(c *CMP) { c.QueueCritical = 0 },
+		func(c *CMP) { c.QueueCritical = 1 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultCMP()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTaskModelValidate(t *testing.T) {
+	if err := testTask().Validate(); err != nil {
+		t.Fatalf("test task invalid: %v", err)
+	}
+	mutations := []func(*TaskModel){
+		func(m *TaskModel) { m.CPI0 = 0 },
+		func(m *TaskModel) { m.API = -1 },
+		func(m *TaskModel) { m.WSBytes = 0 },
+		func(m *TaskModel) { m.MissFloor = -0.1 },
+		func(m *TaskModel) { m.MissFloor = 1.1 },
+		func(m *TaskModel) { m.ThreadScale = 0 },
+		func(m *TaskModel) { m.ThreadScale = 1.5 },
+	}
+	for i, mutate := range mutations {
+		m := testTask()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMissRatioCurve(t *testing.T) {
+	m := testTask()
+	if got := m.MissRatio(0); !almost(got, 1, 1e-9) {
+		t.Errorf("MissRatio(0) = %v, want 1", got)
+	}
+	if got := m.MissRatio(-5); !almost(got, 1, 1e-9) {
+		t.Errorf("negative capacity should clamp to 0: %v", got)
+	}
+	if got := m.MissRatio(1e15); !almost(got, m.MissFloor, 1e-6) {
+		t.Errorf("MissRatio(inf) = %v, want floor %v", got, m.MissFloor)
+	}
+	prev := 2.0
+	for c := 0.0; c <= 256<<20; c += 16 << 20 {
+		r := m.MissRatio(c)
+		if r > prev {
+			t.Fatalf("MissRatio not monotone at %v: %v > %v", c, r, prev)
+		}
+		if r < m.MissFloor-1e-12 || r > 1+1e-12 {
+			t.Fatalf("MissRatio %v out of [floor,1]", r)
+		}
+		prev = r
+	}
+}
+
+func TestSoloBasics(t *testing.T) {
+	cmp := DefaultCMP()
+	p := cmp.Solo(testTask())
+	if p.IPS <= 0 {
+		t.Fatalf("solo IPS = %v", p.IPS)
+	}
+	if p.BandwidthBytes <= 0 {
+		t.Fatalf("solo bandwidth = %v", p.BandwidthBytes)
+	}
+	if !almost(p.CacheBytes, cmp.LLCBytes, 1) {
+		t.Errorf("solo task should own the whole LLC: %v", p.CacheBytes)
+	}
+}
+
+func TestPairSymmetry(t *testing.T) {
+	cmp := DefaultCMP()
+	task := testTask()
+	a, b := cmp.Pair(task, task)
+	if !almost(a.IPS, b.IPS, a.IPS*1e-6) {
+		t.Errorf("identical tasks should perform identically: %v vs %v", a.IPS, b.IPS)
+	}
+	if !almost(a.CacheBytes+b.CacheBytes, cmp.LLCBytes, cmp.LLCBytes*0.01) {
+		t.Errorf("cache shares should sum to capacity: %v + %v",
+			a.CacheBytes, b.CacheBytes)
+	}
+}
+
+func TestPairOrderIndependence(t *testing.T) {
+	cmp := DefaultCMP()
+	hungry := testTask()
+	hungry.API = 0.02
+	meek := testTask()
+	meek.API = 0.001
+	a1, b1 := cmp.Pair(hungry, meek)
+	b2, a2 := cmp.Pair(meek, hungry)
+	if !almost(a1.IPS, a2.IPS, a1.IPS*1e-6) || !almost(b1.IPS, b2.IPS, b1.IPS*1e-6) {
+		t.Errorf("Pair should be order independent: %v/%v vs %v/%v",
+			a1.IPS, b1.IPS, a2.IPS, b2.IPS)
+	}
+}
+
+func TestColocationNeverBeatsStandalone(t *testing.T) {
+	cmp := DefaultCMP()
+	victims := []float64{0.0005, 0.002, 0.008, 0.02}
+	for _, apiV := range victims {
+		v := testTask()
+		v.API = apiV
+		solo := cmp.Solo(v)
+		for _, apiC := range victims {
+			c := testTask()
+			c.API = apiC
+			colo, _ := cmp.Pair(v, c)
+			if colo.IPS > solo.IPS*(1+1e-6) {
+				t.Errorf("colocated IPS %v exceeds solo %v (victim %v, corunner %v)",
+					colo.IPS, solo.IPS, apiV, apiC)
+			}
+		}
+	}
+}
+
+func TestPenaltyMonotoneInCorunnerContentiousness(t *testing.T) {
+	cmp := DefaultCMP()
+	victim := testTask()
+	solo := cmp.Solo(victim)
+	prev := -1.0
+	for _, api := range []float64{0.0001, 0.001, 0.004, 0.01, 0.03} {
+		corunner := testTask()
+		corunner.API = api
+		perf, _ := cmp.Pair(victim, corunner)
+		d := Disutility(solo, perf)
+		if d < prev-1e-9 {
+			t.Fatalf("penalty not monotone in co-runner API: %v after %v (api=%v)",
+				d, prev, api)
+		}
+		prev = d
+	}
+	if prev <= 0 {
+		t.Error("most contentious co-runner should cause a positive penalty")
+	}
+}
+
+func TestCacheSensitiveTaskSuffersFromCacheThief(t *testing.T) {
+	cmp := DefaultCMP()
+	// Working set comparable to the LLC: loses a lot when capacity halves.
+	sensitive := TaskModel{CPI0: 1, API: 0.002, WSBytes: 28 << 20,
+		MissFloor: 0.05, ThreadScale: 0.9}
+	// Streaming task: insensitive to cache but floods the memory channel.
+	thief := TaskModel{CPI0: 0.9, API: 0.03, WSBytes: 1 << 30,
+		MissFloor: 0.9, ThreadScale: 0.9}
+	solo := cmp.Solo(sensitive)
+	colo, _ := cmp.Pair(sensitive, thief)
+	d := Disutility(solo, colo)
+	if d < 0.02 {
+		t.Errorf("cache-sensitive task should suffer a material penalty, got %v", d)
+	}
+	if colo.MissRatio <= solo.MissRatio {
+		t.Errorf("cache theft should raise miss ratio: solo %v, colo %v",
+			solo.MissRatio, colo.MissRatio)
+	}
+}
+
+func TestComputeBoundPairBarelyInterferes(t *testing.T) {
+	cmp := DefaultCMP()
+	compute := TaskModel{CPI0: 1.5, API: 0.0001, WSBytes: 2 << 20,
+		MissFloor: 0.02, ThreadScale: 0.95}
+	solo := cmp.Solo(compute)
+	colo, _ := cmp.Pair(compute, compute)
+	if d := Disutility(solo, colo); d > 0.01 {
+		t.Errorf("compute-bound pair penalty = %v, want ~0", d)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	cmp := DefaultCMP()
+	stream := TaskModel{CPI0: 0.8, API: 0.05, WSBytes: 4 << 30,
+		MissFloor: 0.95, ThreadScale: 0.9}
+	solo := cmp.Solo(stream)
+	a, b := cmp.Pair(stream, stream)
+	total := a.BandwidthBytes + b.BandwidthBytes
+	if total > cmp.MemBWBytes*1.02 {
+		t.Errorf("saturated pair consumes %v B/s, exceeding channel %v",
+			total, cmp.MemBWBytes)
+	}
+	if d := Disutility(solo, a); d < 0.05 {
+		t.Errorf("two streaming tasks should suffer saturating penalties, got %v", d)
+	}
+}
+
+func TestDisutilityClamps(t *testing.T) {
+	if d := Disutility(Perf{IPS: 0}, Perf{IPS: 5}); d != 0 {
+		t.Errorf("zero solo should yield 0, got %v", d)
+	}
+	if d := Disutility(Perf{IPS: 10}, Perf{IPS: 12}); d != 0 {
+		t.Errorf("speedup should clamp to 0, got %v", d)
+	}
+	if d := Disutility(Perf{IPS: 10}, Perf{IPS: -5}); d != 1 {
+		t.Errorf("negative colocated IPS should clamp to 1, got %v", d)
+	}
+	if d := Disutility(Perf{IPS: 10}, Perf{IPS: 7}); !almost(d, 0.3, 1e-9) {
+		t.Errorf("d = %v, want 0.3", d)
+	}
+}
+
+func TestCalibrateAPIHitsTarget(t *testing.T) {
+	cmp := DefaultCMP()
+	base := testTask()
+	for _, targetGB := range []float64{0.05, 0.5, 3.34, 14.6, 25.05} {
+		target := targetGB * 1e9
+		api, err := CalibrateAPI(cmp, base, target)
+		if err != nil {
+			t.Fatalf("calibrate %v GB/s: %v", targetGB, err)
+		}
+		task := base
+		task.API = api
+		got := cmp.Solo(task).BandwidthBytes
+		if !almost(got, target, target*0.01) {
+			t.Errorf("calibrated bandwidth = %v, want %v", got, target)
+		}
+	}
+}
+
+func TestCalibrateAPIEdgeCases(t *testing.T) {
+	cmp := DefaultCMP()
+	if api, err := CalibrateAPI(cmp, testTask(), 0); err != nil || api != 0 {
+		t.Errorf("zero target: api=%v err=%v", api, err)
+	}
+	if _, err := CalibrateAPI(cmp, testTask(), -1); err == nil {
+		t.Error("negative target should error")
+	}
+	if _, err := CalibrateAPI(cmp, testTask(), 1e18); err == nil {
+		t.Error("unreachable target should error")
+	}
+	bad := cmp
+	bad.Cores = 0
+	if _, err := CalibrateAPI(bad, testTask(), 1e9); err == nil {
+		t.Error("invalid CMP should error")
+	}
+}
+
+func TestCalibrationMonotoneProperty(t *testing.T) {
+	cmp := DefaultCMP()
+	base := testTask()
+	f := func(seed uint8) bool {
+		lo := 0.1e9 + float64(seed)*0.05e9
+		hi := lo * 2
+		apiLo, err1 := CalibrateAPI(cmp, base, lo)
+		apiHi, err2 := CalibrateAPI(cmp, base, hi)
+		return err1 == nil && err2 == nil && apiLo < apiHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColocateNWay(t *testing.T) {
+	cmp := DefaultCMP()
+	if got := cmp.Colocate(nil); got != nil {
+		t.Errorf("empty colocation = %v", got)
+	}
+	tasks := []TaskModel{testTask(), testTask(), testTask(), testTask()}
+	perfs := cmp.Colocate(tasks)
+	if len(perfs) != 4 {
+		t.Fatalf("got %d perfs", len(perfs))
+	}
+	pair, _ := cmp.Pair(tasks[0], tasks[1])
+	if perfs[0].IPS >= pair.IPS {
+		t.Errorf("4-way share %v should underperform 2-way %v",
+			perfs[0].IPS, pair.IPS)
+	}
+	var cache float64
+	for _, p := range perfs {
+		cache += p.CacheBytes
+	}
+	if !almost(cache, cmp.LLCBytes, cmp.LLCBytes*0.01) {
+		t.Errorf("4-way cache shares sum to %v, want %v", cache, cmp.LLCBytes)
+	}
+}
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestStaticCachePartitionProtectsVictim(t *testing.T) {
+	shared := DefaultCMP()
+	isolated := DefaultCMP()
+	isolated.StaticCachePartition = true
+
+	sensitive := TaskModel{CPI0: 1, API: 0.002, WSBytes: 28 << 20,
+		MissFloor: 0.05, ThreadScale: 0.9}
+	thief := TaskModel{CPI0: 0.9, API: 0.03, WSBytes: 1 << 30,
+		MissFloor: 0.9, ThreadScale: 0.9}
+
+	soloShared := shared.Solo(sensitive)
+	coloShared, _ := shared.Pair(sensitive, thief)
+	soloIso := isolated.Solo(sensitive)
+	coloIso, _ := isolated.Pair(sensitive, thief)
+
+	dShared := Disutility(soloShared, coloShared)
+	dIso := Disutility(soloIso, coloIso)
+	if dIso >= dShared {
+		t.Errorf("isolation should shrink the victim's penalty: shared %v vs isolated %v",
+			dShared, dIso)
+	}
+	if !almost(coloIso.CacheBytes, isolated.LLCBytes/2, 1) {
+		t.Errorf("static partition share = %v, want half the LLC", coloIso.CacheBytes)
+	}
+	// Bandwidth contention persists under cache isolation: a streaming
+	// pair still saturates the channel.
+	stream := thief
+	soloStream := isolated.Solo(stream)
+	a, _ := isolated.Pair(stream, stream)
+	if d := Disutility(soloStream, a); d < 0.05 {
+		t.Errorf("bandwidth contention should survive cache isolation, got %v", d)
+	}
+}

@@ -1,0 +1,142 @@
+package arch
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CounterSample is one periodic reading of the simulated performance
+// counters, mirroring the paper's once-per-second MSR reads via Intel PCM.
+type CounterSample struct {
+	TimeS          float64 // sample timestamp, seconds from run start
+	IPS            float64 // instantaneous instructions/s
+	BandwidthBytes float64 // instantaneous memory bandwidth, bytes/s
+	MissRatio      float64 // LLC miss ratio during the quantum
+	CacheBytes     float64 // LLC share during the quantum
+	MemUtilization float64 // memory channel utilization
+}
+
+// RunResult summarizes a simulated execution of one task (standalone or
+// colocated): total progress plus the counter trace a profiler would see.
+type RunResult struct {
+	Instructions float64 // total instructions retired
+	DurationS    float64 // simulated wall time
+	Samples      []CounterSample
+}
+
+// MeanIPS is the run's average throughput.
+func (r RunResult) MeanIPS() float64 {
+	if r.DurationS <= 0 {
+		return 0
+	}
+	return r.Instructions / r.DurationS
+}
+
+// MeanBandwidth is the run's average memory bandwidth in bytes/s.
+func (r RunResult) MeanBandwidth() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += s.BandwidthBytes
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// SimConfig controls the discrete-time simulation.
+type SimConfig struct {
+	DurationS float64 // simulated run length, seconds
+	StepS     float64 // quantum length between counter samples, seconds
+	// PhaseNoise is the relative magnitude of the AR(1) modulation applied
+	// to each task's memory intensity, modelling program phases. Zero
+	// disables noise and makes the simulation exactly reproduce the
+	// analytic model.
+	PhaseNoise float64
+	// PhaseCorr in [0,1) is the AR(1) correlation between consecutive
+	// quanta; higher values give longer phases.
+	PhaseCorr float64
+}
+
+// DefaultSimConfig mirrors the paper's profiling setup: once-per-second
+// counter sampling over a run of a few minutes, with mild phase behaviour.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		DurationS:  60,
+		StepS:      1,
+		PhaseNoise: 0.08,
+		PhaseCorr:  0.7,
+	}
+}
+
+// phase is an AR(1) multiplicative modulation of a task's memory intensity.
+type phase struct {
+	level float64
+	cfg   SimConfig
+}
+
+func (p *phase) next(r *rand.Rand) float64 {
+	if p.cfg.PhaseNoise == 0 || r == nil {
+		return 1
+	}
+	p.level = p.cfg.PhaseCorr*p.level + (1-p.cfg.PhaseCorr)*r.NormFloat64()
+	f := 1 + p.cfg.PhaseNoise*p.level
+	// A phase can modulate intensity but never invert it.
+	return math.Max(f, 0.05)
+}
+
+// SimulateSolo runs a standalone task on c for the configured duration and
+// returns its counter trace.
+func (c CMP) SimulateSolo(t TaskModel, cfg SimConfig, r *rand.Rand) RunResult {
+	results := c.simulate([]TaskModel{t}, cfg, r)
+	return results[0]
+}
+
+// SimulatePair runs two colocated tasks on c and returns both traces. The
+// tasks experience independent phase noise but a shared contention
+// equilibrium each quantum, so one task's memory-hungry phase shows up in
+// the other's counters — exactly the cross-talk real profilers observe.
+func (c CMP) SimulatePair(a, b TaskModel, cfg SimConfig, r *rand.Rand) (RunResult, RunResult) {
+	results := c.simulate([]TaskModel{a, b}, cfg, r)
+	return results[0], results[1]
+}
+
+func (c CMP) simulate(tasks []TaskModel, cfg SimConfig, r *rand.Rand) []RunResult {
+	if cfg.DurationS <= 0 || cfg.StepS <= 0 {
+		cfg = DefaultSimConfig()
+	}
+	n := len(tasks)
+	results := make([]RunResult, n)
+	phases := make([]phase, n)
+	for i := range phases {
+		phases[i] = phase{cfg: cfg}
+	}
+	perturbed := make([]TaskModel, n)
+	steps := int(math.Ceil(cfg.DurationS / cfg.StepS))
+	for step := 0; step < steps; step++ {
+		now := float64(step) * cfg.StepS
+		for i, t := range tasks {
+			t.API *= phases[i].next(r)
+			perturbed[i] = t
+		}
+		var perfs []Perf
+		if n == 1 {
+			perfs = []Perf{c.Solo(perturbed[0])}
+		} else {
+			perfs = c.Colocate(perturbed)
+		}
+		for i, p := range perfs {
+			results[i].Instructions += p.IPS * cfg.StepS
+			results[i].DurationS += cfg.StepS
+			results[i].Samples = append(results[i].Samples, CounterSample{
+				TimeS:          now,
+				IPS:            p.IPS,
+				BandwidthBytes: p.BandwidthBytes,
+				MissRatio:      p.MissRatio,
+				CacheBytes:     p.CacheBytes,
+				MemUtilization: p.MemUtilization,
+			})
+		}
+	}
+	return results
+}

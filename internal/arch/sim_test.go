@@ -1,0 +1,100 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateSoloNoNoiseMatchesAnalytic(t *testing.T) {
+	cmp := DefaultCMP()
+	task := testTask()
+	cfg := SimConfig{DurationS: 10, StepS: 1}
+	res := cmp.SimulateSolo(task, cfg, nil)
+	want := cmp.Solo(task).IPS
+	if !almost(res.MeanIPS(), want, want*1e-9) {
+		t.Errorf("noiseless sim IPS = %v, analytic = %v", res.MeanIPS(), want)
+	}
+	if len(res.Samples) != 10 {
+		t.Errorf("expected 10 samples, got %d", len(res.Samples))
+	}
+}
+
+func TestSimulateSoloNoiseProducesVariance(t *testing.T) {
+	cmp := DefaultCMP()
+	task := testTask()
+	cfg := DefaultSimConfig()
+	r := rand.New(rand.NewSource(42))
+	res := cmp.SimulateSolo(task, cfg, r)
+	if len(res.Samples) < 2 {
+		t.Fatal("need samples")
+	}
+	varies := false
+	for _, s := res.Samples[0], res.Samples[1:]; len(s) > 0; s = s[1:] {
+		if s[0].IPS != res.Samples[0].IPS {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("noisy simulation should produce varying samples")
+	}
+	if res.MeanBandwidth() <= 0 {
+		t.Error("mean bandwidth should be positive")
+	}
+}
+
+func TestSimulatePairCrossTalk(t *testing.T) {
+	cmp := DefaultCMP()
+	victim := testTask()
+	stream := TaskModel{CPI0: 0.8, API: 0.04, WSBytes: 4 << 30,
+		MissFloor: 0.95, ThreadScale: 0.9}
+	cfg := SimConfig{DurationS: 20, StepS: 1}
+	soloRes := cmp.SimulateSolo(victim, cfg, nil)
+	pairRes, _ := cmp.SimulatePair(victim, stream, cfg, nil)
+	if pairRes.MeanIPS() >= soloRes.MeanIPS() {
+		t.Errorf("colocated mean IPS %v should trail solo %v",
+			pairRes.MeanIPS(), soloRes.MeanIPS())
+	}
+	for _, s := range pairRes.Samples {
+		if s.MemUtilization <= 0 {
+			t.Fatal("pair samples should record memory utilization")
+		}
+	}
+}
+
+func TestSimulateDeterministicForSeed(t *testing.T) {
+	cmp := DefaultCMP()
+	task := testTask()
+	cfg := DefaultSimConfig()
+	a := cmp.SimulateSolo(task, cfg, rand.New(rand.NewSource(7)))
+	b := cmp.SimulateSolo(task, cfg, rand.New(rand.NewSource(7)))
+	if a.Instructions != b.Instructions {
+		t.Error("same seed should reproduce the same run")
+	}
+}
+
+func TestSimulateBadConfigFallsBack(t *testing.T) {
+	cmp := DefaultCMP()
+	res := cmp.SimulateSolo(testTask(), SimConfig{}, nil)
+	want := DefaultSimConfig()
+	if res.DurationS != want.DurationS {
+		t.Errorf("zero config should fall back to default duration: %v", res.DurationS)
+	}
+}
+
+func TestRunResultZeroValues(t *testing.T) {
+	var r RunResult
+	if r.MeanIPS() != 0 || r.MeanBandwidth() != 0 {
+		t.Error("zero RunResult should report zero means")
+	}
+}
+
+func TestPhaseNeverInvertsIntensity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := phase{cfg: SimConfig{PhaseNoise: 2.0, PhaseCorr: 0.9}}
+	for i := 0; i < 10000; i++ {
+		if f := p.next(r); f < 0.05 {
+			t.Fatalf("phase factor %v below floor", f)
+		}
+	}
+}

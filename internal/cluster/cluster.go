@@ -1,0 +1,238 @@
+// Package cluster simulates the shared datacenter Cooper manages: a set
+// of machines (chip multiprocessors), a job dispatcher that sends assigned
+// colocations to the least-loaded machine, and per-machine daemons that
+// execute work — the role played in the paper by five dual-socket Xeon
+// nodes running a polling daemon.
+//
+// Execution is simulated on a virtual clock: a colocated pair's completion
+// time stretches each job's standalone runtime by its contention penalty
+// (the shorter job is re-run until the longer completes, per the paper's
+// multiprogrammed-benchmarking methodology), so the cluster reports
+// deterministic makespans and utilization.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cooper/internal/arch"
+	"cooper/internal/workload"
+)
+
+// Assignment is one dispatched unit of work: a pair of agents' jobs (or a
+// single job running alone when AgentB < 0).
+type Assignment struct {
+	AgentA, AgentB int
+	JobA, JobB     workload.Job
+}
+
+// Solo reports whether the assignment runs a single job.
+func (a Assignment) Solo() bool { return a.AgentB < 0 }
+
+// Result records one executed assignment.
+type Result struct {
+	Machine      string
+	Assignment   Assignment
+	StartS, EndS float64 // virtual start and completion times
+	PenaltyA     float64 // contention penalty suffered by JobA
+	PenaltyB     float64 // contention penalty suffered by JobB (0 if solo)
+	DurationA    float64 // JobA's stretched runtime
+	DurationB    float64 // JobB's stretched runtime
+}
+
+// Machine is one CMP plus its daemon's work queue.
+type Machine struct {
+	ID  string
+	CMP arch.CMP
+
+	mu    sync.Mutex
+	queue []Assignment
+	clock float64 // virtual time at which the machine becomes free
+	busy  float64 // accumulated busy time
+}
+
+// Cluster is a set of machines fed by a dispatcher.
+type Cluster struct {
+	machines []*Machine
+}
+
+// New builds a cluster of n identical machines.
+func New(n int, cmp arch.CMP) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one machine, got %d", n)
+	}
+	c := &Cluster{machines: make([]*Machine, n)}
+	for i := range c.machines {
+		c.machines[i] = &Machine{
+			ID:  fmt.Sprintf("node-%02d", i),
+			CMP: cmp,
+		}
+	}
+	return c, nil
+}
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Dispatch assigns work to machines — each assignment goes to the machine
+// that will start it earliest (least-loaded first, ties by machine index,
+// so placement is deterministic) — then lets every machine daemon drain
+// its queue concurrently. It returns all execution results ordered by
+// start time.
+func (c *Cluster) Dispatch(assignments []Assignment) []Result {
+	// Deterministic placement on the least-loaded machine.
+	loads := make([]float64, len(c.machines))
+	for i, m := range c.machines {
+		loads[i] = m.clock
+	}
+	for _, a := range assignments {
+		best := 0
+		for i := 1; i < len(loads); i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		m := c.machines[best]
+		m.queue = append(m.queue, a)
+		loads[best] += estimateDuration(m.CMP, a)
+	}
+
+	// Daemons drain their queues concurrently (the paper's per-machine
+	// polling daemons).
+	resultCh := make(chan []Result, len(c.machines))
+	var wg sync.WaitGroup
+	for _, m := range c.machines {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			resultCh <- m.drain()
+		}(m)
+	}
+	wg.Wait()
+	close(resultCh)
+
+	var results []Result
+	for rs := range resultCh {
+		results = append(results, rs...)
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].StartS != results[b].StartS {
+			return results[a].StartS < results[b].StartS
+		}
+		return results[a].Machine < results[b].Machine
+	})
+	return results
+}
+
+// drain executes the machine's queued assignments in order on its virtual
+// clock.
+func (m *Machine) drain() []Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var results []Result
+	for _, a := range m.queue {
+		r := execute(m.CMP, a)
+		r.Machine = m.ID
+		r.StartS = m.clock
+		duration := r.DurationA
+		if r.DurationB > duration {
+			duration = r.DurationB
+		}
+		r.EndS = m.clock + duration
+		m.clock = r.EndS
+		m.busy += duration
+		results = append(results, r)
+	}
+	m.queue = nil
+	return results
+}
+
+// execute computes the simulated outcome of one assignment.
+func execute(cmp arch.CMP, a Assignment) Result {
+	if a.Solo() {
+		return Result{
+			Assignment: a,
+			DurationA:  a.JobA.RuntimeS,
+		}
+	}
+	soloA := cmp.Solo(a.JobA.Model)
+	soloB := cmp.Solo(a.JobB.Model)
+	perfA, perfB := cmp.Pair(a.JobA.Model, a.JobB.Model)
+	dA := arch.Disutility(soloA, perfA)
+	dB := arch.Disutility(soloB, perfB)
+	return Result{
+		Assignment: a,
+		PenaltyA:   dA,
+		PenaltyB:   dB,
+		DurationA:  stretch(a.JobA.RuntimeS, dA),
+		DurationB:  stretch(a.JobB.RuntimeS, dB),
+	}
+}
+
+// stretch converts a throughput penalty into a runtime stretch: losing a
+// fraction d of throughput lengthens the run by 1/(1-d).
+func stretch(runtime, d float64) float64 {
+	if d >= 1 {
+		d = 0.99
+	}
+	if d < 0 {
+		d = 0
+	}
+	return runtime / (1 - d)
+}
+
+func estimateDuration(cmp arch.CMP, a Assignment) float64 {
+	r := execute(cmp, a)
+	if r.DurationB > r.DurationA {
+		return r.DurationB
+	}
+	return r.DurationA
+}
+
+// Report summarizes a dispatch round.
+type Report struct {
+	MakespanS      float64 // time until the last machine finishes
+	BusyS          float64 // total machine-busy seconds
+	UtilizationPct float64 // busy time / (machines x makespan)
+	MeanPenalty    float64 // mean per-job contention penalty
+	Jobs           int
+}
+
+// Summarize computes a Report over dispatch results for this cluster.
+func (c *Cluster) Summarize(results []Result) Report {
+	rep := Report{}
+	var penaltySum float64
+	for _, r := range results {
+		if r.EndS > rep.MakespanS {
+			rep.MakespanS = r.EndS
+		}
+		rep.Jobs++
+		penaltySum += r.PenaltyA
+		if !r.Assignment.Solo() {
+			rep.Jobs++
+			penaltySum += r.PenaltyB
+		}
+	}
+	for _, m := range c.machines {
+		rep.BusyS += m.busy
+	}
+	if rep.Jobs > 0 {
+		rep.MeanPenalty = penaltySum / float64(rep.Jobs)
+	}
+	if rep.MakespanS > 0 {
+		rep.UtilizationPct = 100 * rep.BusyS / (float64(len(c.machines)) * rep.MakespanS)
+	}
+	return rep
+}
+
+// Reset clears all machine clocks and queues.
+func (c *Cluster) Reset() {
+	for _, m := range c.machines {
+		m.mu.Lock()
+		m.queue = nil
+		m.clock = 0
+		m.busy = 0
+		m.mu.Unlock()
+	}
+}

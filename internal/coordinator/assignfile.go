@@ -1,0 +1,81 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cooper/internal/matching"
+	"cooper/internal/workload"
+)
+
+// AgentAssignment is one agent's colocation decision in an assignment
+// file.
+type AgentAssignment struct {
+	AgentID          int     `json:"agent_id"`
+	Job              string  `json:"job"`
+	PartnerID        int     `json:"partner_id"` // -1 = runs alone
+	PartnerJob       string  `json:"partner_job,omitempty"`
+	PredictedPenalty float64 `json:"predicted_penalty,omitempty"`
+}
+
+// AssignmentFile is the serialized output of one colocation round — the
+// paper's coordinator writes co-runner assignments to files that are sent
+// to agents.
+type AssignmentFile struct {
+	Policy string            `json:"policy"`
+	Mix    string            `json:"mix,omitempty"`
+	Agents []AgentAssignment `json:"agents"`
+}
+
+// WriteAssignments serializes a colocation round. d may be nil, in which
+// case predicted penalties are omitted.
+func WriteAssignments(w io.Writer, policyName string, pop workload.Population,
+	match matching.Matching, d [][]float64) error {
+	if len(match) != len(pop.Jobs) {
+		return fmt.Errorf("coordinator: %d assignments for %d agents",
+			len(match), len(pop.Jobs))
+	}
+	file := AssignmentFile{
+		Policy: policyName,
+		Mix:    pop.Mix,
+		Agents: make([]AgentAssignment, len(match)),
+	}
+	for i, j := range match {
+		a := AgentAssignment{AgentID: i, Job: pop.Jobs[i].Name, PartnerID: j}
+		if j != matching.Unmatched {
+			a.PartnerJob = pop.Jobs[j].Name
+			if d != nil {
+				a.PredictedPenalty = d[i][j]
+			}
+		}
+		file.Agents[i] = a
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// ReadAssignments parses an assignment file and reconstructs the
+// matching. It validates symmetry: if agent i names j, agent j must name
+// i.
+func ReadAssignments(r io.Reader) (AssignmentFile, matching.Matching, error) {
+	var file AssignmentFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return AssignmentFile{}, nil, fmt.Errorf("coordinator: parsing assignments: %w", err)
+	}
+	match := make(matching.Matching, len(file.Agents))
+	for i := range match {
+		match[i] = matching.Unmatched
+	}
+	for _, a := range file.Agents {
+		if a.AgentID < 0 || a.AgentID >= len(match) {
+			return AssignmentFile{}, nil, fmt.Errorf("coordinator: agent id %d out of range", a.AgentID)
+		}
+		match[a.AgentID] = a.PartnerID
+	}
+	if err := match.Validate(); err != nil {
+		return AssignmentFile{}, nil, err
+	}
+	return file, match, nil
+}

@@ -1,0 +1,93 @@
+package coordinator
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cooper/internal/matching"
+	"cooper/internal/workload"
+)
+
+func testPopulation(t *testing.T) workload.Population {
+	t.Helper()
+	_, jobs := testDriver(t)
+	return workload.Population{
+		Jobs: []workload.Job{jobs[0], jobs[1], jobs[2], jobs[3]},
+		Mix:  "test",
+	}
+}
+
+func TestAssignmentFileRoundTrip(t *testing.T) {
+	pop := testPopulation(t)
+	match := matching.Matching{1, 0, 3, 2}
+	d := [][]float64{
+		{0, 0.1, 0, 0},
+		{0.2, 0, 0, 0},
+		{0, 0, 0, 0.3},
+		{0, 0, 0.4, 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignments(&buf, "SMR", pop, match, d); err != nil {
+		t.Fatal(err)
+	}
+	file, got, err := ReadAssignments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Policy != "SMR" || file.Mix != "test" {
+		t.Errorf("metadata = %+v", file)
+	}
+	for i := range match {
+		if got[i] != match[i] {
+			t.Fatalf("matching differs at %d: %d vs %d", i, got[i], match[i])
+		}
+	}
+	if file.Agents[0].PredictedPenalty != 0.1 {
+		t.Errorf("penalty = %v", file.Agents[0].PredictedPenalty)
+	}
+	if file.Agents[0].PartnerJob != pop.Jobs[1].Name {
+		t.Errorf("partner job = %q", file.Agents[0].PartnerJob)
+	}
+}
+
+func TestWriteAssignmentsWithSoloAndNilPenalties(t *testing.T) {
+	pop := testPopulation(t)
+	match := matching.Matching{1, 0, matching.Unmatched, matching.Unmatched}
+	var buf bytes.Buffer
+	if err := WriteAssignments(&buf, "TH", pop, match, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadAssignments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != matching.Unmatched || got[3] != matching.Unmatched {
+		t.Errorf("solos lost: %v", got)
+	}
+}
+
+func TestWriteAssignmentsSizeMismatch(t *testing.T) {
+	pop := testPopulation(t)
+	var buf bytes.Buffer
+	if err := WriteAssignments(&buf, "GR", pop, matching.Matching{1, 0}, nil); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestReadAssignmentsRejectsCorruption(t *testing.T) {
+	if _, _, err := ReadAssignments(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Asymmetric matching: agent 0 names 1, agent 1 names 0... break it.
+	asym := `{"policy":"GR","agents":[
+		{"agent_id":0,"job":"a","partner_id":1},
+		{"agent_id":1,"job":"b","partner_id":-1}]}`
+	if _, _, err := ReadAssignments(strings.NewReader(asym)); err == nil {
+		t.Error("asymmetric matching accepted")
+	}
+	outOfRange := `{"policy":"GR","agents":[{"agent_id":5,"job":"a","partner_id":-1}]}`
+	if _, _, err := ReadAssignments(strings.NewReader(outOfRange)); err == nil {
+		t.Error("out-of-range agent accepted")
+	}
+}

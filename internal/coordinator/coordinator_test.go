@@ -1,0 +1,139 @@
+package coordinator
+
+import (
+	"testing"
+
+	"cooper/internal/arch"
+	"cooper/internal/core"
+	"cooper/internal/stats"
+	"cooper/internal/workload"
+)
+
+func testDriver(t *testing.T) (*Driver, []workload.Job) {
+	t.Helper()
+	f, err := core.New(core.Options{Oracle: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Catalog(arch.DefaultCMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Driver{Framework: f, PeriodS: 300, MaxBatch: 40}, jobs
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	_, jobs := testDriver(t)
+	r := stats.NewRand(2)
+	arrivals, err := PoissonArrivals(0.1, 3600, jobs, stats.Uniform{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~360 arrivals.
+	if len(arrivals) < 250 || len(arrivals) > 480 {
+		t.Errorf("arrivals = %d, expected ~360", len(arrivals))
+	}
+	prev := 0.0
+	for _, a := range arrivals {
+		if a.TimeS < prev || a.TimeS >= 3600 {
+			t.Fatalf("arrival time %v out of order or range", a.TimeS)
+		}
+		prev = a.TimeS
+		if a.Job.Name == "" {
+			t.Fatal("arrival without job")
+		}
+	}
+}
+
+func TestPoissonArrivalsValidation(t *testing.T) {
+	_, jobs := testDriver(t)
+	r := stats.NewRand(3)
+	if _, err := PoissonArrivals(0, 100, jobs, stats.Uniform{}, r); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := PoissonArrivals(1, 0, jobs, stats.Uniform{}, r); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := PoissonArrivals(1, 100, nil, stats.Uniform{}, r); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+func TestDriverBatchesAllArrivals(t *testing.T) {
+	d, jobs := testDriver(t)
+	r := stats.NewRand(4)
+	arrivals, err := PoissonArrivals(0.05, 3600, jobs, stats.Uniform{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, summary, err := d.Run(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Jobs != len(arrivals) {
+		t.Errorf("scheduled %d jobs, want %d", summary.Jobs, len(arrivals))
+	}
+	if summary.Epochs != len(epochs) || summary.Epochs == 0 {
+		t.Errorf("epochs = %d", summary.Epochs)
+	}
+	if summary.MeanWaitS <= 0 || summary.MeanWaitS > d.PeriodS {
+		t.Errorf("mean wait %v outside (0, period]", summary.MeanWaitS)
+	}
+	for _, e := range epochs {
+		if len(e.Report.Population.Jobs) == 0 {
+			t.Fatal("empty epoch")
+		}
+		if e.MeanWaitS < 0 {
+			t.Fatalf("negative wait %v", e.MeanWaitS)
+		}
+	}
+}
+
+func TestDriverQueuesUnderLoad(t *testing.T) {
+	d, jobs := testDriver(t)
+	d.MaxBatch = 10
+	// Heavy burst: 100 jobs in the first period.
+	var arrivals []Arrival
+	for i := 0; i < 100; i++ {
+		arrivals = append(arrivals, Arrival{TimeS: float64(i), Job: jobs[i%len(jobs)]})
+	}
+	epochs, summary, err := d.Run(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.MaxQueued == 0 {
+		t.Error("burst should queue jobs")
+	}
+	if summary.Jobs != 100 {
+		t.Errorf("all jobs eventually scheduled, got %d", summary.Jobs)
+	}
+	// Batches capped.
+	for _, e := range epochs {
+		if n := len(e.Report.Population.Jobs); n > 10 {
+			t.Fatalf("batch of %d exceeds cap", n)
+		}
+	}
+	// Later epochs' waits grow as the queue drains.
+	if epochs[len(epochs)-1].MeanWaitS <= epochs[0].MeanWaitS {
+		t.Errorf("drain waits should grow: first %v, last %v",
+			epochs[0].MeanWaitS, epochs[len(epochs)-1].MeanWaitS)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	if _, _, err := (&Driver{}).Run(nil); err == nil {
+		t.Error("missing framework accepted")
+	}
+	f, err := core.New(core.Options{Oracle: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (&Driver{Framework: f}).Run(nil); err == nil {
+		t.Error("zero period accepted")
+	}
+	epochs, summary, err := (&Driver{Framework: f, PeriodS: 10}).Run(nil)
+	if err != nil || len(epochs) != 0 || summary.Jobs != 0 {
+		t.Errorf("empty arrivals: epochs=%d summary=%+v err=%v",
+			len(epochs), summary, err)
+	}
+}

@@ -1,0 +1,32 @@
+package coordinator
+
+import (
+	"strings"
+	"testing"
+
+	"cooper/internal/matching"
+)
+
+// FuzzReadAssignments ensures the assignment-file parser never panics and
+// only ever returns validated symmetric matchings.
+func FuzzReadAssignments(f *testing.F) {
+	f.Add(`{"policy":"SMR","agents":[{"agent_id":0,"job":"a","partner_id":1},{"agent_id":1,"job":"b","partner_id":0}]}`)
+	f.Add(`{"policy":"GR","agents":[]}`)
+	f.Add(`{"agents":[{"agent_id":0,"partner_id":-1}]}`)
+	f.Add(`{"agents":[{"agent_id":0,"partner_id":0}]}`)
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, match, err := ReadAssignments(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := match.Validate(); err != nil {
+			t.Fatalf("accepted invalid matching: %v", err)
+		}
+		for i, j := range match {
+			if j != matching.Unmatched && match[j] != i {
+				t.Fatalf("asymmetric matching escaped validation: %v", match)
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+// Package core wires Cooper's components into the end-to-end framework of
+// the paper's Figure 6: the system profiler measures standalone and
+// sampled colocated runs; the preference predictor completes the sparse
+// penalty matrix; a colocation policy matches agents; agents assess their
+// assignments and recommend strategic action; and the job dispatcher
+// sends participating colocations to the cluster.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cooper/internal/agent"
+	"cooper/internal/arch"
+	"cooper/internal/cluster"
+	"cooper/internal/matching"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/recommend"
+	"cooper/internal/workload"
+)
+
+// Options configures a Framework.
+type Options struct {
+	// Machine is the CMP model shared by every node. Zero value means
+	// arch.DefaultCMP().
+	Machine arch.CMP
+	// Machines is the cluster size in CMPs. Zero means 10 (the paper's
+	// five dual-socket nodes).
+	Machines int
+	// Policy assigns colocations. Nil means StableMarriageRandom, the
+	// paper's recommended policy.
+	Policy policy.Policy
+	// SampleFraction is the share of the colocation space profiled
+	// offline. Zero means 0.25, the paper's operating point.
+	SampleFraction float64
+	// Predictor completes the sparse penalty matrix. Zero value fields
+	// mean recommend.Default().
+	Predictor recommend.Predictor
+	// Alpha is the minimum performance gain for which an agent recommends
+	// breaking away.
+	Alpha float64
+	// Oracle skips profiling and prediction, giving the policy exact
+	// analytic penalties — the "oracular knowledge" configuration the
+	// paper compares collaborative filtering against.
+	Oracle bool
+	// Seed drives all randomness (profiling noise, sampling, SMR
+	// partitions).
+	Seed int64
+	// Sim overrides the profiling simulation config (zero value uses a
+	// short, noisy default suitable for experiments).
+	Sim arch.SimConfig
+	// Catalog overrides the built-in Table I catalog with a custom one
+	// (built via workload.BuildCatalog or workload.LoadCatalog against
+	// the same Machine). Nil uses the paper's 20 jobs.
+	Catalog []workload.Job
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine.Cores == 0 {
+		o.Machine = arch.DefaultCMP()
+	}
+	if o.Machines == 0 {
+		o.Machines = 10
+	}
+	if o.Policy == nil {
+		o.Policy = policy.StableMarriageRandom{}
+	}
+	if o.SampleFraction == 0 {
+		o.SampleFraction = 0.25
+	}
+	if o.Predictor == (recommend.Predictor{}) {
+		o.Predictor = recommend.Default()
+	}
+	if o.Sim == (arch.SimConfig{}) {
+		// Profiling runs long enough to average out phase behaviour, as
+		// the paper's minutes-long profiled executions do.
+		o.Sim = arch.SimConfig{DurationS: 30, StepS: 1, PhaseNoise: 0.05, PhaseCorr: 0.6}
+	}
+	return o
+}
+
+// Framework is a ready-to-run Cooper instance: calibrated catalog,
+// profiling database, completed preference model, and cluster.
+type Framework struct {
+	opts    Options
+	catalog []workload.Job
+	db      *profiler.Database
+	cluster *cluster.Cluster
+
+	predicted [][]float64 // job-level penalties as agents believe them
+	truth     [][]float64 // job-level penalties from the analytic oracle
+	iters     int         // predictor iterations used
+	rng       *rand.Rand
+}
+
+// New builds a Framework: it calibrates the catalog, runs the offline
+// profiling campaign, and trains the preference predictor.
+func New(opts Options) (*Framework, error) {
+	opts = opts.withDefaults()
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	catalog := opts.Catalog
+	if catalog == nil {
+		var err error
+		catalog, err = workload.Catalog(opts.Machine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("core: empty catalog")
+	}
+	f := &Framework{
+		opts:    opts,
+		catalog: catalog,
+		db:      profiler.NewDatabase(),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	var err error
+	f.cluster, err = cluster.New(opts.Machines, opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+
+	f.truth = profiler.DensePenalties(opts.Machine, catalog)
+	if opts.Oracle {
+		f.predicted = f.truth
+		return f, nil
+	}
+
+	prof := profiler.New(opts.Machine, f.db, opts.Seed+1)
+	prof.Sim = opts.Sim
+	if err := prof.Campaign(catalog, opts.SampleFraction); err != nil {
+		return nil, err
+	}
+	sparse, err := profiler.PenaltyMatrix(f.db, catalog)
+	if err != nil {
+		return nil, err
+	}
+	f.predicted, f.iters, err = opts.Predictor.Complete(sparse)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Catalog returns the calibrated 20-job catalog.
+func (f *Framework) Catalog() []workload.Job { return f.catalog }
+
+// Database returns the profiling database (empty in Oracle mode).
+func (f *Framework) Database() *profiler.Database { return f.db }
+
+// PredictedPenalties returns the completed job-level penalty matrix the
+// agents believe.
+func (f *Framework) PredictedPenalties() [][]float64 { return f.predicted }
+
+// TruePenalties returns the oracle job-level penalty matrix.
+func (f *Framework) TruePenalties() [][]float64 { return f.truth }
+
+// PredictorIterations returns how many fill iterations the preference
+// predictor used (0 in Oracle mode).
+func (f *Framework) PredictorIterations() int { return f.iters }
+
+// PredictionAccuracy evaluates the paper's Equation 2 on this framework's
+// predicted versus true job-level penalties.
+func (f *Framework) PredictionAccuracy() (float64, error) {
+	return recommend.PreferenceAccuracy(f.truth, f.predicted)
+}
+
+// SamplePopulation draws n agents from the catalog with the given mix.
+func (f *Framework) SamplePopulation(n int, mix interface {
+	Sample(*rand.Rand) float64
+	Name() string
+}) workload.Population {
+	return workload.Sample(n, f.catalog, mix, f.rng)
+}
+
+// EpochReport is the outcome of one scheduling epoch.
+type EpochReport struct {
+	Population workload.Population
+	Match      matching.Matching
+	// PredictedPenalty and TruePenalty are per-agent disutilities under
+	// the assignment, as predicted by agents and as the oracle knows
+	// them.
+	PredictedPenalty []float64
+	TruePenalty      []float64
+	// Recommendations are the agents' strategic assessments.
+	Recommendations []agent.Recommendation
+	// BlockingPairs are the mutual break-away opportunities agents
+	// discovered (under their predicted preferences, with the
+	// framework's alpha).
+	BlockingPairs [][2]int
+	// Cluster summarizes the dispatch of participating colocations.
+	Cluster cluster.Report
+}
+
+// RunEpoch plays one round of the colocation game for the population:
+// predict preferences, assign colocations, let agents assess them, and
+// dispatch the work.
+func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
+	n := len(pop.Jobs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty population")
+	}
+	predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
+	if err != nil {
+		return nil, err
+	}
+	trueD, err := profiler.ExpandToAgents(f.truth, f.catalog, pop)
+	if err != nil {
+		return nil, err
+	}
+	bw := make([]float64, n)
+	for i, j := range pop.Jobs {
+		bw[i] = j.BandwidthGBps
+	}
+
+	match, err := f.opts.Policy.Assign(predD, policy.Context{
+		BandwidthGBps: bw,
+		Rand:          f.rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	agents := make([]*agent.Agent, n)
+	for i := range agents {
+		agents[i] = agent.New(i, pop.Jobs[i].Name, predD[i])
+	}
+	recs, err := agent.Exchange(agents, match, f.opts.Alpha)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &EpochReport{
+		Population:       pop,
+		Match:            match,
+		PredictedPenalty: make([]float64, n),
+		TruePenalty:      make([]float64, n),
+		Recommendations:  recs,
+		BlockingPairs:    agent.BlockingPairsFromRecommendations(recs),
+	}
+	for i, j := range match {
+		if j != matching.Unmatched {
+			rep.PredictedPenalty[i] = predD[i][j]
+			rep.TruePenalty[i] = trueD[i][j]
+		}
+	}
+
+	// Dispatch: agents participate by default (the paper's
+	// implementation), so every assignment goes to the cluster.
+	f.cluster.Reset()
+	var batch []cluster.Assignment
+	for i, j := range match {
+		switch {
+		case j == matching.Unmatched:
+			batch = append(batch, cluster.Assignment{
+				AgentA: i, AgentB: -1, JobA: pop.Jobs[i],
+			})
+		case i < j:
+			batch = append(batch, cluster.Assignment{
+				AgentA: i, AgentB: j, JobA: pop.Jobs[i], JobB: pop.Jobs[j],
+			})
+		}
+	}
+	results := f.cluster.Dispatch(batch)
+	rep.Cluster = f.cluster.Summarize(results)
+	return rep, nil
+}
+
+// MeanTruePenalty returns the population-average oracle penalty of the
+// epoch.
+func (r *EpochReport) MeanTruePenalty() float64 {
+	if len(r.TruePenalty) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range r.TruePenalty {
+		sum += p
+	}
+	return sum / float64(len(r.TruePenalty))
+}
+
+// BreakAwayCount returns how many agents recommended breaking away.
+func (r *EpochReport) BreakAwayCount() int {
+	count := 0
+	for _, rec := range r.Recommendations {
+		if rec.Action == agent.BreakAway {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProposerAdvantage(t *testing.T) {
+	res, err := lab(t).ProposerAdvantage(200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proposer-optimality: proposing can only help.
+	if res.Advantage < -1e-9 {
+		t.Errorf("proposing should not hurt: advantage %v", res.Advantage)
+	}
+	// The paper: the advantage is small for randomly partitioned jobs.
+	if res.Advantage > 0.02 {
+		t.Errorf("advantage %v should be small (<2%% penalty)", res.Advantage)
+	}
+	if res.Agents != 100 {
+		t.Errorf("agents = %d", res.Agents)
+	}
+	if res.AgentsBetterOff > res.Agents {
+		t.Errorf("better-off count %d exceeds agents", res.AgentsBetterOff)
+	}
+}
+
+func TestPredictionToMatching(t *testing.T) {
+	points, err := lab(t).PredictionToMatching([]float64{0.25, 0.75, 1.0}, 200, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	full := points[2]
+	if full.Accuracy != 1 {
+		t.Errorf("fully profiled accuracy = %v", full.Accuracy)
+	}
+	// Perfect prediction reproduces the oracle matching cost exactly.
+	if full.MeanPenalty != full.OraclePenalty {
+		t.Errorf("full profile penalty %v != oracle %v",
+			full.MeanPenalty, full.OraclePenalty)
+	}
+	// The paper's claim: CF at the 25% operating point delivers the same
+	// desiderata as oracular knowledge — fairness stays strong and the
+	// performance cost stays small.
+	quarter := points[0]
+	if quarter.FairnessCorr < 0.5 {
+		t.Errorf("fairness with CF at 25%% = %.2f, want strong", quarter.FairnessCorr)
+	}
+	if quarter.MeanPenalty > quarter.OraclePenalty+0.03 {
+		t.Errorf("CF matching penalty %.4f too far above oracle %.4f",
+			quarter.MeanPenalty, quarter.OraclePenalty)
+	}
+}
+
+func TestThresholdStudy(t *testing.T) {
+	points, err := lab(t).ThresholdStudy([]float64{0.02, 0.05, 0.10, 1.0}, 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevMachines := 1 << 30
+	for _, p := range points {
+		// Looser tolerance -> fewer machines.
+		if p.Machines > prevMachines {
+			t.Errorf("machines rose with tolerance: %+v", points)
+		}
+		prevMachines = p.Machines
+		// Tolerance respected in mean (each pair under tolerance).
+		if p.Tolerance < 1 && p.MeanPenalty > p.Tolerance {
+			t.Errorf("mean penalty %v exceeds tolerance %v", p.MeanPenalty, p.Tolerance)
+		}
+		// Threshold never uses fewer machines than fully loaded greedy.
+		if p.Machines < p.GreedyMachines {
+			t.Errorf("threshold machines %d below greedy %d", p.Machines, p.GreedyMachines)
+		}
+	}
+	// Tight tolerance buys low penalties with many machines.
+	if points[0].Machines <= points[len(points)-1].Machines {
+		t.Error("tight tolerance should cost machines")
+	}
+}
+
+func TestQuads(t *testing.T) {
+	res, err := lab(t).Quads(80, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuadMachines >= res.PairMachines {
+		t.Errorf("quads should consolidate machines: %d vs %d",
+			res.QuadMachines, res.PairMachines)
+	}
+	if res.QuadPenalty <= res.PairPenalty {
+		t.Errorf("4-way contention should cost more: %v vs %v",
+			res.QuadPenalty, res.PairPenalty)
+	}
+	if res.QuadPenalty > 0.9 {
+		t.Errorf("quad penalty %v implausibly high", res.QuadPenalty)
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	l := lab(t)
+	pa, err := l.ProposerAdvantage(100, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := l.PredictionToMatching([]float64{0.25}, 100, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := l.ThresholdStudy([]float64{0.10}, 100, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := l.Quads(40, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAblations(pa, pm, th, quad)
+	for _, want := range []string{"proposer advantage", "prediction sparsity",
+		"threshold baseline", "hierarchical consolidation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestLoadSweep(t *testing.T) {
+	points, err := lab(t).LoadSweep([]float64{100, 400, 1200}, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.Jobs == 0 || p.Epochs == 0 {
+			t.Errorf("rate %v: empty run %+v", p.RatePerHour, p)
+		}
+		if i > 0 && p.Jobs <= points[i-1].Jobs {
+			t.Errorf("higher rate should bring more jobs: %+v", points)
+		}
+	}
+	// Saturation: the heaviest load queues deeper than the lightest.
+	if points[2].MaxQueued < points[0].MaxQueued {
+		t.Errorf("heavy load should queue more: %+v", points)
+	}
+	if out := RenderLoadSweep(points); !strings.Contains(out, "jobs/hour") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEfficiencyStudy(t *testing.T) {
+	rows, err := lab(t).EfficiencyStudy(100, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := map[string]EfficiencyRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		// The paper's motivation: colocation saves substantial energy per
+		// job versus one job per machine, for every policy.
+		if r.SavingsPct < 10 {
+			t.Errorf("%s: savings %.1f%%, want substantial", r.Policy, r.SavingsPct)
+		}
+		if r.EnergyPerJobJ <= 0 {
+			t.Errorf("%s: energy %v", r.Policy, r.EnergyPerJobJ)
+		}
+		if r.SharingIncentivePct < 0 || r.SharingIncentivePct > 100 {
+			t.Errorf("%s: SI %v", r.Policy, r.SharingIncentivePct)
+		}
+	}
+	// Stable policies satisfy sharing incentives for a clear majority.
+	if byPolicy["SMR"].SharingIncentivePct < 60 {
+		t.Errorf("SMR sharing incentive %.0f%%, want majority",
+			byPolicy["SMR"].SharingIncentivePct)
+	}
+}
+
+func TestRenderEfficiency(t *testing.T) {
+	rows, err := lab(t).EfficiencyStudy(60, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderEfficiency(rows)
+	for _, want := range []string{"energy/job", "sharing incentive", "SMR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

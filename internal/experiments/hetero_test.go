@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeterogeneity(t *testing.T) {
+	res, err := lab(t).Heterogeneity(100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 50 {
+		t.Fatalf("pairs = %d", res.Pairs)
+	}
+	// Weak nodes amplify contention.
+	if res.SmallPenaltyInflation <= 1 {
+		t.Errorf("small-node inflation %.2f should exceed 1", res.SmallPenaltyInflation)
+	}
+	// Mixing in weak machines costs performance versus the homogeneous
+	// setting.
+	if res.BlindMean <= res.HomogeneousMean {
+		t.Errorf("blind placement %.4f should cost more than all-big %.4f",
+			res.BlindMean, res.HomogeneousMean)
+	}
+	// Demand-aware placement recovers part of the loss.
+	if res.AwareMean > res.BlindMean {
+		t.Errorf("aware placement %.4f should not exceed blind %.4f",
+			res.AwareMean, res.BlindMean)
+	}
+}
+
+func TestRenderHeterogeneity(t *testing.T) {
+	res, err := lab(t).Heterogeneity(60, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderHeterogeneity(res)
+	if !strings.Contains(out, "Heterogeneity") || !strings.Contains(out, "type-aware") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestSmallCMPValid(t *testing.T) {
+	if err := SmallCMP().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation: the workload catalog (Table I), the motivation studies
+// (Figures 1-3, 5), the per-application fairness profiles (Figures 7-8),
+// preference satisfaction (Figure 9), stability under the break-away
+// threshold (Figure 10), workload-mix sensitivity (Figure 11), prediction
+// accuracy (Figure 12), scalability (Figure 13), and the Shapley appendix
+// (Figure 14).
+//
+// Each experiment is a method on Lab, parameterized so benchmarks can run
+// scaled-down versions; the cmd/cooper-sim tool runs them at paper scale.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cooper/internal/arch"
+	"cooper/internal/matching"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/stats"
+	"cooper/internal/workload"
+)
+
+// Lab holds the shared experimental apparatus: the simulated machine, the
+// calibrated catalog, and the oracle penalty matrix. Experiments that
+// evaluate colocation policies use oracle penalties (as the paper does
+// when assessing outcomes); the prediction experiments layer sparsity and
+// noise on top.
+type Lab struct {
+	Machine arch.CMP
+	Catalog []workload.Job
+	// Dense is the oracle job-level penalty matrix: Dense[i][j] is
+	// catalog job i's disutility when colocated with catalog job j.
+	Dense [][]float64
+}
+
+// NewLab builds the apparatus on the default machine.
+func NewLab() (*Lab, error) {
+	m := arch.DefaultCMP()
+	catalog, err := workload.Catalog(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{
+		Machine: m,
+		Catalog: catalog,
+		Dense:   profiler.DensePenalties(m, catalog),
+	}, nil
+}
+
+// assign runs a policy on a population using oracle penalties and returns
+// the matching plus the agent-level penalty matrix it was computed from.
+func (l *Lab) assign(p policy.Policy, pop workload.Population, r *rand.Rand) (matching.Matching, [][]float64, error) {
+	d, err := profiler.ExpandToAgents(l.Dense, l.Catalog, pop)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := make([]float64, len(pop.Jobs))
+	for i, j := range pop.Jobs {
+		bw[i] = j.BandwidthGBps
+	}
+	match, err := p.Assign(d, policy.Context{BandwidthGBps: bw, Rand: r})
+	if err != nil {
+		return nil, nil, err
+	}
+	return match, d, nil
+}
+
+// agentPenalties returns each agent's oracle penalty under the matching.
+func agentPenalties(match matching.Matching, d [][]float64) []float64 {
+	pen := make([]float64, len(match))
+	for i, j := range match {
+		if j != matching.Unmatched {
+			pen[i] = d[i][j]
+		}
+	}
+	return pen
+}
+
+// jobIndex maps catalog names to indices.
+func (l *Lab) jobIndex() map[string]int {
+	idx := make(map[string]int, len(l.Catalog))
+	for i, j := range l.Catalog {
+		idx[j.Name] = i
+	}
+	return idx
+}
+
+// mustFind returns the catalog job by name or an error.
+func (l *Lab) mustFind(name string) (workload.Job, error) {
+	j, ok := workload.Find(l.Catalog, name)
+	if !ok {
+		return workload.Job{}, fmt.Errorf("experiments: job %q not in catalog", name)
+	}
+	return j, nil
+}
+
+// uniformPopulation samples n agents uniformly with a derived seed.
+func (l *Lab) uniformPopulation(n int, seed int64) workload.Population {
+	return workload.Sample(n, l.Catalog, stats.Uniform{}, stats.NewRand(seed))
+}

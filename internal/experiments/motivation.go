@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cooper/internal/game"
+	"cooper/internal/matching"
+	"cooper/internal/stats"
+)
+
+// MotivationUsers are the four users of the paper's Figures 2 and 3:
+// (A) x264, (B) fluidanimate, (C) decision-tree, (D) regression.
+var MotivationUsers = []string{"x264", "fluidanim", "decision", "linear"}
+
+// UserOutcome is one user's result under a matching.
+type UserOutcome struct {
+	User          string
+	Label         string // A, B, C, D
+	Partner       string
+	Penalty       float64
+	BandwidthGBps float64
+}
+
+// MotivationResult compares the performance-optimal colocation with the
+// stability-optimal one for the four motivating users (Figures 2 and 3).
+type MotivationResult struct {
+	Performance []UserOutcome // minimizes total penalty
+	Stability   []UserOutcome // minimizes blocking pairs
+	// Blocking pair counts under each matching.
+	PerformanceBlocking int
+	StabilityBlocking   int
+	// Fairness correlations (penalty vs bandwidth) under each matching.
+	PerformanceFairness float64
+	StabilityFairness   float64
+}
+
+// Motivation reproduces the Figures 2-3 study: enumerate all colocations
+// of the four users, pick the performance- and stability-optimal ones, and
+// compare penalties, stability and fairness.
+func (l *Lab) Motivation() (*MotivationResult, error) {
+	idx := l.jobIndex()
+	n := len(MotivationUsers)
+	d := make([][]float64, n)
+	bw := make([]float64, n)
+	for a, name := range MotivationUsers {
+		job, err := l.mustFind(name)
+		if err != nil {
+			return nil, err
+		}
+		bw[a] = job.BandwidthGBps
+		d[a] = make([]float64, n)
+		for b, other := range MotivationUsers {
+			if a != b {
+				d[a][b] = l.Dense[idx[name]][idx[other]]
+			}
+		}
+	}
+	analysis, err := game.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := func(m matching.Matching) []UserOutcome {
+		out := make([]UserOutcome, n)
+		for a := range out {
+			out[a] = UserOutcome{
+				User:          MotivationUsers[a],
+				Label:         string(rune('A' + a)),
+				Partner:       MotivationUsers[m[a]],
+				Penalty:       d[a][m[a]],
+				BandwidthGBps: bw[a],
+			}
+		}
+		return out
+	}
+	perf := outcomes(analysis.Optimal)
+	stab := outcomes(analysis.Stable)
+	fairness := func(out []UserOutcome) float64 {
+		var pens, bws []float64
+		for _, o := range out {
+			pens = append(pens, o.Penalty)
+			bws = append(bws, o.BandwidthGBps)
+		}
+		return stats.Spearman(pens, bws)
+	}
+	return &MotivationResult{
+		Performance:         perf,
+		Stability:           stab,
+		PerformanceBlocking: analysis.OptimalBlockingPairs,
+		StabilityBlocking:   analysis.StableBlockingPairs,
+		PerformanceFairness: fairness(perf),
+		StabilityFairness:   fairness(stab),
+	}, nil
+}
+
+// Figure5Trace reproduces the paper's worked stable-marriage example with
+// its exact preference lists, reporting the proposal rounds and final
+// colocation.
+type Figure5Trace struct {
+	Rounds int
+	// Pairs maps proposer labels (m1..m3) to receiver labels (c1..c3).
+	Pairs map[string]string
+}
+
+// Figure5 runs the worked example.
+func Figure5() (*Figure5Trace, error) {
+	proposers := [][]int{
+		{0, 1, 2}, // m1: c1 > c2 > c3
+		{2, 0, 1}, // m2: c3 > c1 > c2
+		{0, 1, 2}, // m3: c1 > c2 > c3
+	}
+	receivers := [][]int{
+		{1, 2, 0}, // c1: m2 > m3 > m1
+		{2, 0, 1}, // c2: m3 > m1 > m2
+		{1, 0, 2}, // c3: m2 > m1 > m3
+	}
+	match, rounds, err := matching.StableMarriageRounds(proposers, receivers)
+	if err != nil {
+		return nil, err
+	}
+	trace := &Figure5Trace{Rounds: rounds, Pairs: make(map[string]string)}
+	for m, c := range match {
+		trace.Pairs[fmt.Sprintf("m%d", m+1)] = fmt.Sprintf("c%d", c+1)
+	}
+	return trace, nil
+}
+
+// Figure14Row is one permutation row of the appendix's Shapley table.
+type Figure14Row struct {
+	Order     []string
+	Marginals []float64 // marginal contribution of users A, B, C
+}
+
+// Figure14Result is the appendix example: coalition values, the
+// permutation table and the resulting Shapley values.
+type Figure14Result struct {
+	Interference []float64
+	Rows         []Figure14Row
+	Shapley      []float64
+}
+
+// Figure14 reproduces the appendix's Shapley example with interference
+// contributions I = {1, 2, 3}.
+func Figure14() (*Figure14Result, error) {
+	interference := []float64{1, 2, 3}
+	v := game.AdditiveInterference(interference)
+	phi, err := game.Shapley(3, v)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"A", "B", "C"}
+	orders := [][]int{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	res := &Figure14Result{Interference: interference, Shapley: phi}
+	for _, ord := range orders {
+		row := Figure14Row{Marginals: make([]float64, 3)}
+		var prefix []int
+		for _, u := range ord {
+			row.Order = append(row.Order, names[u])
+			row.Marginals[u] = game.MarginalContribution(v, prefix, u)
+			prefix = append(prefix, u)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"cooper/internal/recommend"
+	"cooper/internal/stats"
+)
+
+// Figure12Point is one point of the prediction-accuracy sweep: the portion
+// of colocations profiled and the resulting preference accuracy (paper
+// Equation 2), for a predictor capped at a given iteration count.
+type Figure12Point struct {
+	Fraction   float64
+	Iterations int // predictor iteration cap (the paper plots 1 and 2)
+	Accuracy   float64
+	Trials     int
+}
+
+// Figure12 sweeps the sampled fraction of the colocation space and
+// measures collaborative-filtering accuracy against the oracle penalty
+// matrix, for one- and two-iteration predictors, averaging each point over
+// trials random masks.
+func (l *Lab) Figure12(fractions []float64, trials int, seed int64) ([]Figure12Point, error) {
+	var out []Figure12Point
+	for _, iters := range []int{1, 2} {
+		pred := recommend.Default()
+		pred.MaxIters = iters
+		for _, frac := range fractions {
+			var sum float64
+			for k := 0; k < trials; k++ {
+				r := stats.NewRand(seed + int64(k) + int64(frac*1e4))
+				sparse := recommend.MaskPairs(l.Dense, frac, r)
+				filled, _, err := pred.Complete(sparse)
+				if err != nil {
+					return nil, err
+				}
+				acc, err := recommend.PreferenceAccuracy(l.Dense, filled)
+				if err != nil {
+					return nil, err
+				}
+				sum += acc
+			}
+			out = append(out, Figure12Point{
+				Fraction:   frac,
+				Iterations: iters,
+				Accuracy:   sum / float64(trials),
+				Trials:     trials,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DefaultFractions is the sweep the paper's Figure 12 x-axis covers.
+func DefaultFractions() []float64 {
+	return []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.75, 0.90, 1.0}
+}

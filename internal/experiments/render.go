@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cooper/internal/stats"
+	"cooper/internal/textplot"
+)
+
+// RenderTable1 formats the catalog table.
+func RenderTable1(rows []Table1Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.ID), r.Name, r.Application, r.Dataset,
+			string(r.Suite),
+			fmt.Sprintf("%.2f", r.PaperGBps),
+			fmt.Sprintf("%.2f", r.MeasuredGBps),
+		})
+	}
+	return "Table I: applications, datasets, memory intensity (paper vs simulated)\n" +
+		textplot.Table([]string{"ID", "Name", "Application", "Dataset", "Suite",
+			"Paper GB/s", "Measured GB/s"}, cells)
+}
+
+// RenderProfile formats one policy's Figure 1/7 panel.
+func RenderProfile(policyName string, profile []AppPenalty) string {
+	labels := make([]string, len(profile))
+	values := make([]float64, len(profile))
+	for i, ap := range profile {
+		labels[i] = ap.App
+		values[i] = ap.MeanPenalty
+	}
+	corr := fairnessCorrelation(profile)
+	return fmt.Sprintf("%s — mean throughput penalty by application "+
+		"(ordered by contentiousness; fairness corr %.2f)\n%s",
+		policyName, corr, textplot.Bar(labels, values, 40, "%.3f"))
+}
+
+// RenderFigure7 formats all policies' panels.
+func RenderFigure7(results []Figure7Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: contention-induced losses by policy\n\n")
+	for _, r := range results {
+		sb.WriteString(RenderProfile(r.Policy, r.Profile))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFigure8 formats the rank-fairness comparison.
+func RenderFigure8(results []Figure8Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: ranked penalties (#) vs ranked bandwidth (=); " +
+		"tracking bars mean fair attribution\n\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%s (rank correlation %.2f)\n", r.Policy, r.RankCorr)
+		sb.WriteString(textplot.PairedBar(r.Apps, r.PenaltyRanks, r.BandwidthRank,
+			"penalty rank", "bandwidth rank", 22))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderMotivation formats the Figures 2-3 comparison.
+func RenderMotivation(m *MotivationResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figures 2-3: performance- vs stability-centric colocation\n\n")
+	row := func(o UserOutcome) []string {
+		return []string{o.Label, o.User, o.Partner,
+			fmt.Sprintf("%.3f", o.Penalty),
+			fmt.Sprintf("%.1f", o.BandwidthGBps)}
+	}
+	header := []string{"User", "Job", "Partner", "Penalty", "GB/s"}
+	var perf, stab [][]string
+	for _, o := range m.Performance {
+		perf = append(perf, row(o))
+	}
+	for _, o := range m.Stability {
+		stab = append(stab, row(o))
+	}
+	fmt.Fprintf(&sb, "Performance-optimal (blocking pairs: %d, fairness corr %.2f)\n%s\n",
+		m.PerformanceBlocking, m.PerformanceFairness, textplot.Table(header, perf))
+	fmt.Fprintf(&sb, "Stability-optimal (blocking pairs: %d, fairness corr %.2f)\n%s",
+		m.StabilityBlocking, m.StabilityFairness, textplot.Table(header, stab))
+	return sb.String()
+}
+
+// RenderFigure5 formats the worked marriage example.
+func RenderFigure5(tr *Figure5Trace) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: stable marriage worked example (%d rounds)\n", tr.Rounds)
+	for m := 1; m <= len(tr.Pairs); m++ {
+		key := fmt.Sprintf("m%d", m)
+		fmt.Fprintf(&sb, "  %s -> %s\n", key, tr.Pairs[key])
+	}
+	return sb.String()
+}
+
+// RenderFigure9 formats the preference-satisfaction bars.
+func RenderFigure9(results []Figure9Result) string {
+	var cells [][]string
+	for _, r := range results {
+		total := r.Improved + r.Unchanged + r.Degraded
+		cells = append(cells, []string{
+			r.Label(),
+			fmt.Sprintf("%d", r.Improved),
+			fmt.Sprintf("%d", r.Unchanged),
+			fmt.Sprintf("%d", r.Degraded),
+			fmt.Sprintf("%.0f%%", 100*float64(r.Improved+r.Unchanged)/float64(total)),
+		})
+	}
+	return "Figure 9: agents improved/unchanged/degraded when adopting stable policies\n" +
+		textplot.Table([]string{"Switch", "Improved", "Unchanged", "Degraded",
+			"At least as well"}, cells)
+}
+
+// RenderFigure10 formats blocking-pair boxplots per policy and alpha.
+func RenderFigure10(results []Figure10Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: agents recommending break-away vs alpha (break-away threshold)\n\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%s\n", r.Policy)
+		labels := make([]string, len(r.Alphas))
+		var hi float64
+		for i, a := range r.Alphas {
+			labels[i] = fmt.Sprintf("alpha=%.0f%%", a*100)
+			if r.Boxes[i].Max > hi {
+				hi = r.Boxes[i].Max
+			}
+			for _, o := range r.Boxes[i].Outliers {
+				if o > hi {
+					hi = o
+				}
+			}
+		}
+		sb.WriteString(textplot.Box(labels, r.Boxes, 0, hi*1.05+1, 50))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFigure11 formats the sensitivity boxplots grouped by mix.
+func RenderFigure11(cells []Figure11Cell) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: penalty distributions by workload mix and policy\n\n")
+	byMix := make(map[string][]Figure11Cell)
+	var order []string
+	for _, c := range cells {
+		if len(byMix[c.Mix]) == 0 {
+			order = append(order, c.Mix)
+		}
+		byMix[c.Mix] = append(byMix[c.Mix], c)
+	}
+	for _, mix := range order {
+		group := byMix[mix]
+		fmt.Fprintf(&sb, "%s\n", mix)
+		labels := make([]string, len(group))
+		boxes := make([]stats.Boxplot, len(group))
+		var hi float64
+		for i, c := range group {
+			labels[i] = c.Policy
+			boxes[i] = c.Box
+			if c.Box.Max > hi {
+				hi = c.Box.Max
+			}
+		}
+		sb.WriteString(textplot.Box(labels, boxes, 0, hi*1.05+0.01, 50))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFigure12 formats the prediction-accuracy sweep.
+func RenderFigure12(points []Figure12Point) string {
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.0f%%", p.Fraction*100),
+			fmt.Sprintf("%d", p.Iterations),
+			fmt.Sprintf("%.1f%%", p.Accuracy*100),
+		})
+	}
+	return "Figure 12: preference prediction accuracy vs sampled colocations\n" +
+		textplot.Table([]string{"Sampled", "Iterations", "Correct prefs"}, cells)
+}
+
+// RenderFigure13 formats the scalability analysis.
+func RenderFigure13(points []Figure13Point) string {
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", p.Population),
+			fmt.Sprintf("%.2f", p.FairnessCorr),
+			fmt.Sprintf("%.4f", p.PenaltyStdDev),
+		})
+	}
+	return "Figure 13: SMR fairness vs population size\n" +
+		textplot.Table([]string{"Agents", "Fairness corr", "Within-app stddev"}, cells)
+}
+
+// RenderFigure14 formats the Shapley appendix example.
+func RenderFigure14(r *Figure14Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 14 (appendix): Shapley example, I = {1, 2, 3}\n")
+	var cells [][]string
+	for _, row := range r.Rows {
+		cells = append(cells, []string{
+			strings.Join(row.Order, ","),
+			fmt.Sprintf("%.0f", row.Marginals[0]),
+			fmt.Sprintf("%.0f", row.Marginals[1]),
+			fmt.Sprintf("%.0f", row.Marginals[2]),
+		})
+	}
+	cells = append(cells, []string{"phi = E[M]",
+		fmt.Sprintf("%.1f", r.Shapley[0]),
+		fmt.Sprintf("%.1f", r.Shapley[1]),
+		fmt.Sprintf("%.1f", r.Shapley[2])})
+	sb.WriteString(textplot.Table([]string{"Permutation", "MA", "MB", "MC"}, cells))
+	return sb.String()
+}

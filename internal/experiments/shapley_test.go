@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapleyAttributionStudy(t *testing.T) {
+	res, err := lab(t).ShapleyAttributionStudy(400, 10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phi) != 20 || len(res.Jobs) != 20 {
+		t.Fatalf("sizes: %d phi, %d jobs", len(res.Phi), len(res.Jobs))
+	}
+	// Theory-side: fair shares must track contentiousness strongly.
+	if res.BandwidthCorr < 0.7 {
+		t.Errorf("Spearman(phi, bandwidth) = %.2f, want strong", res.BandwidthCorr)
+	}
+	// The abstract's claim, quantified: the stable policies attribute
+	// penalties far closer to Shapley-fair shares than CO does.
+	if res.PolicyCorr["SMR"] < 0.7 {
+		t.Errorf("SMR Shapley correlation %.2f, want strong", res.PolicyCorr["SMR"])
+	}
+	if res.PolicyCorr["SR"] < 0.7 {
+		t.Errorf("SR Shapley correlation %.2f, want strong", res.PolicyCorr["SR"])
+	}
+	if res.PolicyCorr["CO"] > res.PolicyCorr["SMR"] {
+		t.Errorf("CO (%.2f) should attribute less fairly than SMR (%.2f)",
+			res.PolicyCorr["CO"], res.PolicyCorr["SMR"])
+	}
+	// Meek jobs can carry slightly *negative* shares: adding swaptions to
+	// a contentious coalition lets a monster pair with it instead of with
+	// another monster, reducing total penalty — Shapley compensates the
+	// subsidy. Contentious jobs carry large positive shares.
+	idx := func(name string) int {
+		for i, j := range res.Jobs {
+			if j == name {
+				return i
+			}
+		}
+		t.Fatalf("job %s missing", name)
+		return -1
+	}
+	if res.Phi[idx("correlation")] < 0.05 {
+		t.Errorf("correlation's share %v should be large and positive",
+			res.Phi[idx("correlation")])
+	}
+	if res.Phi[idx("swapt")] > res.Phi[idx("correlation")] {
+		t.Error("swaptions' share should be far below correlation's")
+	}
+	for i, phi := range res.Phi {
+		if phi < -0.1 {
+			t.Errorf("%s: share %v implausibly negative", res.Jobs[i], phi)
+		}
+	}
+}
+
+func TestShapleyAttributionValidation(t *testing.T) {
+	if _, err := lab(t).ShapleyAttributionStudy(100, 0, 1); err == nil {
+		t.Error("zero agents per job accepted")
+	}
+}
+
+func TestRenderShapley(t *testing.T) {
+	res, err := lab(t).ShapleyAttributionStudy(100, 4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderShapley(res)
+	for _, want := range []string{"fair shares", "Shapley share", "SMR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

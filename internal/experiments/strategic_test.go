@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestManipulation(t *testing.T) {
+	res, err := lab(t).Manipulation(100, 5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("strategies = %d", len(res.Points))
+	}
+	// Lying can only shuffle this agent among co-runners it claims to
+	// want; any gain must be small relative to the penalty scale. (With
+	// deferred acceptance the proposer side is strategy-proof; the
+	// receiver side's manipulation margin is what this measures.)
+	if res.BestGain > 0.10 {
+		t.Errorf("a lie gained %.4f — implausibly large for this game", res.BestGain)
+	}
+	for _, p := range res.Points {
+		if p.TruePenalty < 0 || p.TruePenalty > 1 {
+			t.Errorf("%s: penalty %v out of range", p.Strategy, p.TruePenalty)
+		}
+	}
+}
+
+func TestManipulationValidation(t *testing.T) {
+	if _, err := lab(t).Manipulation(10, 99, 1); err == nil {
+		t.Error("out-of-range agent accepted")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	points, err := lab(t).Churn(100, 5, 0.2, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("epochs = %d", len(points))
+	}
+	if points[0].Replaced != 0 {
+		t.Error("first epoch should replace nobody")
+	}
+	for i, p := range points {
+		if i > 0 && (p.Replaced < 5 || p.Replaced > 45) {
+			t.Errorf("epoch %d replaced %d of 100 at 20%% churn", i, p.Replaced)
+		}
+		if p.PairsTotal != 50 {
+			t.Errorf("epoch %d has %d pairs", i, p.PairsTotal)
+		}
+		if p.MeanPenalty <= 0 {
+			t.Errorf("epoch %d penalty %v", i, p.MeanPenalty)
+		}
+		if p.BlockingPct < 0 || p.BlockingPct > 100 {
+			t.Errorf("epoch %d blocking %v%%", i, p.BlockingPct)
+		}
+	}
+}
+
+func TestChurnZeroKeepsMatchingShape(t *testing.T) {
+	// Zero churn with a fresh random partition each epoch: the population
+	// is constant so pair survival is driven purely by the partition
+	// draw; the penalty stays flat.
+	points, err := lab(t).Churn(100, 3, 0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := points[0].MeanPenalty
+	for _, p := range points[1:] {
+		if p.Replaced != 0 {
+			t.Error("zero churn replaced agents")
+		}
+		diff := p.MeanPenalty - base
+		if diff < -0.02 || diff > 0.02 {
+			t.Errorf("penalty drifted from %.4f to %.4f without churn", base, p.MeanPenalty)
+		}
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := lab(t).Churn(10, 2, 1.5, 1); err == nil {
+		t.Error("churn fraction above 1 accepted")
+	}
+}
+
+func TestRenderStrategic(t *testing.T) {
+	l := lab(t)
+	m, err := l.Manipulation(60, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := l.Churn(60, 3, 0.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderStrategic(m, churn)
+	for _, want := range []string{"misreporting", "truthful penalty", "Churn", "invert"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

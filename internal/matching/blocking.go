@@ -1,0 +1,155 @@
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PrefsFromPenalties converts a cardinal disutility matrix into ordinal
+// roommate preference lists: d[i][j] is agent i's penalty when colocated
+// with agent j, and i prefers co-runners with lower penalty. Ties break by
+// index for determinism.
+func PrefsFromPenalties(d [][]float64) [][]int {
+	n := len(d)
+	prefs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		list := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				list = append(list, j)
+			}
+		}
+		row := d[i]
+		sort.SliceStable(list, func(a, b int) bool {
+			if row[list[a]] != row[list[b]] {
+				return row[list[a]] < row[list[b]]
+			}
+			return list[a] < list[b]
+		})
+		prefs[i] = list
+	}
+	return prefs
+}
+
+// ValidatePenalties checks that d is a square matrix.
+func ValidatePenalties(d [][]float64) error {
+	for i, row := range d {
+		if len(row) != len(d) {
+			return fmt.Errorf("matching: penalty row %d has %d entries, want %d",
+				i, len(row), len(d))
+		}
+	}
+	return nil
+}
+
+// AlphaBlockingPairs returns the pairs that would break away under the
+// paper's Figure 10 criterion: (i, j) blocks when colocating with each
+// other strictly improves both agents' performance by more than alpha over
+// their assigned colocations. Improvement must be strict so that the
+// plentiful exact ties between agents running identical applications do
+// not register as instability at alpha = 0. Agents left unmatched run
+// alone with zero penalty; pairing can only add penalty, so solo agents
+// never block.
+func AlphaBlockingPairs(match Matching, d [][]float64, alpha float64) [][2]int {
+	n := len(match)
+	current := func(i int) float64 {
+		if match[i] == Unmatched {
+			return 0
+		}
+		return d[i][match[i]]
+	}
+	var blocking [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if match[i] == j {
+				continue
+			}
+			if current(i)-d[i][j] > alpha && current(j)-d[j][i] > alpha {
+				blocking = append(blocking, [2]int{i, j})
+			}
+		}
+	}
+	return blocking
+}
+
+// GreedyPair pairs the given agents to minimize individual disutilities,
+// sequentially: each unmatched agent (in the given order) takes the
+// remaining partner that minimizes its own penalty. With an odd count the
+// last agent stays Unmatched. The result is written into match, which must
+// already mark the agents Unmatched.
+func GreedyPair(agents []int, d [][]float64, match Matching) {
+	remaining := append([]int(nil), agents...)
+	for len(remaining) > 1 {
+		i := remaining[0]
+		best := 1
+		for k := 2; k < len(remaining); k++ {
+			if d[i][remaining[k]] < d[i][remaining[best]] {
+				best = k
+			}
+		}
+		j := remaining[best]
+		match[i], match[j] = j, i
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		remaining = remaining[1:]
+	}
+}
+
+// AdaptedRoommates implements the paper's Stable Roommate (SR) policy:
+// run Irving's algorithm on the cardinal preferences derived from d; when
+// no perfectly stable solution exists, remove the witness agent (the one
+// rejected by all others) and retry, then greedily pair the removed agents
+// to minimize their individual disutilities. It reports the matching and
+// how many agents needed the greedy fallback.
+func AdaptedRoommates(d [][]float64) (Matching, int, error) {
+	if err := ValidatePenalties(d); err != nil {
+		return nil, 0, err
+	}
+	n := len(d)
+	match := make(Matching, n)
+	for i := range match {
+		match[i] = Unmatched
+	}
+	if n < 2 {
+		return match, 0, nil
+	}
+
+	// ids maps positions in the shrinking sub-instance to original agents.
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	var leftovers []int
+
+	for len(ids) >= 2 {
+		sub := make([][]float64, len(ids))
+		for a, i := range ids {
+			sub[a] = make([]float64, len(ids))
+			for b, j := range ids {
+				sub[a][b] = d[i][j]
+			}
+		}
+		m, err := StableRoommates(PrefsFromPenalties(sub))
+		if err == nil {
+			for a, b := range m {
+				if b != Unmatched {
+					match[ids[a]] = ids[b]
+				}
+			}
+			ids = nil
+			break
+		}
+		var nse *NoStableError
+		if !errors.As(err, &nse) {
+			return nil, 0, err
+		}
+		// Remove the witness and retry on the rest.
+		w := nse.Agent
+		leftovers = append(leftovers, ids[w])
+		ids = append(ids[:w], ids[w+1:]...)
+	}
+	leftovers = append(leftovers, ids...)
+
+	GreedyPair(leftovers, d, match)
+	return match, len(leftovers), nil
+}

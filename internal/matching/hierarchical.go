@@ -1,0 +1,126 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is a set of agents sharing one CMP under >2-way colocation.
+type Group []int
+
+// PairPenalty estimates the cost of merging two matched pairs onto one
+// CMP. Implementations typically aggregate the cross-pair penalties or
+// consult the architecture model's 4-way colocation estimate.
+type PairPenalty func(a, b [2]int) float64
+
+// HierarchicalQuads implements the paper's §VIII hierarchical proposal
+// for more than two co-runners: first match applications into pairs
+// (stable roommates with greedy completion over d), then treat each pair
+// as a super-agent and match pairs with pairs — producing groups of four
+// co-runners per CMP. Stability holds at each level but, as the paper
+// notes, end-to-end guarantees for group sizes above two weaken (stable
+// matching for arbitrary group size is NP-hard).
+//
+// Leftover agents (odd populations, or a final unpaired pair) land in
+// smaller groups. The returned groups partition all agents.
+func HierarchicalQuads(d [][]float64, penalty PairPenalty) ([]Group, error) {
+	if err := ValidatePenalties(d); err != nil {
+		return nil, err
+	}
+	if penalty == nil {
+		penalty = CrossPairPenalty(d)
+	}
+	match, _, err := AdaptedRoommates(d)
+	if err != nil {
+		return nil, err
+	}
+
+	var pairs [][2]int
+	var solos []int
+	for i, j := range match {
+		switch {
+		case j == Unmatched:
+			solos = append(solos, i)
+		case i < j:
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	if len(pairs) == 0 {
+		var groups []Group
+		for _, s := range solos {
+			groups = append(groups, Group{s})
+		}
+		return groups, nil
+	}
+
+	// Second level: pairs become super-agents with penalties from the
+	// supplied aggregate.
+	m := len(pairs)
+	superD := make([][]float64, m)
+	for a := range superD {
+		superD[a] = make([]float64, m)
+		for b := range superD[a] {
+			if a != b {
+				superD[a][b] = penalty(pairs[a], pairs[b])
+			}
+		}
+	}
+	superMatch, _, err := AdaptedRoommates(superD)
+	if err != nil {
+		return nil, err
+	}
+
+	var groups []Group
+	for a, b := range superMatch {
+		switch {
+		case b == Unmatched:
+			groups = append(groups, Group{pairs[a][0], pairs[a][1]})
+		case a < b:
+			groups = append(groups, Group{
+				pairs[a][0], pairs[a][1], pairs[b][0], pairs[b][1],
+			})
+		}
+	}
+	for _, s := range solos {
+		groups = append(groups, Group{s})
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	sort.Slice(groups, func(x, y int) bool { return groups[x][0] < groups[y][0] })
+	return groups, nil
+}
+
+// CrossPairPenalty aggregates pairwise penalties into a pair-level
+// estimate: the mean of the four cross penalties each side would suffer
+// from the other pair's members. It underestimates 4-way contention
+// (bandwidth saturation is superadditive) but preserves the ordering that
+// matching needs.
+func CrossPairPenalty(d [][]float64) PairPenalty {
+	return func(a, b [2]int) float64 {
+		sum := d[a[0]][b[0]] + d[a[0]][b[1]] + d[a[1]][b[0]] + d[a[1]][b[1]]
+		return sum / 4
+	}
+}
+
+// ValidateGroups checks that groups partition exactly the agents 0..n-1.
+func ValidateGroups(groups []Group, n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for _, g := range groups {
+		for _, i := range g {
+			if i < 0 || i >= n {
+				return fmt.Errorf("matching: group member %d out of range", i)
+			}
+			if seen[i] {
+				return fmt.Errorf("matching: agent %d in two groups", i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("matching: groups cover %d of %d agents", count, n)
+	}
+	return nil
+}

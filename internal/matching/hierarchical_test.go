@@ -1,0 +1,161 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchicalQuadsPartitions(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for _, n := range []int{4, 8, 12, 16, 20} {
+		d := randomPenalties(r, n)
+		groups, err := HierarchicalQuads(d, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := ValidateGroups(groups, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, g := range groups {
+			if len(g) > 4 {
+				t.Fatalf("n=%d: group of %d", n, len(g))
+			}
+		}
+		// Multiples of four should mostly form quads.
+		if n%4 == 0 {
+			quads := 0
+			for _, g := range groups {
+				if len(g) == 4 {
+					quads++
+				}
+			}
+			if quads != n/4 {
+				t.Errorf("n=%d: %d quads, want %d", n, quads, n/4)
+			}
+		}
+	}
+}
+
+func TestHierarchicalQuadsOddAndSmall(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		d := randomPenalties(r, n)
+		groups, err := HierarchicalQuads(d, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := ValidateGroups(groups, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestHierarchicalQuadsPrefersCheapMerges(t *testing.T) {
+	// Four agents in two natural pairs plus four loners whose merge cost
+	// is enormous: the quad level should merge the cheap pairs together.
+	n := 8
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = 0.5 // default: expensive
+			}
+		}
+	}
+	set := func(i, j int, v float64) { d[i][j], d[j][i] = v, v }
+	// Pairs (0,1), (2,3), (4,5), (6,7) are cheap internally.
+	for k := 0; k < 8; k += 2 {
+		set(k, k+1, 0.01)
+	}
+	// Merging pair(0,1) with pair(2,3) is cheap; everything else costly.
+	set(0, 2, 0.02)
+	set(0, 3, 0.02)
+	set(1, 2, 0.02)
+	set(1, 3, 0.02)
+	set(4, 6, 0.02)
+	set(4, 7, 0.02)
+	set(5, 6, 0.02)
+	set(5, 7, 0.02)
+	groups, err := HierarchicalQuads(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGroups(groups, n); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][4]int{0: {0, 1, 2, 3}, 4: {4, 5, 6, 7}}
+	for _, g := range groups {
+		if len(g) != 4 {
+			t.Fatalf("expected quads, got %v", groups)
+		}
+		w, ok := want[g[0]]
+		if !ok {
+			t.Fatalf("unexpected group %v", g)
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("group %v, want %v", g, w)
+			}
+		}
+	}
+}
+
+func TestHierarchicalQuadsCustomPenalty(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	d := randomPenalties(r, 8)
+	calls := 0
+	groups, err := HierarchicalQuads(d, func(a, b [2]int) float64 {
+		calls++
+		return CrossPairPenalty(d)(a, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("custom penalty never consulted")
+	}
+	if err := ValidateGroups(groups, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalQuadsErrors(t *testing.T) {
+	if _, err := HierarchicalQuads([][]float64{{0, 1}, {1}}, nil); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestCrossPairPenalty(t *testing.T) {
+	d := [][]float64{
+		{0, 0, 0.1, 0.2},
+		{0, 0, 0.3, 0.4},
+		{0.5, 0.6, 0, 0},
+		{0.7, 0.8, 0, 0},
+	}
+	got := CrossPairPenalty(d)([2]int{0, 1}, [2]int{2, 3})
+	want := (0.1 + 0.2 + 0.3 + 0.4) / 4
+	if got != want {
+		t.Errorf("cross penalty = %v, want %v", got, want)
+	}
+}
+
+func TestValidateGroups(t *testing.T) {
+	if err := ValidateGroups([]Group{{0, 1}, {2}}, 3); err != nil {
+		t.Errorf("valid groups rejected: %v", err)
+	}
+	cases := []struct {
+		groups []Group
+		n      int
+	}{
+		{[]Group{{0, 0}}, 2},     // duplicate
+		{[]Group{{0, 5}}, 2},     // out of range
+		{[]Group{{0}}, 2},        // missing agent
+		{[]Group{{-1, 0, 1}}, 2}, // negative
+	}
+	for i, tt := range cases {
+		if err := ValidateGroups(tt.groups, tt.n); err == nil {
+			t.Errorf("case %d: invalid groups accepted", i)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package memsim is a discrete-event simulator of a memory channel with
+// banked service, used to validate the analytic latency-inflation model
+// in package arch: arch assumes per-miss stall latency grows as
+// utilization rises (a damped M/M/1-style term); this package derives the
+// latency-vs-utilization curve by actually queueing requests.
+package memsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Channel models a memory channel as k parallel banks, each serving one
+// request at a time with exponential service times — an M/M/k queue, the
+// banked-DRAM analogue of arch's latency model.
+type Channel struct {
+	// Banks is the number of parallel banks (servers).
+	Banks int
+	// ServiceNS is the mean per-request service time at one bank.
+	ServiceNS float64
+}
+
+// Stats summarizes one simulation.
+type Stats struct {
+	Requests     int
+	Utilization  float64 // measured busy fraction across banks
+	MeanLatency  float64 // queueing + service, ns
+	MeanQueueLen float64 // time-averaged waiting-queue length
+	P95Latency   float64
+}
+
+// event types for the discrete-event loop
+type eventKind int
+
+const (
+	arrival eventKind = iota
+	departure
+)
+
+type event struct {
+	timeNS float64
+	kind   eventKind
+	bank   int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(a, b int) bool  { return q[a].timeNS < q[b].timeNS }
+func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Simulate drives the channel with Poisson arrivals at the given rate
+// (requests/ns) for n requests and returns measured statistics.
+func (c Channel) Simulate(arrivalRate float64, n int, r *rand.Rand) (Stats, error) {
+	if c.Banks <= 0 || c.ServiceNS <= 0 {
+		return Stats{}, fmt.Errorf("memsim: banks and service time must be positive")
+	}
+	if arrivalRate <= 0 || n <= 0 {
+		return Stats{}, fmt.Errorf("memsim: rate and request count must be positive")
+	}
+
+	events := &eventQueue{}
+	heap.Init(events)
+	heap.Push(events, event{timeNS: r.ExpFloat64() / arrivalRate, kind: arrival})
+
+	bankFreeAt := make([]float64, c.Banks)
+	var waiting []float64 // arrival times of queued requests
+	busyBanks := 0
+	arrived := 0
+
+	var latencies []float64
+	var busyIntegral, queueIntegral, lastT float64
+
+	dispatch := func(arriveNS, now float64) {
+		// Find a free bank (one must exist when called).
+		for b := 0; b < c.Banks; b++ {
+			if bankFreeAt[b] <= now {
+				service := r.ExpFloat64() * c.ServiceNS
+				done := now + service
+				bankFreeAt[b] = done
+				busyBanks++
+				latencies = append(latencies, done-arriveNS)
+				heap.Push(events, event{timeNS: done, kind: departure, bank: b})
+				return
+			}
+		}
+		panic("memsim: dispatch with no free bank")
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(events).(event)
+		busyIntegral += float64(busyBanks) * (e.timeNS - lastT)
+		queueIntegral += float64(len(waiting)) * (e.timeNS - lastT)
+		lastT = e.timeNS
+
+		switch e.kind {
+		case arrival:
+			arrived++
+			if busyBanks < c.Banks {
+				dispatch(e.timeNS, e.timeNS)
+			} else {
+				waiting = append(waiting, e.timeNS)
+			}
+			if arrived < n {
+				heap.Push(events, event{
+					timeNS: e.timeNS + r.ExpFloat64()/arrivalRate,
+					kind:   arrival,
+				})
+			}
+		case departure:
+			busyBanks--
+			if len(waiting) > 0 {
+				arriveNS := waiting[0]
+				waiting = waiting[1:]
+				dispatch(arriveNS, e.timeNS)
+			}
+		}
+	}
+
+	stats := Stats{Requests: len(latencies)}
+	if lastT > 0 {
+		stats.Utilization = busyIntegral / (float64(c.Banks) * lastT)
+		stats.MeanQueueLen = queueIntegral / lastT
+	}
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		stats.MeanLatency = sum / float64(len(latencies))
+		stats.P95Latency = percentile(latencies, 0.95)
+	}
+	return stats, nil
+}
+
+func percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// LatencyCurve sweeps offered load (as a fraction of the channel's peak
+// service rate) and returns the measured mean latency at each point,
+// normalized to the unloaded service time — directly comparable to arch's
+// analytic inflation factor 1 + 0.5*rho^2/(1-rho).
+func (c Channel) LatencyCurve(loads []float64, requests int, r *rand.Rand) ([]float64, error) {
+	peak := float64(c.Banks) / c.ServiceNS
+	out := make([]float64, len(loads))
+	for i, load := range loads {
+		if load <= 0 || load >= 1 {
+			return nil, fmt.Errorf("memsim: load %v outside (0,1)", load)
+		}
+		stats, err := c.Simulate(load*peak, requests, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = stats.MeanLatency / c.ServiceNS
+	}
+	return out, nil
+}

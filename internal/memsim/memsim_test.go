@@ -1,0 +1,140 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := (Channel{Banks: 0, ServiceNS: 10}).Simulate(0.1, 100, r); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := (Channel{Banks: 1, ServiceNS: 0}).Simulate(0.1, 100, r); err == nil {
+		t.Error("zero service accepted")
+	}
+	if _, err := (Channel{Banks: 1, ServiceNS: 10}).Simulate(0, 100, r); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := (Channel{Banks: 1, ServiceNS: 10}).Simulate(0.1, 0, r); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestLightLoadLatencyIsServiceTime(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ch := Channel{Banks: 8, ServiceNS: 50}
+	// 1% load: queueing is negligible; mean latency ~ service time.
+	stats, err := ch.Simulate(0.01*float64(ch.Banks)/ch.ServiceNS, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.MeanLatency-50) > 5 {
+		t.Errorf("light-load latency %v, want ~50", stats.MeanLatency)
+	}
+	if stats.Utilization > 0.03 {
+		t.Errorf("utilization %v, want ~0.01", stats.Utilization)
+	}
+	if stats.Requests != 20000 {
+		t.Errorf("served %d requests", stats.Requests)
+	}
+}
+
+func TestMM1TheoryAgreement(t *testing.T) {
+	// Single bank = M/M/1: mean sojourn time is S/(1-rho).
+	r := rand.New(rand.NewSource(3))
+	ch := Channel{Banks: 1, ServiceNS: 20}
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		stats, err := ch.Simulate(rho/ch.ServiceNS, 200000, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ch.ServiceNS / (1 - rho)
+		if math.Abs(stats.MeanLatency-want) > want*0.1 {
+			t.Errorf("rho=%v: latency %v, M/M/1 predicts %v", rho, stats.MeanLatency, want)
+		}
+		if math.Abs(stats.Utilization-rho) > 0.05 {
+			t.Errorf("rho=%v: measured utilization %v", rho, stats.Utilization)
+		}
+	}
+}
+
+func TestLatencyCurveMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ch := Channel{Banks: 8, ServiceNS: 30}
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	curve, err := ch.LatencyCurve(loads, 60000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, infl := range curve {
+		if infl < 1-0.05 {
+			t.Errorf("load %v: inflation %v below 1", loads[i], infl)
+		}
+		if infl < prev-0.05 {
+			t.Errorf("latency curve not monotone: %v", curve)
+		}
+		prev = infl
+	}
+	// Heavy load inflates latency substantially.
+	if curve[len(curve)-1] < 1.5 {
+		t.Errorf("90%% load inflation %v, want > 1.5", curve[len(curve)-1])
+	}
+}
+
+func TestLatencyCurveValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ch := Channel{Banks: 2, ServiceNS: 10}
+	if _, err := ch.LatencyCurve([]float64{0}, 100, r); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := ch.LatencyCurve([]float64{1}, 100, r); err == nil {
+		t.Error("saturating load accepted")
+	}
+}
+
+func TestArchInflationModelWithinSimulatedEnvelope(t *testing.T) {
+	// Cross-validation of arch's damped inflation 1 + 0.5*rho^2/(1-rho):
+	// an ideally banked channel (M/M/8, every request to a free bank)
+	// queues less than the model predicts, while a fully serialized
+	// channel (M/M/1, every request conflicting) queues more. Real DRAM —
+	// bank conflicts, row-buffer interference, scheduling — lives between
+	// those extremes, which is exactly where the model sits.
+	r := rand.New(rand.NewSource(6))
+	banked := Channel{Banks: 8, ServiceNS: 30}
+	serial := Channel{Banks: 1, ServiceNS: 30}
+	loads := []float64{0.3, 0.6, 0.85}
+	lower, err := banked.LatencyCurve(loads, 120000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := serial.LatencyCurve(loads, 120000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rho := range loads {
+		model := 1 + 0.5*rho*rho/(1-rho)
+		if model < lower[i]*0.8 {
+			t.Errorf("rho=%v: model %v below even the ideally banked channel %v",
+				rho, model, lower[i])
+		}
+		if model > upper[i]*1.2 {
+			t.Errorf("rho=%v: model %v above even the fully serialized channel %v",
+				rho, model, upper[i])
+		}
+	}
+}
+
+func TestP95AboveMean(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ch := Channel{Banks: 4, ServiceNS: 25}
+	stats, err := ch.Simulate(0.5*float64(ch.Banks)/ch.ServiceNS, 50000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.P95Latency <= stats.MeanLatency {
+		t.Errorf("p95 %v should exceed mean %v", stats.P95Latency, stats.MeanLatency)
+	}
+}

@@ -1,0 +1,315 @@
+// Package netproto implements Cooper's coordinator/agent wire protocol: a
+// JSON-lines exchange over TCP in which remote agents register their jobs,
+// the coordinator batches an epoch, computes colocations, pushes
+// assignments, collects each agent's strategic assessment, and finishes
+// with an epoch summary — the networked deployment style of the paper's
+// Java agents.
+//
+// Message flow (one JSON object per line):
+//
+//	agent -> coordinator   {"type":"register","job":"dedup"}
+//	coordinator -> agent   {"type":"registered","agent_id":3}
+//	coordinator -> agent   {"type":"assignment","partner_id":7,...}
+//	agent -> coordinator   {"type":"assess","action":"participate"}
+//	coordinator -> agent   {"type":"summary","mean_penalty":...}
+package netproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"cooper/internal/matching"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/stats"
+	"cooper/internal/workload"
+)
+
+// Message is the single wire envelope; Type selects which fields matter.
+type Message struct {
+	Type string `json:"type"`
+
+	// register
+	Job string `json:"job,omitempty"`
+
+	// registered
+	AgentID int `json:"agent_id,omitempty"`
+
+	// assignment
+	PartnerID        int     `json:"partner_id"` // -1 when running solo
+	PartnerJob       string  `json:"partner_job,omitempty"`
+	PredictedPenalty float64 `json:"predicted_penalty,omitempty"`
+
+	// assess
+	Action string `json:"action,omitempty"` // "participate" | "break-away"
+	With   int    `json:"with,omitempty"`   // preferred blocking partner
+
+	// summary
+	MeanPenalty   float64 `json:"mean_penalty,omitempty"`
+	BreakAways    int     `json:"break_aways,omitempty"`
+	Participating int     `json:"participating,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+}
+
+// Server is the networked coordinator: it accepts Epoch-size agent
+// registrations, assigns colocations with the configured policy, and
+// reports a summary.
+type Server struct {
+	// Epoch is the number of agents per scheduling epoch.
+	Epoch int
+	// Policy assigns colocations; nil means SMR.
+	Policy policy.Policy
+	// Catalog maps job names to models; required.
+	Catalog []workload.Job
+	// Penalties is the job-level penalty matrix used to evaluate
+	// colocations (typically the predictor's output); required.
+	Penalties [][]float64
+	// Seed drives the policy's randomness.
+	Seed int64
+
+	ln       net.Listener
+	mu       sync.Mutex
+	sessions []*session
+	done     chan struct{}
+	err      error
+}
+
+type session struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	job  workload.Job
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0"), runs exactly one epoch once
+// Epoch agents have registered, and then closes. It returns the bound
+// address through the callback before blocking, so tests and tools can
+// connect.
+func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
+	if s.Epoch <= 0 {
+		return fmt.Errorf("netproto: Epoch must be positive")
+	}
+	if len(s.Catalog) == 0 || len(s.Penalties) == 0 {
+		return fmt.Errorf("netproto: server needs a catalog and penalties")
+	}
+	if s.Policy == nil {
+		s.Policy = policy.StableMarriageRandom{}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.done = make(chan struct{})
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	for len(s.sessions) < s.Epoch {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		sess := &session{
+			conn: conn,
+			enc:  json.NewEncoder(conn),
+			dec:  json.NewDecoder(bufio.NewReader(conn)),
+		}
+		var reg Message
+		if err := sess.dec.Decode(&reg); err != nil || reg.Type != "register" {
+			_ = sess.enc.Encode(Message{Type: "error", Error: "expected register", PartnerID: -1})
+			conn.Close()
+			continue
+		}
+		job, ok := workload.Find(s.Catalog, reg.Job)
+		if !ok {
+			_ = sess.enc.Encode(Message{Type: "error",
+				Error: fmt.Sprintf("unknown job %q", reg.Job), PartnerID: -1})
+			conn.Close()
+			continue
+		}
+		sess.job = job
+		id := len(s.sessions)
+		s.sessions = append(s.sessions, sess)
+		if err := sess.enc.Encode(Message{Type: "registered", AgentID: id, PartnerID: -1}); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		ln.Close()
+		close(s.done)
+	}()
+	return s.runEpoch()
+}
+
+func (s *Server) runEpoch() error {
+	pop := workload.Population{Jobs: make([]workload.Job, len(s.sessions)), Mix: "registered"}
+	for i, sess := range s.sessions {
+		pop.Jobs[i] = sess.job
+	}
+	d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
+	if err != nil {
+		return err
+	}
+	bw := make([]float64, len(pop.Jobs))
+	for i, j := range pop.Jobs {
+		bw[i] = j.BandwidthGBps
+	}
+	match, err := s.Policy.Assign(d, policy.Context{
+		BandwidthGBps: bw,
+		Rand:          stats.NewRand(s.Seed),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Push assignments.
+	for i, sess := range s.sessions {
+		msg := Message{Type: "assignment", PartnerID: match[i]}
+		if match[i] != matching.Unmatched {
+			msg.PartnerJob = pop.Jobs[match[i]].Name
+			msg.PredictedPenalty = d[i][match[i]]
+		}
+		if err := sess.enc.Encode(msg); err != nil {
+			return err
+		}
+	}
+
+	// Collect assessments.
+	breakAways := 0
+	var meanPenalty float64
+	for i, sess := range s.sessions {
+		var assess Message
+		if err := sess.dec.Decode(&assess); err != nil {
+			return fmt.Errorf("netproto: agent %d assessment: %w", i, err)
+		}
+		if assess.Type != "assess" {
+			return fmt.Errorf("netproto: agent %d sent %q, want assess", i, assess.Type)
+		}
+		if assess.Action == "break-away" {
+			breakAways++
+		}
+		if match[i] != matching.Unmatched {
+			meanPenalty += d[i][match[i]]
+		}
+	}
+	meanPenalty /= float64(len(s.sessions))
+
+	// Broadcast the summary.
+	summary := Message{
+		Type:          "summary",
+		PartnerID:     -1,
+		MeanPenalty:   meanPenalty,
+		BreakAways:    breakAways,
+		Participating: len(s.sessions) - breakAways,
+	}
+	for _, sess := range s.sessions {
+		if err := sess.enc.Encode(summary); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Client is one networked agent.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	// AgentID is assigned at registration.
+	AgentID int
+	// Alpha is the minimum gain for recommending break-away.
+	Alpha float64
+	// Penalties is the agent's own predicted penalty row by job name,
+	// used to assess the assignment. Optional: without it the agent
+	// always participates.
+	Penalties map[string]float64
+	// OwnJob is the name of the job this agent runs.
+	OwnJob string
+}
+
+// Dial connects to the coordinator and registers the agent's job.
+func Dial(addr, job string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		dec:    json.NewDecoder(bufio.NewReader(conn)),
+		OwnJob: job,
+	}
+	if err := c.enc.Encode(Message{Type: "register", Job: job}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var reg Message
+	if err := c.dec.Decode(&reg); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if reg.Type == "error" {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: %s", reg.Error)
+	}
+	if reg.Type != "registered" {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: expected registered, got %q", reg.Type)
+	}
+	c.AgentID = reg.AgentID
+	return c, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RunEpoch waits for the coordinator's assignment, assesses it against the
+// agent's predicted penalties, replies, and returns the assignment and the
+// epoch summary.
+func (c *Client) RunEpoch() (assignment, summary Message, err error) {
+	if err = c.dec.Decode(&assignment); err != nil {
+		return
+	}
+	if assignment.Type != "assignment" {
+		err = fmt.Errorf("netproto: expected assignment, got %q", assignment.Type)
+		return
+	}
+
+	assess := Message{Type: "assess", Action: "participate"}
+	if assignment.PartnerID >= 0 && c.Penalties != nil {
+		current := assignment.PredictedPenalty
+		bestJob, bestPen := "", current
+		for job, pen := range c.Penalties {
+			if current-pen > c.Alpha && pen < bestPen {
+				bestJob, bestPen = job, pen
+			}
+		}
+		if bestJob != "" {
+			// A better co-runner class exists; recommend break-away
+			// toward it. (Mutuality is resolved coordinator-side in the
+			// in-process framework; the wire demo reports desire only.)
+			assess.Action = "break-away"
+		}
+	}
+	if err = c.enc.Encode(assess); err != nil {
+		return
+	}
+
+	if err = c.dec.Decode(&summary); err != nil {
+		return
+	}
+	if summary.Type != "summary" {
+		err = fmt.Errorf("netproto: expected summary, got %q", summary.Type)
+	}
+	return
+}

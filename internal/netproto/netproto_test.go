@@ -1,0 +1,275 @@
+package netproto
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"cooper/internal/arch"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/workload"
+)
+
+func testServer(t *testing.T, epoch int, pol policy.Policy) (*Server, []workload.Job) {
+	t.Helper()
+	cmp := arch.DefaultCMP()
+	catalog, err := workload.Catalog(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Server{
+		Epoch:     epoch,
+		Policy:    pol,
+		Catalog:   catalog,
+		Penalties: profiler.DensePenalties(cmp, catalog),
+		Seed:      1,
+	}, catalog
+}
+
+func TestEndToEndEpoch(t *testing.T) {
+	srv, _ := testServer(t, 4, policy.StableRoommate{})
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	jobs := []string{"correlation", "dedup", "swapt", "stream"}
+	var wg sync.WaitGroup
+	summaries := make([]Message, len(jobs))
+	assignments := make([]Message, len(jobs))
+	errs := make([]error, len(jobs))
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job string) {
+			defer wg.Done()
+			c, err := Dial(addr, job)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			assignments[i], summaries[i], errs[i] = c.RunEpoch()
+		}(i, job)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	// Assignments form a perfect symmetric matching over 4 agents.
+	partnerOf := make(map[int]int)
+	for _, a := range assignments {
+		if a.PartnerID < 0 {
+			t.Fatalf("agent unassigned: %+v", a)
+		}
+	}
+	for i, a := range assignments {
+		// The wire protocol does not echo back our agent IDs in order, so
+		// recover them from the registration order: agents registered
+		// concurrently, but each client knows its own ID.
+		_ = i
+		partnerOf[a.PartnerID]++
+	}
+	if len(partnerOf) != 4 {
+		t.Errorf("partners not distinct: %v", partnerOf)
+	}
+	for _, s := range summaries {
+		if s.MeanPenalty <= 0 {
+			t.Errorf("summary mean penalty = %v", s.MeanPenalty)
+		}
+		if s.Participating+s.BreakAways != 4 {
+			t.Errorf("summary accounting: %+v", s)
+		}
+	}
+}
+
+func TestServerRejectsUnknownJob(t *testing.T) {
+	srv, _ := testServer(t, 2, nil)
+	addrCh := make(chan string, 1)
+	go srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	addr := <-addrCh
+
+	if _, err := Dial(addr, "nonesuch"); err == nil ||
+		!strings.Contains(err.Error(), "unknown job") {
+		t.Errorf("unknown job should be rejected, got %v", err)
+	}
+
+	// Let the epoch complete so the server goroutine exits.
+	var wg sync.WaitGroup
+	for _, job := range []string{"dedup", "swapt"} {
+		wg.Add(1)
+		go func(job string) {
+			defer wg.Done()
+			c, err := Dial(addr, job)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			if _, _, err := c.RunEpoch(); err != nil {
+				t.Errorf("epoch: %v", err)
+			}
+		}(job)
+	}
+	wg.Wait()
+}
+
+func TestServerValidation(t *testing.T) {
+	if err := (&Server{}).Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("zero epoch accepted")
+	}
+	if err := (&Server{Epoch: 2}).Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("missing catalog accepted")
+	}
+}
+
+func TestClientBreakAwayAssessment(t *testing.T) {
+	srv, _ := testServer(t, 2, policy.Greedy{})
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	var summary Message
+	for i, job := range []string{"correlation", "dedup"} {
+		wg.Add(1)
+		go func(i int, job string) {
+			defer wg.Done()
+			c, err := Dial(addr, job)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			if i == 1 {
+				// dedup believes swaptions would be a far better partner.
+				c.Penalties = map[string]float64{"swapt": 0.001}
+			}
+			_, s, err := c.RunEpoch()
+			if err != nil {
+				t.Errorf("epoch: %v", err)
+				return
+			}
+			if i == 1 {
+				summary = s
+			}
+		}(i, job)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if summary.BreakAways < 1 {
+		t.Errorf("dedup should recommend break-away: %+v", summary)
+	}
+}
+
+func TestDialRejectsNonRegisterReply(t *testing.T) {
+	// A server that responds with garbage to the registration.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = conn.Write([]byte(`{"type":"assignment","partner_id":-1}` + "\n"))
+	}()
+	if _, err := Dial(ln.Addr().String(), "dedup"); err == nil {
+		t.Error("non-registered reply accepted")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "dedup"); err == nil {
+		t.Error("unreachable coordinator accepted")
+	}
+}
+
+func TestClientRunEpochProtocolError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = conn.Write([]byte(`{"type":"registered","agent_id":0,"partner_id":-1}` + "\n"))
+		// Send a summary where an assignment is expected.
+		_, _ = conn.Write([]byte(`{"type":"summary","partner_id":-1}` + "\n"))
+		// Drain the client's assess so writes do not block.
+		buf := make([]byte, 1024)
+		_, _ = conn.Read(buf)
+	}()
+	c, err := Dial(ln.Addr().String(), "dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.RunEpoch(); err == nil {
+		t.Error("out-of-order protocol accepted")
+	}
+}
+
+func TestServerRejectsMalformedRegistration(t *testing.T) {
+	srv, _ := testServer(t, 1, nil)
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	// Raw connection sending a non-register message: server replies with
+	// an error and keeps listening.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte(`{"type":"assess"}` + "\n"))
+	reply := make([]byte, 512)
+	n, _ := conn.Read(reply)
+	if !strings.Contains(string(reply[:n]), "expected register") {
+		t.Errorf("reply = %q", reply[:n])
+	}
+	conn.Close()
+
+	// A proper agent completes the epoch.
+	c, err := Dial(addr, "dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.RunEpoch(); err != nil {
+		t.Errorf("epoch: %v", err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestServerBadListenAddress(t *testing.T) {
+	srv, _ := testServer(t, 1, nil)
+	if err := srv.Serve("256.0.0.1:99999", nil); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"cooper/internal/matching"
+	"cooper/internal/stats"
+)
+
+// Clustered implements the paper's §VIII clustering proposal: classify
+// applications into types (k-means over each agent's penalty row, so
+// agents that suffer similarly from the same co-runners share a type),
+// match types with types — a type may match itself — and then pair
+// agents across matched types. Clustering collapses the matching problem
+// from n agents to K types, trading some stability for scalability.
+type Clustered struct {
+	// K is the number of types. Zero means 5 (one per broad application
+	// class in the catalog: streaming, batch-analytic, cache-sensitive,
+	// moderate, compute-bound).
+	K int
+}
+
+// Name implements Policy.
+func (Clustered) Name() string { return "CL" }
+
+// Assign implements Policy.
+func (c Clustered) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, false, true); err != nil {
+		return nil, err
+	}
+	n := len(d)
+	match := newUnmatched(n)
+	if n < 2 {
+		return match, nil
+	}
+	k := c.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > n {
+		k = n
+	}
+
+	assign, _, err := stats.KMeans(d, k, 50, ctx.Rand)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]int, k)
+	for i, t := range assign {
+		members[t] = append(members[t], i)
+	}
+
+	// Type-level penalty: how much type x's agents suffer, on average,
+	// next to type y's agents.
+	typeD := make([][]float64, k)
+	for x := range typeD {
+		typeD[x] = make([]float64, k)
+		for y := range typeD[x] {
+			var sum float64
+			var count int
+			for _, i := range members[x] {
+				for _, j := range members[y] {
+					if i != j {
+						sum += d[i][j]
+						count++
+					}
+				}
+			}
+			if count > 0 {
+				typeD[x][y] = sum / float64(count)
+			}
+		}
+	}
+
+	// Match types greedily, largest type first; self-matches allowed.
+	order := make([]int, 0, k)
+	for x := 0; x < k; x++ {
+		if len(members[x]) > 0 {
+			order = append(order, x)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(members[order[a]]) > len(members[order[b]])
+	})
+	matchedType := make([]int, k)
+	for x := range matchedType {
+		matchedType[x] = -1
+	}
+	for _, x := range order {
+		if matchedType[x] != -1 {
+			continue
+		}
+		best, bestCost := x, typeD[x][x] // self-match is the default
+		for _, y := range order {
+			if y == x || matchedType[y] != -1 {
+				continue
+			}
+			// Both sides' suffering counts.
+			cost := (typeD[x][y] + typeD[y][x]) / 2
+			if cost < bestCost {
+				best, bestCost = y, cost
+			}
+		}
+		matchedType[x] = best
+		matchedType[best] = x
+	}
+
+	// Pair agents across matched types; leftovers pool up for greedy
+	// completion.
+	var leftovers []int
+	for _, x := range order {
+		y := matchedType[x]
+		switch {
+		case y == x:
+			ms := members[x]
+			for len(ms) >= 2 {
+				a, b := ms[0], ms[1]
+				match[a], match[b] = b, a
+				ms = ms[2:]
+			}
+			leftovers = append(leftovers, ms...)
+		case x < y: // process each matched type pair once
+			xs, ys := members[x], members[y]
+			for len(xs) > 0 && len(ys) > 0 {
+				a, b := xs[0], ys[0]
+				match[a], match[b] = b, a
+				xs, ys = xs[1:], ys[1:]
+			}
+			leftovers = append(leftovers, xs...)
+			leftovers = append(leftovers, ys...)
+		}
+	}
+	matching.GreedyPair(leftovers, d, match)
+	if err := match.Validate(); err != nil {
+		return nil, fmt.Errorf("policy: clustered produced invalid matching: %w", err)
+	}
+	return match, nil
+}

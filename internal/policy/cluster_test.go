@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"cooper/internal/matching"
+)
+
+func TestClusteredProducesPerfectMatching(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for _, n := range []int{4, 20, 60, 101} {
+		bw := randomBW(r, n)
+		d := testPenalties(bw)
+		match, err := Clustered{K: 4}.Assign(d, testContext(bw, int64(n)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := match.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		solo := 0
+		for _, j := range match {
+			if j == matching.Unmatched {
+				solo++
+			}
+		}
+		if solo != n%2 {
+			t.Errorf("n=%d: %d solo agents, want %d", n, solo, n%2)
+		}
+	}
+}
+
+func TestClusteredDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	bw := randomBW(r, 30)
+	d := testPenalties(bw)
+	// Zero K defaults; K larger than n clamps.
+	for _, k := range []int{0, 100} {
+		match, err := Clustered{K: k}.Assign(d, testContext(bw, 1))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := match.Validate(); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+}
+
+func TestClusteredPairsLikeWithComplement(t *testing.T) {
+	// Two clear types: contentious agents (suffer and inflict) and
+	// compute-bound ones. With K=2, the compute type self-matches
+	// (near-zero internal penalty) rather than pairing with monsters.
+	n := 8
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				continue
+			}
+			hot := func(k int) bool { return k < 4 }
+			switch {
+			case hot(i) && hot(j):
+				d[i][j] = 0.3
+			case hot(i): // hot next to cold: mild
+				d[i][j] = 0.05
+			case hot(j): // cold next to hot: very painful
+				d[i][j] = 0.6
+			default:
+				d[i][j] = 0.01
+			}
+		}
+	}
+	bw := []float64{20, 20, 20, 20, 1, 1, 1, 1}
+	match, err := Clustered{K: 2}.Assign(d, testContext(bw, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold agents (4..7) should pair with each other.
+	for i := 4; i < 8; i++ {
+		if match[i] < 4 {
+			t.Errorf("cold agent %d paired with hot agent %d", i, match[i])
+		}
+	}
+}
+
+func TestClusteredRequiresRand(t *testing.T) {
+	d := testPenalties([]float64{1, 2})
+	if _, err := (Clustered{}).Assign(d, Context{}); err == nil {
+		t.Error("missing Rand accepted")
+	}
+}
+
+func TestClusteredTinyPopulations(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		bw := make([]float64, n)
+		for i := range bw {
+			bw[i] = float64(i)
+		}
+		d := testPenalties(bw)
+		match, err := Clustered{K: 2}.Assign(d, testContext(bw, 4))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(match) != n {
+			t.Fatalf("n=%d: match size %d", n, len(match))
+		}
+	}
+}
+
+func TestClusteredComparableToGreedy(t *testing.T) {
+	// Clustering trades stability for scalability but should stay in the
+	// same performance regime as the baselines.
+	r := rand.New(rand.NewSource(83))
+	n := 100
+	bw := randomBW(r, n)
+	d := testPenalties(bw)
+	mean := func(p Policy) float64 {
+		m, err := p.Assign(d, testContext(bw, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i, j := range m {
+			if j != matching.Unmatched {
+				sum += d[i][j]
+			}
+		}
+		return sum / float64(n)
+	}
+	cl := mean(Clustered{K: 5})
+	gr := mean(Greedy{})
+	if cl > gr*3+0.05 {
+		t.Errorf("clustered mean penalty %.4f wildly above greedy %.4f", cl, gr)
+	}
+}

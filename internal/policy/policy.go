@@ -1,0 +1,337 @@
+// Package policy implements Cooper's colocation policies: the two
+// conventional baselines (Greedy and Complementary), the three
+// game-theoretic stable policies (Stable Marriage Partition, Stable
+// Marriage Random, Stable Roommate), and the threshold scheme discussed
+// in the paper's related-work comparison.
+//
+// A policy consumes the agent-level penalty matrix (predicted by the
+// preference predictor or supplied by an oracle) plus per-agent
+// contentiousness, and emits a matching: which agents share each CMP.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cooper/internal/matching"
+)
+
+// Context carries the per-agent information policies may use alongside the
+// penalty matrix.
+type Context struct {
+	// BandwidthGBps is each agent's standalone memory bandwidth demand —
+	// the paper's contentiousness measure, used by partitioning policies.
+	BandwidthGBps []float64
+	// Rand drives randomized policies (SMR). Policies must not use any
+	// other randomness source, keeping experiments reproducible.
+	Rand *rand.Rand
+}
+
+// Policy assigns co-runners to agents. d[i][j] is agent i's penalty when
+// colocated with agent j.
+type Policy interface {
+	// Name returns the paper's abbreviation for the policy (GR, CO, ...).
+	Name() string
+	// Assign returns a matching over the agents of d.
+	Assign(d [][]float64, ctx Context) (matching.Matching, error)
+}
+
+func validate(d [][]float64, ctx Context, needBW, needRand bool) error {
+	if err := matching.ValidatePenalties(d); err != nil {
+		return err
+	}
+	if needBW && len(ctx.BandwidthGBps) != len(d) {
+		return fmt.Errorf("policy: %d bandwidth entries for %d agents",
+			len(ctx.BandwidthGBps), len(d))
+	}
+	if needRand && ctx.Rand == nil {
+		return fmt.Errorf("policy: randomized policy needs ctx.Rand")
+	}
+	return nil
+}
+
+// Greedy is the paper's GR baseline: each task is assigned, sequentially,
+// to the processor that minimizes contention given prior assignments.
+// With N processors for 2N tasks, early tasks claim empty processors
+// (zero contention) and later tasks join whichever occupied processor
+// minimizes the pair's added penalty.
+type Greedy struct {
+	// Machines is the number of processors. Zero means len(agents)/2,
+	// the paper's fully loaded system.
+	Machines int
+}
+
+// Name implements Policy.
+func (Greedy) Name() string { return "GR" }
+
+// Assign implements Policy.
+func (g Greedy) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, false, false); err != nil {
+		return nil, err
+	}
+	n := len(d)
+	machines := g.Machines
+	if machines <= 0 {
+		machines = (n + 1) / 2
+	}
+	match := newUnmatched(n)
+	// occupants[m] = agents on machine m.
+	occupants := make([][]int, machines)
+	for i := 0; i < n; i++ {
+		bestMachine := -1
+		bestCost := 0.0
+		for m := range occupants {
+			switch len(occupants[m]) {
+			case 0:
+				// Empty processor: no contention. Strictly better than
+				// any pairing with positive penalty; ties (zero-penalty
+				// pairings) also prefer the empty machine, as the real
+				// greedy dispatcher fills idle capacity first.
+				if bestMachine == -1 || bestCost > 0 {
+					bestMachine = m
+					bestCost = 0
+				}
+			case 1:
+				j := occupants[m][0]
+				cost := d[i][j] + d[j][i]
+				if bestMachine == -1 || cost < bestCost {
+					bestMachine = m
+					bestCost = cost
+				}
+			}
+		}
+		if bestMachine == -1 {
+			return nil, fmt.Errorf("policy: greedy ran out of capacity for agent %d (%d machines)",
+				i, machines)
+		}
+		occupants[bestMachine] = append(occupants[bestMachine], i)
+	}
+	for _, occ := range occupants {
+		if len(occ) == 2 {
+			match[occ[0]], match[occ[1]] = occ[1], occ[0]
+		}
+	}
+	return match, nil
+}
+
+// Complementary is the paper's CO baseline: partition tasks by resource
+// demand and pair tasks with complementary demands — the most memory-
+// intensive task with the least, and so on inward.
+type Complementary struct{}
+
+// Name implements Policy.
+func (Complementary) Name() string { return "CO" }
+
+// Assign implements Policy.
+func (Complementary) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, true, false); err != nil {
+		return nil, err
+	}
+	n := len(d)
+	order := sortedByBandwidth(ctx.BandwidthGBps)
+	match := newUnmatched(n)
+	lo, hi := 0, n-1
+	for lo < hi {
+		a, b := order[hi], order[lo] // most intensive with least intensive
+		match[a], match[b] = b, a
+		lo++
+		hi--
+	}
+	return match, nil
+}
+
+// StableMarriagePartition is the paper's SMP policy: partition tasks into
+// memory- and compute-intensive halves by bandwidth demand and find a
+// stable marriage between the halves. The resource-intensive set proposes.
+type StableMarriagePartition struct{}
+
+// Name implements Policy.
+func (StableMarriagePartition) Name() string { return "SMP" }
+
+// Assign implements Policy.
+func (StableMarriagePartition) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, true, false); err != nil {
+		return nil, err
+	}
+	order := sortedByBandwidth(ctx.BandwidthGBps)
+	half := len(order) / 2
+	computeSet := order[:half]           // least intensive half
+	memorySet := order[len(order)-half:] // most intensive half proposes
+	return marriageBetween(d, memorySet, computeSet)
+}
+
+// StableMarriageRandom is the paper's SMR policy: partition tasks into two
+// halves uniformly at random and find a stable marriage between them. The
+// first (randomly selected) half proposes. SMR is the paper's recommended
+// policy: it delivers fair attribution, satisfied preferences and the
+// fewest blocking pairs, and needs no extra profiling.
+type StableMarriageRandom struct{}
+
+// Name implements Policy.
+func (StableMarriageRandom) Name() string { return "SMR" }
+
+// Assign implements Policy.
+func (StableMarriageRandom) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, false, true); err != nil {
+		return nil, err
+	}
+	n := len(d)
+	order := ctx.Rand.Perm(n)
+	half := n / 2
+	proposers := order[:half]
+	receivers := order[half : 2*half]
+	return marriageBetween(d, proposers, receivers)
+}
+
+// StableRoommate is the paper's SR policy: Irving's stable roommates over
+// the full population, with greedy completion when no perfectly stable
+// assignment exists.
+type StableRoommate struct{}
+
+// Name implements Policy.
+func (StableRoommate) Name() string { return "SR" }
+
+// Assign implements Policy.
+func (StableRoommate) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, false, false); err != nil {
+		return nil, err
+	}
+	match, _, err := matching.AdaptedRoommates(d)
+	return match, err
+}
+
+// Threshold is the related-work baseline (Bubble-Up style): colocate a
+// pair only when both penalties stay under Tolerance; any task that cannot
+// colocate within tolerance gets a machine of its own. Unlike the other
+// policies it may leave many tasks unpaired, consuming extra machines.
+type Threshold struct {
+	// Tolerance is the maximum acceptable penalty (e.g. 0.10).
+	Tolerance float64
+}
+
+// Name implements Policy.
+func (Threshold) Name() string { return "TH" }
+
+// Assign implements Policy.
+func (th Threshold) Assign(d [][]float64, ctx Context) (matching.Matching, error) {
+	if err := validate(d, ctx, false, false); err != nil {
+		return nil, err
+	}
+	n := len(d)
+	match := newUnmatched(n)
+	for i := 0; i < n; i++ {
+		if match[i] != matching.Unmatched {
+			continue
+		}
+		best, bestCost := -1, 0.0
+		for j := i + 1; j < n; j++ {
+			if match[j] != matching.Unmatched {
+				continue
+			}
+			if d[i][j] > th.Tolerance || d[j][i] > th.Tolerance {
+				continue
+			}
+			cost := d[i][j] + d[j][i]
+			if best == -1 || cost < bestCost {
+				best, bestCost = j, cost
+			}
+		}
+		if best != -1 {
+			match[i], match[best] = best, i
+		}
+	}
+	return match, nil
+}
+
+// All returns the paper's five evaluated policies in presentation order.
+func All() []Policy {
+	return []Policy{
+		Greedy{},
+		Complementary{},
+		StableMarriagePartition{},
+		StableMarriageRandom{},
+		StableRoommate{},
+	}
+}
+
+// ByName returns the policy with the given paper abbreviation.
+func ByName(name string) (Policy, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	if name == "TH" {
+		return Threshold{Tolerance: 0.10}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+func newUnmatched(n int) matching.Matching {
+	m := make(matching.Matching, n)
+	for i := range m {
+		m[i] = matching.Unmatched
+	}
+	return m
+}
+
+// sortedByBandwidth returns agent indices ordered by increasing bandwidth
+// demand, ties broken by index.
+func sortedByBandwidth(bw []float64) []int {
+	order := make([]int, len(bw))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return bw[order[a]] < bw[order[b]]
+	})
+	return order
+}
+
+// marriageBetween runs stable marriage between two equally sized agent
+// sets, building preference lists from the penalty matrix, and returns
+// the global matching. A leftover agent (odd population) stays solo.
+func marriageBetween(d [][]float64, proposers, receivers []int) (matching.Matching, error) {
+	if len(proposers) != len(receivers) {
+		return nil, fmt.Errorf("policy: partition sizes differ: %d vs %d",
+			len(proposers), len(receivers))
+	}
+	n := len(d)
+	match := newUnmatched(n)
+	k := len(proposers)
+	if k == 0 {
+		return match, nil
+	}
+	prefs := func(agents, others []int) [][]int {
+		lists := make([][]int, len(agents))
+		for a, i := range agents {
+			list := make([]int, len(others))
+			for b := range others {
+				list[b] = b
+			}
+			sort.SliceStable(list, func(x, y int) bool {
+				jx, jy := others[list[x]], others[list[y]]
+				if d[i][jx] != d[i][jy] {
+					return d[i][jx] < d[i][jy]
+				}
+				return jx < jy
+			})
+			lists[a] = list
+		}
+		return lists
+	}
+	proposerMatch, err := matching.StableMarriage(
+		prefs(proposers, receivers), prefs(receivers, proposers))
+	if err != nil {
+		return nil, err
+	}
+	for a, b := range proposerMatch {
+		if b == matching.Unmatched {
+			continue
+		}
+		i, j := proposers[a], receivers[b]
+		match[i], match[j] = j, i
+	}
+	return match, nil
+}

@@ -1,0 +1,51 @@
+package profiler
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save serializes the database as JSON lines — one record per line — so
+// profiles can be shipped between the coordinator and agents as files
+// (the paper's agents exchange profiling data via network and files).
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	for _, r := range db.records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("profiler: saving record %d: %w", r.Seq, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save. Sequence numbers are
+// preserved; subsequent inserts continue after the highest loaded Seq.
+func Load(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("profiler: line %d: %w", line, err)
+		}
+		db.records = append(db.records, rec)
+		if rec.Seq > db.nextSeq {
+			db.nextSeq = rec.Seq
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

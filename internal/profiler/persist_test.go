@@ -1,0 +1,64 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, jobs, db, p := testSetup(t)
+	p.ProfileStandalone(jobs[0])
+	p.ProfilePair(jobs[0], jobs[1])
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d records, want %d", loaded.Len(), db.Len())
+	}
+	orig := db.Select(Query{})
+	got := loaded.Select(Query{})
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, orig[i], got[i])
+		}
+	}
+	// Inserts continue after the highest loaded sequence number.
+	rec := loaded.Insert(Record{Job: "new"})
+	if rec.Seq != orig[len(orig)-1].Seq+1 {
+		t.Errorf("next seq = %d, want %d", rec.Seq, orig[len(orig)-1].Seq+1)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{\"Job\":\"x\"}\nnot json")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	db, err := Load(strings.NewReader(""))
+	if err != nil || db.Len() != 0 {
+		t.Errorf("empty load: len=%d err=%v", db.Len(), err)
+	}
+	// Fresh inserts start at 1.
+	if rec := db.Insert(Record{Job: "x"}); rec.Seq != 1 {
+		t.Errorf("seq = %d", rec.Seq)
+	}
+}
+
+func TestSaveEmptyDatabase(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDatabase().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty database wrote %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,410 @@
+// Package profiler implements Cooper's system profiler: it runs jobs —
+// standalone and in sampled colocations — on the simulated CMP, records
+// their throughput and memory counters, and serves the measurements
+// through a queryable database, mirroring the paper's setup of modified
+// Spark logging, perf stat runtimes, and once-per-second MSR reads stored
+// in a Google-wide-profiling-style database.
+//
+// Profiling is deliberately sparse: measuring every pair of jobs is
+// intractable at datacenter scale, so the profiler samples a fraction of
+// the colocation space and the preference predictor (package recommend)
+// fills in the rest.
+package profiler
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"cooper/internal/arch"
+	"cooper/internal/sparklog"
+	"cooper/internal/workload"
+)
+
+// Record is one profiled run: a job, optionally a co-runner, and the
+// performance observed.
+type Record struct {
+	// Seq is the record's logical timestamp: a monotonically increasing
+	// sequence number assigned by the database (deterministic, unlike
+	// wall-clock stamps).
+	Seq int64
+	// Job is the profiled job's name; CoRunner is empty for standalone
+	// runs.
+	Job      string
+	CoRunner string
+	// Machine identifies the CMP the run executed on.
+	Machine string
+
+	ThroughputIPS  float64 // measured mean instructions/s
+	BandwidthGBps  float64 // measured mean memory bandwidth
+	MissRatio      float64 // mean LLC miss ratio
+	MemUtilization float64 // mean memory channel utilization
+}
+
+// Query filters database records. Zero fields match everything.
+type Query struct {
+	Job      string // exact job name
+	CoRunner string // exact co-runner name; "solo" matches standalone runs
+	Machine  string // exact machine ID
+	Since    int64  // minimum Seq, inclusive
+	Until    int64  // maximum Seq, inclusive; 0 means no upper bound
+}
+
+// Solo is the Query.CoRunner sentinel matching standalone records.
+const Solo = "solo"
+
+// Database stores profiling records and answers queries. Safe for
+// concurrent use; the paper's agents query it while the profiler appends.
+type Database struct {
+	mu      sync.RWMutex
+	records []Record
+	nextSeq int64
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{} }
+
+// Insert appends a record, assigning its sequence number, and returns it.
+func (db *Database) Insert(r Record) Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextSeq++
+	r.Seq = db.nextSeq
+	db.records = append(db.records, r)
+	return r
+}
+
+// Len returns the number of stored records.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// Select returns all records matching q, in insertion order.
+func (db *Database) Select(q Query) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Record
+	for _, r := range db.records {
+		if q.Job != "" && r.Job != q.Job {
+			continue
+		}
+		if q.CoRunner == Solo {
+			if r.CoRunner != "" {
+				continue
+			}
+		} else if q.CoRunner != "" && r.CoRunner != q.CoRunner {
+			continue
+		}
+		if q.Machine != "" && r.Machine != q.Machine {
+			continue
+		}
+		if r.Seq < q.Since {
+			continue
+		}
+		if q.Until != 0 && r.Seq > q.Until {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Profiler executes profiling runs on a simulated machine and stores the
+// results.
+type Profiler struct {
+	Machine arch.CMP
+	Sim     arch.SimConfig
+	DB      *Database
+	// MeasureNoise is the relative standard deviation of multiplicative
+	// measurement noise applied to observed throughput (the paper notes
+	// run-to-run variance occasionally makes colocated runs look faster
+	// than standalone ones). Zero disables it.
+	MeasureNoise float64
+	// UseSparkLogs measures Spark-suite jobs the way the paper did:
+	// generate the instrumented engine's task/stage/job completion log
+	// for the run and recover throughput by parsing it, picking up the
+	// whole-task quantization that path carries. PARSEC jobs keep the
+	// direct (perf-stat-style) measurement.
+	UseSparkLogs bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// InstructionsPerTask converts instruction throughput into Spark task
+// throughput for the log-based measurement path. The catalog's Spark jobs
+// retire tasks of roughly a billion instructions.
+const InstructionsPerTask = 1e9
+
+// measureIPS converts a simulated throughput into the observed one,
+// routing Spark jobs through the event-log path when enabled. Callers
+// must hold p.mu.
+func (p *Profiler) measureIPS(job workload.Job, ips float64) float64 {
+	if p.UseSparkLogs && job.Suite == workload.Spark && ips > 0 {
+		rate := ips / InstructionsPerTask
+		got, err := sparklog.MeasureThroughput(rate, job.RuntimeS, p.rng)
+		if err == nil && got > 0 {
+			return got * InstructionsPerTask
+		}
+	}
+	return p.noisy(ips)
+}
+
+// New returns a profiler for machine m writing into db, with deterministic
+// noise driven by seed.
+func New(m arch.CMP, db *Database, seed int64) *Profiler {
+	return &Profiler{
+		Machine:      m,
+		Sim:          arch.DefaultSimConfig(),
+		DB:           db,
+		MeasureNoise: 0.005,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (p *Profiler) noisy(x float64) float64 {
+	if p.MeasureNoise == 0 {
+		return x
+	}
+	return x * (1 + p.rng.NormFloat64()*p.MeasureNoise)
+}
+
+// ProfileStandalone runs job alone on the machine and records the result.
+func (p *Profiler) ProfileStandalone(job workload.Job) Record {
+	p.mu.Lock()
+	res := p.Machine.SimulateSolo(job.Model, p.Sim, p.rng)
+	rec := Record{
+		Job:            job.Name,
+		Machine:        p.Machine.Name,
+		ThroughputIPS:  p.measureIPS(job, res.MeanIPS()),
+		BandwidthGBps:  res.MeanBandwidth() / 1e9,
+		MissRatio:      meanMiss(res),
+		MemUtilization: meanUtil(res),
+	}
+	p.mu.Unlock()
+	return p.DB.Insert(rec)
+}
+
+// ProfilePair colocates jobs a and b on the machine and records both
+// sides' observations.
+func (p *Profiler) ProfilePair(a, b workload.Job) (Record, Record) {
+	p.mu.Lock()
+	resA, resB := p.Machine.SimulatePair(a.Model, b.Model, p.Sim, p.rng)
+	recA := Record{
+		Job: a.Name, CoRunner: b.Name, Machine: p.Machine.Name,
+		ThroughputIPS:  p.measureIPS(a, resA.MeanIPS()),
+		BandwidthGBps:  resA.MeanBandwidth() / 1e9,
+		MissRatio:      meanMiss(resA),
+		MemUtilization: meanUtil(resA),
+	}
+	recB := Record{
+		Job: b.Name, CoRunner: a.Name, Machine: p.Machine.Name,
+		ThroughputIPS:  p.measureIPS(b, resB.MeanIPS()),
+		BandwidthGBps:  resB.MeanBandwidth() / 1e9,
+		MissRatio:      meanMiss(resB),
+		MemUtilization: meanUtil(resB),
+	}
+	p.mu.Unlock()
+	return p.DB.Insert(recA), p.DB.Insert(recB)
+}
+
+func meanMiss(r arch.RunResult) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += s.MissRatio
+	}
+	return sum / float64(len(r.Samples))
+}
+
+func meanUtil(r arch.RunResult) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += s.MemUtilization
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// Campaign profiles a catalog: every job standalone, plus a sampled
+// fraction of the (unordered) colocation space. The sampled pairs are
+// drawn without replacement. fraction is clamped to [0, 1]. Self-pairs
+// (two instances of the same job) are part of the space, as two agents
+// can run the same application.
+func (p *Profiler) Campaign(jobs []workload.Job, fraction float64) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("profiler: empty catalog")
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	for _, j := range jobs {
+		p.ProfileStandalone(j)
+	}
+	type pair struct{ a, b int }
+	var pairs []pair
+	for i := range jobs {
+		for j := i; j < len(jobs); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	p.mu.Lock()
+	p.rng.Shuffle(len(pairs), func(x, y int) { pairs[x], pairs[y] = pairs[y], pairs[x] })
+	p.mu.Unlock()
+	n := int(math.Round(fraction * float64(len(pairs))))
+	for _, pr := range pairs[:n] {
+		p.ProfilePair(jobs[pr.a], jobs[pr.b])
+	}
+	return nil
+}
+
+// PenaltyMatrix assembles the job-level disutility matrix from the
+// database: entry [i][j] is job i's penalty when colocated with job j,
+// d = 1 - colocated/standalone throughput. Unprofiled colocations are
+// NaN; the preference predictor fills them in. Penalties may be slightly
+// negative under measurement noise, matching the paper's footnote.
+func PenaltyMatrix(db *Database, jobs []workload.Job) ([][]float64, error) {
+	n := len(jobs)
+	idx := make(map[string]int, n)
+	for i, j := range jobs {
+		idx[j.Name] = i
+	}
+
+	solo := make([]float64, n)
+	for i, j := range jobs {
+		recs := db.Select(Query{Job: j.Name, CoRunner: Solo})
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("profiler: no standalone profile for %s", j.Name)
+		}
+		var sum float64
+		for _, r := range recs {
+			sum += r.ThroughputIPS
+		}
+		solo[i] = sum / float64(len(recs))
+	}
+
+	d := make([][]float64, n)
+	counts := make([][]int, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		counts[i] = make([]int, n)
+		for j := range d[i] {
+			d[i][j] = math.NaN()
+		}
+	}
+	for _, r := range db.Select(Query{}) {
+		if r.CoRunner == "" {
+			continue
+		}
+		i, ok1 := idx[r.Job]
+		j, ok2 := idx[r.CoRunner]
+		if !ok1 || !ok2 || solo[i] <= 0 {
+			continue
+		}
+		pen := 1 - r.ThroughputIPS/solo[i]
+		if counts[i][j] == 0 {
+			d[i][j] = pen
+		} else {
+			// Running average across repeated measurements.
+			d[i][j] = (d[i][j]*float64(counts[i][j]) + pen) / float64(counts[i][j]+1)
+		}
+		counts[i][j]++
+	}
+	return d, nil
+}
+
+// Sparsity returns the fraction of non-NaN entries in a penalty matrix.
+func Sparsity(d [][]float64) float64 {
+	total, known := 0, 0
+	for _, row := range d {
+		for _, v := range row {
+			total++
+			if !math.IsNaN(v) {
+				known++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(known) / float64(total)
+}
+
+// DensePenalties computes the full job-level penalty matrix analytically
+// (no sampling, no noise) — the oracle ground truth used to evaluate
+// prediction accuracy and to drive experiments that assume perfect
+// knowledge.
+func DensePenalties(m arch.CMP, jobs []workload.Job) [][]float64 {
+	n := len(jobs)
+	solo := make([]float64, n)
+	for i, j := range jobs {
+		solo[i] = m.Solo(j.Model).IPS
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			pi, pj := m.Pair(jobs[i].Model, jobs[j].Model)
+			d[i][j] = 1 - pi.IPS/solo[i]
+			d[j][i] = 1 - pj.IPS/solo[j]
+		}
+	}
+	return d
+}
+
+// ExpandToAgents lifts a job-level penalty matrix to the agent level for a
+// population: agent a's penalty with agent b is its job's penalty with b's
+// job. jobIndex maps catalog names to matrix rows.
+func ExpandToAgents(jobD [][]float64, jobs []workload.Job, pop workload.Population) ([][]float64, error) {
+	idx := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		idx[j.Name] = i
+	}
+	n := len(pop.Jobs)
+	rows := make([]int, n)
+	for a, j := range pop.Jobs {
+		i, ok := idx[j.Name]
+		if !ok {
+			return nil, fmt.Errorf("profiler: population job %q not in catalog", j.Name)
+		}
+		rows[a] = i
+	}
+	d := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		d[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			if a != b {
+				d[a][b] = jobD[rows[a]][rows[b]]
+			}
+		}
+	}
+	return d, nil
+}
+
+// SortedJobNames returns the distinct job names in the database, sorted —
+// a convenience for reports.
+func SortedJobNames(db *Database) []string {
+	seen := make(map[string]bool)
+	for _, r := range db.Select(Query{}) {
+		seen[r.Job] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,312 @@
+// Package recommend implements Cooper's preference predictor: item-based
+// collaborative filtering over the sparse colocation-penalty matrix. Jobs
+// are consumers, co-runners are products, and profiled penalties are
+// ratings. A co-runner that degrades one job's performance will similarly
+// degrade the performance of jobs with similar profiles, so unknown
+// entries can be imputed from the similarity structure of the known ones.
+//
+// The paper uses the R recommenderlab library; this package is a from-
+// scratch replacement with the same iterative behaviour — each iteration
+// predicts the unknown ratings it can, and one to three iterations fill
+// the matrix.
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mode selects the collaborative-filtering flavour.
+type Mode int
+
+const (
+	// ItemBased predicts a job's penalty with co-runner j from the job's
+	// known penalties with co-runners similar to j — the paper's choice
+	// ("a co-runner affects similar agents similarly").
+	ItemBased Mode = iota
+	// UserBased predicts a job's penalty with co-runner j from similar
+	// jobs' known penalties with j. Provided for the ablation comparing
+	// the two flavours.
+	UserBased
+)
+
+// Predictor configures the collaborative filter.
+type Predictor struct {
+	// K is the neighborhood size; 0 means use every neighbor with
+	// positive similarity.
+	K int
+	// MinOverlap is the minimum number of co-rated rows for a pair of
+	// columns to be considered similar at all.
+	MinOverlap int
+	// MaxIters bounds the fill iterations before falling back to row and
+	// global means for anything still unknown.
+	MaxIters int
+	// Mode selects item-based (default, the paper's) or user-based
+	// filtering.
+	Mode Mode
+}
+
+// Default returns the configuration Cooper uses: full neighborhoods,
+// two-row overlap, and the paper's one-to-three iterations.
+func Default() Predictor {
+	return Predictor{K: 0, MinOverlap: 2, MaxIters: 3}
+}
+
+// Complete fills the unknown (NaN) entries of the sparse penalty matrix m
+// and returns a dense copy along with the number of iterations used.
+// Known entries are preserved exactly. It returns an error if m is not
+// square or contains no known entries at all.
+func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
+	n := len(m)
+	out := make([][]float64, n)
+	known := 0
+	for i, row := range m {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("recommend: row %d has %d entries, want %d",
+				i, len(row), n)
+		}
+		out[i] = append([]float64(nil), row...)
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				known++
+			}
+		}
+	}
+	if n == 0 {
+		return out, 0, nil
+	}
+	if known == 0 {
+		return nil, 0, fmt.Errorf("recommend: matrix has no known entries")
+	}
+
+	maxIters := p.MaxIters
+	if maxIters <= 0 {
+		maxIters = 3
+	}
+	iters := 0
+	for ; iters < maxIters && hasNaN(out); iters++ {
+		work := out
+		if p.Mode == UserBased {
+			// User-based filtering is item-based filtering on the
+			// transpose: similar rows vote on the missing column entry.
+			work = transpose(out)
+		}
+		sim := p.itemSimilarities(work)
+		next := make([][]float64, n)
+		for i := range out {
+			next[i] = append([]float64(nil), out[i]...)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !math.IsNaN(out[i][j]) {
+					continue
+				}
+				wi, wj := i, j
+				if p.Mode == UserBased {
+					wi, wj = j, i
+				}
+				if v, ok := p.predict(work, sim, wi, wj); ok {
+					next[i][j] = v
+				}
+			}
+		}
+		out = next
+	}
+
+	// Fallback for entries no neighborhood could reach: row mean, then
+	// global mean.
+	if hasNaN(out) {
+		var globalSum float64
+		var globalN int
+		rowMean := make([]float64, n)
+		rowHas := make([]bool, n)
+		for i := range out {
+			var sum float64
+			var cnt int
+			for _, v := range out[i] {
+				if !math.IsNaN(v) {
+					sum += v
+					cnt++
+					globalSum += v
+					globalN++
+				}
+			}
+			if cnt > 0 {
+				rowMean[i] = sum / float64(cnt)
+				rowHas[i] = true
+			}
+		}
+		global := globalSum / float64(globalN)
+		for i := range out {
+			for j := range out[i] {
+				if math.IsNaN(out[i][j]) {
+					if rowHas[i] {
+						out[i][j] = rowMean[i]
+					} else {
+						out[i][j] = global
+					}
+				}
+			}
+		}
+	}
+	return out, iters, nil
+}
+
+func transpose(m [][]float64) [][]float64 {
+	n := len(m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = m[j][i]
+		}
+	}
+	return out
+}
+
+func hasNaN(m [][]float64) bool {
+	for _, row := range m {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// itemSimilarities computes adjusted-cosine similarity between columns
+// (co-runners): ratings are centered on each row's mean so that jobs with
+// uniformly high penalties do not dominate.
+func (p Predictor) itemSimilarities(m [][]float64) [][]float64 {
+	n := len(m)
+	rowMean := make([]float64, n)
+	for i, row := range m {
+		var sum float64
+		var cnt int
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			rowMean[i] = sum / float64(cnt)
+		}
+	}
+	sim := make([][]float64, n)
+	for j := range sim {
+		sim[j] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		sim[j][j] = 1
+		for k := j + 1; k < n; k++ {
+			var dot, nj, nk float64
+			overlap := 0
+			for i := 0; i < n; i++ {
+				a, b := m[i][j], m[i][k]
+				if math.IsNaN(a) || math.IsNaN(b) {
+					continue
+				}
+				a -= rowMean[i]
+				b -= rowMean[i]
+				dot += a * b
+				nj += a * a
+				nk += b * b
+				overlap++
+			}
+			if overlap < p.MinOverlap || nj == 0 || nk == 0 {
+				continue
+			}
+			s := dot / (math.Sqrt(nj) * math.Sqrt(nk))
+			sim[j][k] = s
+			sim[k][j] = s
+		}
+	}
+	return sim
+}
+
+// predict estimates entry (i, j) from row i's known ratings of items
+// similar to j. Returns false when no usable neighbor exists.
+func (p Predictor) predict(m, sim [][]float64, i, j int) (float64, bool) {
+	type neighbor struct {
+		col int
+		s   float64
+	}
+	var neighbors []neighbor
+	for k := range m[i] {
+		if k == j || math.IsNaN(m[i][k]) || sim[j][k] <= 0 {
+			continue
+		}
+		neighbors = append(neighbors, neighbor{k, sim[j][k]})
+	}
+	if len(neighbors) == 0 {
+		return 0, false
+	}
+	if p.K > 0 && len(neighbors) > p.K {
+		sort.Slice(neighbors, func(a, b int) bool {
+			return neighbors[a].s > neighbors[b].s
+		})
+		neighbors = neighbors[:p.K]
+	}
+	var num, den float64
+	for _, nb := range neighbors {
+		num += nb.s * m[i][nb.col]
+		den += nb.s
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// PreferenceAccuracy computes the paper's Equation 2: the fraction of
+// pairwise co-runner orderings the prediction gets right, averaged over
+// all rows. For each row a and each pair of candidate co-runners (i, j),
+// the prediction is wrong when the predicted relative order differs from
+// the true one. Diagonal entries are excluded from the candidate set
+// (an agent is never its own co-runner at the agent level; at the job
+// level self-pairs are included as columns for other rows).
+func PreferenceAccuracy(truth, pred [][]float64) (float64, error) {
+	n := len(truth)
+	if len(pred) != n {
+		return 0, fmt.Errorf("recommend: matrix sizes differ: %d vs %d", n, len(pred))
+	}
+	total, wrong := 0, 0
+	for a := 0; a < n; a++ {
+		if len(truth[a]) != n || len(pred[a]) != n {
+			return 0, fmt.Errorf("recommend: row %d not square", a)
+		}
+		for i := 0; i < n; i++ {
+			if i == a {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if j == a {
+					continue
+				}
+				total++
+				st := sign(truth[a][i] - truth[a][j])
+				sp := sign(pred[a][i] - pred[a][j])
+				if st != sp {
+					wrong++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return 1 - float64(wrong)/float64(total), nil
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

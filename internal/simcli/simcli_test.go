@@ -1,0 +1,143 @@
+package simcli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cooper/internal/experiments"
+)
+
+var sharedLab *experiments.Lab
+
+func lab(t *testing.T) *experiments.Lab {
+	t.Helper()
+	if sharedLab == nil {
+		l, err := experiments.NewLab()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLab = l
+	}
+	return sharedLab
+}
+
+// tinyOpts keeps every experiment fast enough for unit tests.
+func tinyOpts() Options {
+	return Options{N: 60, Pops: 2, Seed: 1, Quick: true}
+}
+
+func TestRunEveryExperimentText(t *testing.T) {
+	l := lab(t)
+	markers := map[string]string{
+		"table1":    "Table I",
+		"fig1":      "mean throughput penalty",
+		"fig2":      "Figures 2-3",
+		"fig5":      "Figure 5",
+		"fig7":      "Figure 7",
+		"fig8":      "Figure 8",
+		"fig9":      "Figure 9",
+		"fig10":     "Figure 10",
+		"fig11":     "Figure 11",
+		"fig12":     "Figure 12",
+		"fig13":     "Figure 13",
+		"fig14":     "Figure 14",
+		"ablations": "proposer advantage",
+		"load":      "Load sweep",
+		"strategic": "misreporting",
+		"shapley":   "Shapley attribution",
+	}
+	for name, marker := range markers {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(&buf, l, name, tinyOpts()); err != nil {
+				t.Fatalf("Run(%s): %v", name, err)
+			}
+			if !strings.Contains(buf.String(), marker) {
+				t.Errorf("output missing %q:\n%s", marker, firstLines(buf.String(), 3))
+			}
+		})
+	}
+}
+
+func TestRunJSONOutputs(t *testing.T) {
+	l := lab(t)
+	for _, name := range []string{"table1", "fig5", "fig12", "fig14", "strategic"} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			opts := tinyOpts()
+			opts.JSON = true
+			if err := Run(&buf, l, name, opts); err != nil {
+				t.Fatalf("Run(%s): %v", name, err)
+			}
+			var v any
+			if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+				t.Fatalf("invalid JSON: %v\n%s", err, firstLines(buf.String(), 3))
+			}
+		})
+	}
+}
+
+func TestRunFig3Alias(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, lab(t), "fig3", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figures 2-3") {
+		t.Error("fig3 alias broken")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, lab(t), "fig99", tinyOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunDefaultsPopulation(t *testing.T) {
+	// Zero N must fall back rather than run an empty experiment.
+	var buf bytes.Buffer
+	opts := Options{Seed: 1, Quick: true}
+	if err := Run(&buf, lab(t), "fig5", opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesListsAll(t *testing.T) {
+	names := Names()
+	if names[len(names)-1] != "all" {
+		t.Error("'all' should be last")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"table1", "fig7", "fig12", "shapley"} {
+		if !seen[want] {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestRunEfficiency(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, lab(t), "efficiency", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "energy per job") {
+		t.Errorf("output missing efficiency header:\n%s", firstLines(buf.String(), 3))
+	}
+}

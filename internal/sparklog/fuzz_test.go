@@ -1,0 +1,31 @@
+package sparklog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the log parser never panics and keeps its metrics
+// internally consistent on arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add(`{"Event":"SparkListenerTaskEnd","Timestamp":1000,"Job ID":1,"Task ID":0}`)
+	f.Add(`{"Event":"SparkListenerJobEnd","Timestamp":2000,"Job ID":1}`)
+	f.Add("")
+	f.Add("garbage\n{\"Event\":\"SparkListenerStageCompleted\",\"Timestamp\":-5}")
+	f.Add(`{"Event":"SparkListenerTaskEnd","Timestamp":9e18}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.Tasks < 0 || m.Stages < 0 || m.JobsEnded < 0 {
+			t.Fatalf("negative counts: %+v", m)
+		}
+		if m.TaskThroughput < 0 {
+			t.Fatalf("negative throughput: %+v", m)
+		}
+		if m.TaskThroughput > 0 && m.DurationS <= 0 {
+			t.Fatalf("throughput without duration: %+v", m)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package sparklog emulates the paper's Spark measurement path: the
+// authors modified Spark 1.6.0 to log task, stage and job completion, and
+// measured analytics throughput by parsing those logs. This package
+// generates synthetic event logs for a job executing at a given task
+// rate, serializes them as JSON lines (the Spark event-log format's
+// shape), and parses logs back into throughput metrics — so the profiler
+// can measure Spark-suite jobs the way the paper did, quantization noise
+// and all.
+package sparklog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Event is one log record. Type is one of the Spark listener event names
+// the paper's instrumentation captured.
+type Event struct {
+	Type    string `json:"Event"`
+	TimeMS  int64  `json:"Timestamp"`
+	JobID   int    `json:"Job ID"`
+	StageID int    `json:"Stage ID,omitempty"`
+	TaskID  int    `json:"Task ID,omitempty"`
+}
+
+// Event type names (mirroring Spark's listener events).
+const (
+	TaskEnd        = "SparkListenerTaskEnd"
+	StageCompleted = "SparkListenerStageCompleted"
+	JobEnd         = "SparkListenerJobEnd"
+)
+
+// GenerateConfig shapes a synthetic run.
+type GenerateConfig struct {
+	// JobID labels the job in the log.
+	JobID int
+	// TaskRate is the mean completed tasks per second.
+	TaskRate float64
+	// DurationS is the run length in seconds.
+	DurationS float64
+	// TasksPerStage closes a stage after this many tasks (default 200).
+	TasksPerStage int
+	// Jitter in [0,1) randomizes inter-task gaps (0 = perfectly regular).
+	Jitter float64
+}
+
+// Generate produces the event sequence for one run. Events are ordered by
+// timestamp; the final event is the JobEnd at the run's end.
+func Generate(cfg GenerateConfig, r *rand.Rand) ([]Event, error) {
+	if cfg.TaskRate <= 0 || cfg.DurationS <= 0 {
+		return nil, fmt.Errorf("sparklog: rate and duration must be positive")
+	}
+	if cfg.TasksPerStage <= 0 {
+		cfg.TasksPerStage = 200
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		return nil, fmt.Errorf("sparklog: jitter %v outside [0,1)", cfg.Jitter)
+	}
+	var events []Event
+	meanGapMS := 1000 / cfg.TaskRate
+	endMS := int64(cfg.DurationS * 1000)
+	t := 0.0
+	task, stage, inStage := 0, 0, 0
+	for {
+		gap := meanGapMS
+		if cfg.Jitter > 0 && r != nil {
+			gap *= 1 + cfg.Jitter*(2*r.Float64()-1)
+		}
+		t += gap
+		if int64(t) >= endMS {
+			break
+		}
+		events = append(events, Event{
+			Type: TaskEnd, TimeMS: int64(t), JobID: cfg.JobID,
+			StageID: stage, TaskID: task,
+		})
+		task++
+		inStage++
+		if inStage == cfg.TasksPerStage {
+			events = append(events, Event{
+				Type: StageCompleted, TimeMS: int64(t), JobID: cfg.JobID,
+				StageID: stage,
+			})
+			stage++
+			inStage = 0
+		}
+	}
+	if inStage > 0 {
+		events = append(events, Event{
+			Type: StageCompleted, TimeMS: endMS, JobID: cfg.JobID, StageID: stage,
+		})
+	}
+	events = append(events, Event{Type: JobEnd, TimeMS: endMS, JobID: cfg.JobID})
+	return events, nil
+}
+
+// Write serializes events as JSON lines.
+func Write(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics summarizes a parsed log.
+type Metrics struct {
+	JobID     int
+	Tasks     int
+	Stages    int
+	JobsEnded int
+	DurationS float64 // first event to JobEnd (or last event)
+	// TaskThroughput is completed tasks per second — the paper's Spark
+	// performance metric.
+	TaskThroughput float64
+}
+
+// Parse reads a JSON-lines event log and computes throughput metrics. It
+// tolerates unknown event types (real Spark logs carry many) and skips
+// malformed lines, returning an error only if nothing parses.
+func Parse(rd io.Reader) (Metrics, error) {
+	scanner := bufio.NewScanner(rd)
+	scanner.Buffer(make([]byte, 1<<16), 1<<20)
+	var m Metrics
+	var firstMS, lastMS int64 = -1, 0
+	parsed := 0
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		parsed++
+		if firstMS < 0 || e.TimeMS < firstMS {
+			firstMS = e.TimeMS
+		}
+		if e.TimeMS > lastMS {
+			lastMS = e.TimeMS
+		}
+		switch e.Type {
+		case TaskEnd:
+			m.Tasks++
+			m.JobID = e.JobID
+		case StageCompleted:
+			m.Stages++
+		case JobEnd:
+			m.JobsEnded++
+			m.JobID = e.JobID
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return Metrics{}, err
+	}
+	if parsed == 0 {
+		return Metrics{}, fmt.Errorf("sparklog: no parsable events")
+	}
+	// Duration runs from time zero of the run to the last event: the gap
+	// before the first event is part of the first task's latency.
+	if lastMS > 0 {
+		m.DurationS = float64(lastMS) / 1000
+	}
+	if m.DurationS > 0 {
+		m.TaskThroughput = float64(m.Tasks) / m.DurationS
+	}
+	return m, nil
+}
+
+// MeasureThroughput generates a run at the given task rate and measures
+// it back through the log path, returning the observed tasks/second —
+// the end-to-end measurement the profiler uses for Spark jobs. The
+// round trip quantizes (whole tasks only), so short runs of slow jobs
+// under-resolve exactly as the paper's coarse-grained logging would.
+func MeasureThroughput(taskRate, durationS float64, r *rand.Rand) (float64, error) {
+	events, err := Generate(GenerateConfig{
+		TaskRate:  taskRate,
+		DurationS: durationS,
+		Jitter:    0.3,
+	}, r)
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		return 0, err
+	}
+	m, err := Parse(&buf)
+	if err != nil {
+		return 0, err
+	}
+	return m.TaskThroughput, nil
+}

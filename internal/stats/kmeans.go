@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters points (rows) into k groups with Lloyd's algorithm and
+// k-means++ seeding. It returns each point's cluster index and the final
+// centroids. Deterministic given r. Used by the clustering colocation
+// policy (paper §VIII: "classify applications into types and then match
+// types").
+func KMeans(points [][]float64, k, iters int, r *rand.Rand) ([]int, [][]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("stats: KMeans on empty point set")
+	}
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("stats: k=%d outside [1,%d]", k, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, nil, fmt.Errorf("stats: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+
+	centroids := seedPlusPlus(points, k, r)
+	assign := make([]int, n)
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; an emptied cluster keeps its old centroid.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids, nil
+}
+
+// seedPlusPlus picks k initial centroids: the first uniformly, the rest
+// with probability proportional to squared distance from the nearest
+// chosen centroid.
+func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := r.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	dist := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if sd := sqDist(p, c); sd < d {
+					d = sd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = r.Intn(n) // all points coincide with centroids
+		} else {
+			target := r.Float64() * total
+			for i, d := range dist {
+				target -= d
+				if target <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

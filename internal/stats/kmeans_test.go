@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	r := NewRand(1)
+	var points [][]float64
+	// Two tight blobs around (0,0) and (10,10).
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{10 + r.NormFloat64()*0.1, 10 + r.NormFloat64()*0.1})
+	}
+	assign, centroids, err := KMeans(points, 2, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 2 {
+		t.Fatalf("centroids = %d", len(centroids))
+	}
+	// All of blob 1 in one cluster, blob 2 in the other.
+	first := assign[0]
+	for i := 1; i < 50; i++ {
+		if assign[i] != first {
+			t.Fatalf("blob 1 split at %d", i)
+		}
+	}
+	second := assign[50]
+	if second == first {
+		t.Fatal("blobs merged")
+	}
+	for i := 51; i < 100; i++ {
+		if assign[i] != second {
+			t.Fatalf("blob 2 split at %d", i)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	r := NewRand(2)
+	if _, _, err := KMeans(nil, 1, 10, r); err == nil {
+		t.Error("empty points accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, _, err := KMeans(pts, 0, 10, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := KMeans(pts, 3, 10, r); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, _, err := KMeans([][]float64{{1, 2}, {3}}, 1, 10, r); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	r := NewRand(3)
+	// All points identical: any assignment is fine, must not hang or
+	// divide by zero.
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	assign, _, err := KMeans(pts, 2, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 4 {
+		t.Fatalf("assign = %v", assign)
+	}
+	// k = n: every point may be its own cluster.
+	if _, _, err := KMeans(pts, 4, 10, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansDeterministicPerSeed(t *testing.T) {
+	mk := func() []int {
+		r := NewRand(7)
+		pts := make([][]float64, 30)
+		for i := range pts {
+			pts[i] = []float64{r.Float64(), r.Float64()}
+		}
+		assign, _, err := KMeans(pts, 3, 25, r)
+		if err != nil {
+			panic(err)
+		}
+		return assign
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should cluster identically")
+		}
+	}
+}

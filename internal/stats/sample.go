@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sampler draws values in [0, 1). The workload package maps a draw onto the
+// catalog ordered by memory intensity, so a sampler's density over [0, 1)
+// is exactly the paper's Figure 11 density over "memory intensity, low to
+// high".
+type Sampler interface {
+	// Sample returns a value in [0, 1).
+	Sample(r *rand.Rand) float64
+	// Name identifies the density in reports ("Uniform", "Beta-Low", ...).
+	Name() string
+}
+
+// Uniform samples every point of [0, 1) with equal density — the paper's
+// default population mix where every job is represented equally.
+type Uniform struct{}
+
+// Sample implements Sampler.
+func (Uniform) Sample(r *rand.Rand) float64 { return r.Float64() }
+
+// Name implements Sampler.
+func (Uniform) Name() string { return "Uniform" }
+
+// Gaussian samples a truncated normal on [0, 1) centered at Mu with
+// standard deviation Sigma, representing the paper's population of
+// "moderate" jobs. Draws outside the interval are rejected and retried.
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Sampler.
+func (g Gaussian) Sample(r *rand.Rand) float64 {
+	mu, sigma := g.Mu, g.Sigma
+	if sigma <= 0 {
+		sigma = 0.15
+	}
+	if mu == 0 {
+		mu = 0.5
+	}
+	for {
+		x := r.NormFloat64()*sigma + mu
+		if x >= 0 && x < 1 {
+			return x
+		}
+	}
+}
+
+// Name implements Sampler.
+func (Gaussian) Name() string { return "Gaussian" }
+
+// Beta samples a Beta(Alpha, Beta) distribution on [0, 1). The paper uses
+// two skews: Beta-Low (mass near low memory intensity) and Beta-High (mass
+// near high intensity, the challenging contentious mix).
+type Beta struct {
+	Alpha, Beta float64
+	Label       string
+}
+
+// BetaLow is the paper's population skewed toward less memory-intensive
+// jobs.
+func BetaLow() Beta { return Beta{Alpha: 2, Beta: 5, Label: "Beta-Low"} }
+
+// BetaHigh is the paper's population skewed toward memory-intensive jobs.
+func BetaHigh() Beta { return Beta{Alpha: 5, Beta: 2, Label: "Beta-High"} }
+
+// Sample implements Sampler.
+func (b Beta) Sample(r *rand.Rand) float64 {
+	x := sampleGamma(r, b.Alpha)
+	y := sampleGamma(r, b.Beta)
+	v := x / (x + y)
+	if v >= 1 { // guard the half-open contract under rounding
+		v = math.Nextafter(1, 0)
+	}
+	return v
+}
+
+// Name implements Sampler.
+func (b Beta) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return fmt.Sprintf("Beta(%g,%g)", b.Alpha, b.Beta)
+}
+
+// sampleGamma draws from Gamma(shape, 1) using the Marsaglia–Tsang squeeze
+// method, with Johnk's boost for shape < 1.
+func sampleGamma(r *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("stats: gamma shape %v must be positive", shape))
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		return sampleGamma(r, shape+1) * math.Pow(r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// NewRand returns a deterministic RNG for the given seed. Centralizing the
+// constructor makes it trivial to swap the source everywhere at once.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,165 @@
+// Package textplot renders experiment results as plain-text charts so the
+// benchmark harness can print figure-shaped output (bar charts, boxplots,
+// series tables) straight to a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cooper/internal/stats"
+)
+
+// Bar renders a horizontal bar chart: one row per label, bar length
+// proportional to value, with the numeric value appended. Negative values
+// render as empty bars (their number still shows). width is the maximum
+// bar width in runes.
+func Bar(labels []string, values []float64, width int, format string) string {
+	if len(labels) != len(values) {
+		return "textplot: label/value length mismatch\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	if format == "" {
+		format = "%.3f"
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, l := range labels {
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 && values[i] > 0 {
+			n = int(math.Round(values[i] / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %s\n",
+			labelW, l,
+			strings.Repeat("#", n),
+			strings.Repeat(" ", width-n),
+			fmt.Sprintf(format, values[i]))
+	}
+	return b.String()
+}
+
+// PairedBar renders two aligned value columns per label (e.g. penalty rank
+// and bandwidth rank in the paper's Figure 8).
+func PairedBar(labels []string, a, b []float64, nameA, nameB string, width int) string {
+	if len(labels) != len(a) || len(labels) != len(b) {
+		return "textplot: label/value length mismatch\n"
+	}
+	if width <= 0 {
+		width = 24
+	}
+	maxVal := math.Max(stats.Max(a), stats.Max(b))
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	bar := func(v float64, ch string) string {
+		n := 0
+		if maxVal > 0 && v > 0 {
+			n = int(math.Round(v / maxVal * float64(width)))
+		}
+		return strings.Repeat(ch, n) + strings.Repeat(" ", width-n)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s  %-*s  %-*s\n", labelW, "", width, nameA, width, nameB)
+	for i, l := range labels {
+		fmt.Fprintf(&sb, "%-*s  %s  %s %5.1f vs %5.1f\n",
+			labelW, l, bar(a[i], "#"), bar(b[i], "="), a[i], b[i])
+	}
+	return sb.String()
+}
+
+// Box renders boxplots, one row per label, on a shared horizontal axis
+// from lo to hi: whiskers as '-', box as '=', median as '|'.
+func Box(labels []string, boxes []stats.Boxplot, lo, hi float64, width int) string {
+	if len(labels) != len(boxes) {
+		return "textplot: label/box length mismatch\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		row := make([]byte, width)
+		for k := range row {
+			row[k] = ' '
+		}
+		bx := boxes[i]
+		for k := pos(bx.Min); k <= pos(bx.Max); k++ {
+			row[k] = '-'
+		}
+		for k := pos(bx.Q1); k <= pos(bx.Q3); k++ {
+			row[k] = '='
+		}
+		row[pos(bx.Median)] = '|'
+		fmt.Fprintf(&sb, "%-*s [%s] med=%.3g iqr=[%.3g,%.3g] n=%d\n",
+			labelW, l, row, bx.Median, bx.Q1, bx.Q3, bx.N)
+	}
+	return sb.String()
+}
+
+// Table renders rows as a fixed-width table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"cooper/internal/stats"
+)
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"a", "bb"}, []float64{1, 2}, 10, "%.1f")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "##########") {
+		t.Errorf("max bar should be full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "#####") || strings.Contains(lines[0], "######") {
+		t.Errorf("half bar expected: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "1.0") {
+		t.Errorf("value missing: %q", lines[0])
+	}
+}
+
+func TestBarEdgeCases(t *testing.T) {
+	if out := Bar([]string{"a"}, []float64{1, 2}, 10, ""); !strings.Contains(out, "mismatch") {
+		t.Error("mismatch not reported")
+	}
+	out := Bar([]string{"neg"}, []float64{-1}, 0, "")
+	if strings.Contains(out, "#") {
+		t.Errorf("negative value should render empty bar: %q", out)
+	}
+	out = Bar([]string{"zero"}, []float64{0}, 5, "")
+	if strings.Contains(out, "#") {
+		t.Errorf("zero should render empty bar: %q", out)
+	}
+}
+
+func TestPairedBar(t *testing.T) {
+	out := PairedBar([]string{"x"}, []float64{2}, []float64{4}, "pen", "bw", 8)
+	if !strings.Contains(out, "pen") || !strings.Contains(out, "bw") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Errorf("first bar missing: %q", out)
+	}
+	if !strings.Contains(out, "========") {
+		t.Errorf("second bar missing: %q", out)
+	}
+	if out := PairedBar([]string{"x"}, nil, nil, "", "", 4); !strings.Contains(out, "mismatch") {
+		t.Error("mismatch not reported")
+	}
+}
+
+func TestBox(t *testing.T) {
+	boxes := []stats.Boxplot{stats.NewBoxplot([]float64{1, 2, 3, 4, 5})}
+	out := Box([]string{"p"}, boxes, 0, 6, 30)
+	if !strings.Contains(out, "=") || !strings.Contains(out, "|") || !strings.Contains(out, "-") {
+		t.Errorf("box glyphs missing: %q", out)
+	}
+	if !strings.Contains(out, "med=3") {
+		t.Errorf("median label missing: %q", out)
+	}
+	if out := Box([]string{"a", "b"}, boxes, 0, 1, 10); !strings.Contains(out, "mismatch") {
+		t.Error("mismatch not reported")
+	}
+	// Degenerate range must not panic.
+	_ = Box([]string{"p"}, boxes, 5, 5, 10)
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"col", "value"}, [][]string{{"a", "1"}, {"bbbb", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "bbbb") {
+		t.Errorf("row missing: %q", lines[3])
+	}
+}
