@@ -1,0 +1,37 @@
+# Build, verification, and telemetry targets for the Cooper reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench snapshot clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the full verification gate: static checks, a clean build, and the
+# test suite under the race detector.
+ci: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run xxx .
+
+# snapshot runs the telemetry-enabled epoch benchmark and archives the
+# machine-readable metrics snapshot at telemetry.json.
+snapshot:
+	COOPER_TELEMETRY_OUT=$(CURDIR)/telemetry.json \
+		$(GO) test -bench 'BenchmarkEpochThroughputTelemetry' -benchtime 20x -run xxx .
+	@echo wrote $(CURDIR)/telemetry.json
+
+clean:
+	rm -f telemetry.json
+	$(GO) clean ./...

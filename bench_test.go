@@ -12,6 +12,7 @@ package cooper
 // full sweep under a minute; cmd/cooper-sim runs them at paper scale.
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -576,4 +577,48 @@ func BenchmarkHeterogeneity(b *testing.B) {
 		inflation = res.BlindMean / res.HomogeneousMean
 	}
 	b.ReportMetric(inflation, "blind-placement-inflation")
+}
+
+// benchEpochs drives repeated scheduling epochs over a fixed 200-agent
+// population on an oracle framework (no profiling cost inside the loop).
+func benchEpochs(b *testing.B, tel *Telemetry) {
+	f, err := New(Options{Oracle: true, Seed: 31, Telemetry: tel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := f.SamplePopulation(200, Uniform())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RunEpoch(pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochThroughput measures epoch scheduling with telemetry
+// disabled — the baseline the telemetry layer's overhead is judged
+// against.
+func BenchmarkEpochThroughput(b *testing.B) {
+	benchEpochs(b, nil)
+}
+
+// BenchmarkEpochThroughputTelemetry measures the same epochs with the
+// full telemetry layer enabled (spans, counters, histograms). When
+// COOPER_TELEMETRY_OUT names a file, the final metrics snapshot is
+// written there as JSON, so CI can archive a machine-readable record of
+// the run.
+func BenchmarkEpochThroughputTelemetry(b *testing.B) {
+	tel := NewTelemetry()
+	benchEpochs(b, tel)
+	b.ReportMetric(float64(tel.Metrics.Snapshot().Counter("epoch.count")), "epochs")
+	if path := os.Getenv("COOPER_TELEMETRY_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		if err := tel.Metrics.WriteJSON(f); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -19,6 +19,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "coordinator address")
 	job := flag.String("job", "", "catalog job to run (e.g. dedup, correlation)")
 	alpha := flag.Float64("alpha", 0.02, "minimum gain before recommending break-away")
+	epochs := flag.Int("epochs", 1, "scheduling rounds to participate in (match the coordinator's -epochs)")
 	flag.Parse()
 	if *job == "" {
 		fmt.Fprintln(os.Stderr, "cooper-agent: -job is required")
@@ -33,18 +34,20 @@ func main() {
 	c.Alpha = *alpha
 	fmt.Printf("cooper-agent: registered %s as agent %d\n", *job, c.AgentID)
 
-	assignment, summary, err := c.RunEpoch()
-	if err != nil {
-		fatal(err)
+	for e := 0; e < *epochs; e++ {
+		assignment, summary, err := c.RunEpoch()
+		if err != nil {
+			fatal(err)
+		}
+		if assignment.PartnerID < 0 {
+			fmt.Println("cooper-agent: assigned to run alone")
+		} else {
+			fmt.Printf("cooper-agent: colocated with agent %d (%s), predicted penalty %.3f\n",
+				assignment.PartnerID, assignment.PartnerJob, assignment.PredictedPenalty)
+		}
+		fmt.Printf("cooper-agent: epoch summary — mean penalty %.3f, %d participating, %d breaking away\n",
+			summary.MeanPenalty, summary.Participating, summary.BreakAways)
 	}
-	if assignment.PartnerID < 0 {
-		fmt.Println("cooper-agent: assigned to run alone")
-	} else {
-		fmt.Printf("cooper-agent: colocated with agent %d (%s), predicted penalty %.3f\n",
-			assignment.PartnerID, assignment.PartnerJob, assignment.PredictedPenalty)
-	}
-	fmt.Printf("cooper-agent: epoch summary — mean penalty %.3f, %d participating, %d breaking away\n",
-		summary.MeanPenalty, summary.Participating, summary.BreakAways)
 }
 
 func fatal(err error) {

@@ -16,6 +16,9 @@
 //	-seed   RNG seed (default 1)
 //	-quick  scale everything down for a fast smoke run
 //	-json   emit results as JSON instead of text renderings
+//	-trace  run one instrumented pipeline pass and print its span tree,
+//	        phase timings, penalty histogram, and work counters
+//	        (no experiment argument needed)
 package main
 
 import (
@@ -34,12 +37,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	quick := flag.Bool("quick", false, "scale experiments down for a fast run")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	trace := flag.Bool("trace", false,
+		"run one instrumented pipeline pass and print its telemetry")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cooper-sim [flags] <experiment>\n\n"+
 			"experiments: %s\n\nflags:\n", strings.Join(simcli.Names(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *trace {
+		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, JSON: *jsonOut}
+		if *n == 1000 {
+			opts.N = 64 // tracing one epoch needs no paper-scale population
+		}
+		if err := simcli.Trace(os.Stdout, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -1,31 +1,45 @@
 // Command cooperd runs Cooper's networked coordinator: it waits for a
 // full epoch of agent registrations (see cooper-agent), assigns
 // colocations with the configured policy, collects the agents' strategic
-// assessments, and prints the epoch summary.
+// assessments, and prints each epoch summary.
 //
 // Usage:
 //
-//	cooperd -addr 127.0.0.1:7077 -epoch 4 -policy SMR
+//	cooperd -addr 127.0.0.1:7077 -epoch 4 -epochs 1 -policy SMR
+//
+// With -metrics the daemon also serves live telemetry over HTTP:
+// /metrics returns the full JSON snapshot (counters, gauges, histogram
+// summaries) and /debug/vars an expvar-style flat object. SIGINT or
+// SIGTERM triggers a graceful shutdown: the listener closes, the
+// in-flight epoch drains, and the final telemetry snapshot is printed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cooper/internal/arch"
 	"cooper/internal/netproto"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/recommend"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
 	epoch := flag.Int("epoch", 4, "agents per scheduling epoch")
+	epochs := flag.Int("epochs", 1, "scheduling rounds before exiting")
 	policyName := flag.String("policy", "SMR", "colocation policy (GR, CO, SMP, SMR, SR)")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	metricsAddr := flag.String("metrics", "",
+		"serve telemetry over HTTP on this address (e.g. 127.0.0.1:7078); "+
+			"empty disables the endpoint")
 	profiles := flag.String("profiles", "",
 		"measurement database from cooper-profile; penalties then come from "+
 			"profiled data completed by the predictor instead of the oracle")
@@ -61,21 +75,70 @@ func main() {
 		}
 		fmt.Printf("cooperd: predicted penalties from %d profiled records\n", db.Len())
 	}
+
+	reg := telemetry.NewRegistry()
 	srv := &netproto.Server{
 		Epoch:     *epoch,
+		Epochs:    *epochs,
 		Policy:    pol,
 		Catalog:   catalog,
 		Penalties: penalties,
 		Seed:      *seed,
+		Metrics:   reg,
+		OnEpoch: func(e int, sum netproto.Message) {
+			fmt.Printf("cooperd: epoch %d done: mean penalty %.4f, %d break-aways, %d participating\n",
+				e, sum.MeanPenalty, sum.BreakAways, sum.Participating)
+		},
 	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteExpvar(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "cooperd: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("cooperd: telemetry on http://%s/metrics\n", *metricsAddr)
+	}
+
+	// Graceful shutdown: close the listener, drain the in-flight epoch.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("cooperd: %s received, draining\n", sig)
+		srv.Shutdown()
+	}()
+
 	err = srv.Serve(*addr, func(bound string) {
 		fmt.Printf("cooperd: coordinating %d-agent epochs on %s with %s\n",
 			*epoch, bound, pol.Name())
 	})
-	if err != nil {
+	switch err {
+	case nil:
+		fmt.Println("cooperd: all epochs complete")
+	case netproto.ErrServerClosed:
+		fmt.Println("cooperd: shut down cleanly")
+	default:
 		fatal(err)
 	}
-	fmt.Println("cooperd: epoch complete")
+
+	fmt.Println("cooperd: final telemetry snapshot")
+	if err := reg.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

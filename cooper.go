@@ -40,6 +40,7 @@ import (
 	"cooper/internal/policy"
 	"cooper/internal/recommend"
 	"cooper/internal/stats"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -94,6 +95,24 @@ const (
 // machine, runs the offline profiling campaign, and trains the preference
 // predictor. See Options for the knobs.
 func New(opts Options) (*Framework, error) { return core.New(opts) }
+
+// Observability.
+
+type (
+	// Telemetry bundles a metrics registry with an epoch trace; pass one
+	// via Options.Telemetry to observe the pipeline. Nil disables
+	// observability at near-zero cost.
+	Telemetry = telemetry.Telemetry
+	// MetricsRegistry holds counters, gauges, and histograms.
+	MetricsRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of all metrics plus the
+	// span tree; obtain one from Framework.Snapshot().
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// NewTelemetry returns an enabled telemetry handle with an empty registry
+// and a fresh root span, ready for Options.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // DefaultCMP returns the paper's evaluation server model: a 12-core Xeon
 // E5-2697 v2-class CMP with a 30 MB shared LLC and ~59.7 GB/s of memory

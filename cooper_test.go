@@ -93,3 +93,61 @@ func TestFacadeCatalogAndPrediction(t *testing.T) {
 		t.Error("default predictor should allow 3 iterations")
 	}
 }
+
+func TestFacadeTelemetrySnapshot(t *testing.T) {
+	tel := NewTelemetry()
+	f, err := New(Options{Seed: 9, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := f.SamplePopulation(32, Uniform())
+	if _, err := f.RunEpoch(pop); err != nil {
+		t.Fatal(err)
+	}
+	snap := f.Snapshot()
+
+	if got := snap.Counter("epoch.count"); got != 1 {
+		t.Errorf("epoch.count = %d, want 1", got)
+	}
+	if got := snap.Counter("epoch.agents"); got != 32 {
+		t.Errorf("epoch.agents = %d, want 32", got)
+	}
+	if snap.Counter("profile.records") == 0 {
+		t.Error("profiling campaign recorded no profile.records")
+	}
+	if snap.Counter("predict.fill_iters") == 0 {
+		t.Error("predictor recorded no fill iterations")
+	}
+	if snap.Counter("match.proposals") == 0 {
+		t.Error("matching recorded no proposals")
+	}
+	if snap.Counter("arch.solver_calls") == 0 {
+		t.Error("contention solver recorded no calls")
+	}
+
+	// Every pipeline phase must appear in the span tree with a positive
+	// duration, and each traced phase also lands in a timing histogram.
+	covered := tel.Trace.CoveredPhases()
+	if len(covered) != 6 {
+		t.Fatalf("covered phases = %v, want all six", covered)
+	}
+	for _, phase := range covered {
+		h, ok := snap.Histograms["phase."+phase+"_s"]
+		if !ok || h.Count == 0 {
+			t.Errorf("phase %s has no timing histogram observations", phase)
+		}
+		if ok && h.Sum <= 0 {
+			t.Errorf("phase %s recorded non-positive total duration %v", phase, h.Sum)
+		}
+	}
+
+	// A disabled framework yields an empty snapshot without panicking.
+	f2, err := New(Options{Oracle: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := f2.Snapshot()
+	if len(empty.Counters) != 0 || empty.Trace != nil {
+		t.Errorf("disabled telemetry snapshot not empty: %+v", empty)
+	}
+}

@@ -25,7 +25,27 @@ package arch
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+
+	"cooper/internal/telemetry"
 )
+
+// metricsSink receives solver telemetry when installed via SetMetrics.
+// It is process-global because CMP values are copied freely throughout
+// the stack; counter updates are atomic, so concurrent frameworks share
+// one sink safely.
+var metricsSink atomic.Pointer[telemetry.Registry]
+
+// SetMetrics installs the registry that receives the contention solver's
+// work counters (arch.solver_calls, arch.solver_iters). Pass nil to
+// disable. Uninstrumented processes pay one atomic load per solve.
+func SetMetrics(r *telemetry.Registry) {
+	if r == nil {
+		metricsSink.Store(nil)
+		return
+	}
+	metricsSink.Store(r)
+}
 
 // CMP describes one chip multiprocessor. The default configuration mirrors
 // the paper's evaluation server: a 12-core / 24-thread Xeon E5-2697 v2 at
@@ -153,8 +173,18 @@ type Perf struct {
 
 // solverIters bounds the coupled cache/bandwidth fixed-point iteration.
 // The system contracts quickly; 64 iterations is far beyond what the
-// damped updates need to converge to 1e-9.
+// damped updates need to converge to 1e-9, and the loop exits early once
+// the latency and share updates fall below latencyTol / shareTolBytes.
 const solverIters = 64
+
+// latencyTol is the absolute convergence tolerance on the per-miss
+// latency update, in core cycles; shareTolBytes is the tolerance on cache
+// share movement. Both sit orders of magnitude below any quantity the
+// model reports, so early exit does not perturb results beyond ~1e-10.
+const (
+	latencyTol    = 1e-9
+	shareTolBytes = 1.0
+)
 
 // Solo returns the standalone performance of a task running on half the
 // CMP's threads (the paper's baseline: standalone and colocated runs use
@@ -203,7 +233,9 @@ func (c CMP) solve(tasks []TaskModel, shares []float64) []Perf {
 	miss := make([]float64, n)
 	util := 0.0
 
+	iters := 0
 	for iter := 0; iter < solverIters; iter++ {
+		iters++
 		// 1. Miss ratios and throughput at current shares and latency.
 		var demand float64
 		for i, t := range tasks {
@@ -231,6 +263,7 @@ func (c CMP) solve(tasks []TaskModel, shares []float64) []Perf {
 		// share of a shared LRU cache tracks its share of insertions
 		// (miss traffic). Under static partitioning the initial equal
 		// shares are left untouched.
+		shareDelta := 0.0
 		if n > 1 && !c.StaticCachePartition {
 			var totalMissRate float64
 			rates := make([]float64, n)
@@ -242,12 +275,24 @@ func (c CMP) solve(tasks []TaskModel, shares []float64) []Perf {
 				for i := range shares {
 					target := c.LLCBytes * rates[i] / totalMissRate
 					// Damp the update to keep the fixed point stable.
-					shares[i] = 0.5*shares[i] + 0.5*target
+					next := 0.5*shares[i] + 0.5*target
+					if d := math.Abs(next - shares[i]); d > shareDelta {
+						shareDelta = d
+					}
+					shares[i] = next
 				}
 			}
 		}
 
+		latDelta := math.Abs(0.5 * (newLatency - latency))
 		latency = 0.5*latency + 0.5*newLatency
+		if latDelta < latencyTol && shareDelta < shareTolBytes {
+			break
+		}
+	}
+	if r := metricsSink.Load(); r != nil {
+		r.Counter("arch.solver_calls").Inc()
+		r.Counter("arch.solver_iters").Add(int64(iters))
 	}
 
 	// Saturated channel: when total demand exceeds the physical peak, the

@@ -14,6 +14,7 @@ import (
 
 	"cooper/internal/core"
 	"cooper/internal/stats"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -117,12 +118,20 @@ func (d *Driver) Run(arrivals []Arrival) ([]Epoch, Summary, error) {
 				return nil, Summary{}, err
 			}
 			pending = pending[len(batch):]
-			epochs = append(epochs, Epoch{
+			ep := Epoch{
 				StartS:      t,
 				Report:      rep,
 				QueuedAfter: len(pending),
 				MeanWaitS:   wait / float64(len(batch)),
-			})
+			}
+			epochs = append(epochs, ep)
+			if reg := d.Framework.Telemetry().Registry(); reg != nil {
+				reg.Counter("driver.epochs").Inc()
+				reg.Counter("driver.jobs").Add(int64(len(batch)))
+				reg.Gauge("driver.queue_depth").Set(float64(ep.QueuedAfter))
+				reg.Histogram("driver.wait_s", telemetry.DurationBuckets()).
+					Observe(ep.MeanWaitS)
+			}
 		}
 		if next >= len(sorted) && len(pending) == 0 && t >= horizon {
 			break

@@ -6,6 +6,7 @@ import (
 	"cooper/internal/arch"
 	"cooper/internal/core"
 	"cooper/internal/stats"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -135,5 +136,86 @@ func TestDriverValidation(t *testing.T) {
 	if err != nil || len(epochs) != 0 || summary.Jobs != 0 {
 		t.Errorf("empty arrivals: epochs=%d summary=%+v err=%v",
 			len(epochs), summary, err)
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	mk := func(n int, penalty, wait float64, queued int) Epoch {
+		pop := workload.Population{Jobs: make([]workload.Job, n)}
+		pen := make([]float64, n)
+		for i := range pen {
+			pen[i] = penalty
+		}
+		return Epoch{
+			Report:      &core.EpochReport{Population: pop, TruePenalty: pen},
+			MeanWaitS:   wait,
+			QueuedAfter: queued,
+		}
+	}
+	epochs := []Epoch{
+		mk(4, 0.10, 30, 2),
+		mk(6, 0.20, 60, 7),
+		mk(2, 0.05, 0, 0),
+	}
+	s := summarize(epochs)
+	if s.Epochs != len(epochs) {
+		t.Errorf("Epochs = %d, want %d", s.Epochs, len(epochs))
+	}
+	if s.Jobs != 12 {
+		t.Errorf("Jobs = %d, want 12", s.Jobs)
+	}
+	// Job-weighted means: penalty (4*0.10+6*0.20+2*0.05)/12, wait
+	// (4*30+6*60+2*0)/12.
+	wantPen := (4*0.10 + 6*0.20 + 2*0.05) / 12
+	if diff := s.MeanPenalty - wantPen; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("MeanPenalty = %v, want %v", s.MeanPenalty, wantPen)
+	}
+	wantWait := (4*30.0 + 6*60.0) / 12
+	if diff := s.MeanWaitS - wantWait; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("MeanWaitS = %v, want %v", s.MeanWaitS, wantWait)
+	}
+	if s.MaxQueued != 7 {
+		t.Errorf("MaxQueued = %d, want 7", s.MaxQueued)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := summarize(nil)
+	if s != (Summary{}) {
+		t.Errorf("empty summarize = %+v, want zero value", s)
+	}
+}
+
+func TestDriverRecordsTelemetry(t *testing.T) {
+	tel := telemetry.New()
+	f, err := core.New(core.Options{Oracle: true, Seed: 1, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Catalog(arch.DefaultCMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Framework: f, PeriodS: 300, MaxBatch: 40}
+	arrivals, err := PoissonArrivals(0.05, 3600, jobs, stats.Uniform{}, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, sum, err := d.Run(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counter("driver.epochs"); got != int64(len(epochs)) {
+		t.Errorf("driver.epochs = %d, want %d", got, len(epochs))
+	}
+	if got := snap.Counter("driver.jobs"); got != int64(sum.Jobs) {
+		t.Errorf("driver.jobs = %d, want %d", got, sum.Jobs)
+	}
+	if h, ok := snap.Histograms["driver.wait_s"]; !ok || h.Count != uint64(len(epochs)) {
+		t.Errorf("driver.wait_s observations = %+v, want %d", h, len(epochs))
+	}
+	if got := snap.Counter("epoch.count"); got != int64(len(epochs)) {
+		t.Errorf("epoch.count = %d, want %d", got, len(epochs))
 	}
 }

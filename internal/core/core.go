@@ -12,11 +12,13 @@ import (
 
 	"cooper/internal/agent"
 	"cooper/internal/arch"
+	"cooper/internal/cachesim"
 	"cooper/internal/cluster"
 	"cooper/internal/matching"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/recommend"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -54,6 +56,10 @@ type Options struct {
 	// (built via workload.BuildCatalog or workload.LoadCatalog against
 	// the same Machine). Nil uses the paper's 20 jobs.
 	Catalog []workload.Job
+	// Telemetry, when non-nil, receives phase spans and pipeline metrics
+	// from every layer the framework touches. Nil (the default) disables
+	// observability at near-zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +98,7 @@ type Framework struct {
 	truth     [][]float64 // job-level penalties from the analytic oracle
 	iters     int         // predictor iterations used
 	rng       *rand.Rand
+	tel       *telemetry.Telemetry
 }
 
 // New builds a Framework: it calibrates the catalog, runs the offline
@@ -117,6 +124,12 @@ func New(opts Options) (*Framework, error) {
 		catalog: catalog,
 		db:      profiler.NewDatabase(),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
+		tel:     opts.Telemetry,
+	}
+	if f.tel != nil {
+		// Route the model layers' package-level sinks into this registry.
+		arch.SetMetrics(f.tel.Registry())
+		cachesim.SetMetrics(f.tel.Registry())
 	}
 	var err error
 	f.cluster, err = cluster.New(opts.Machines, opts.Machine)
@@ -132,6 +145,7 @@ func New(opts Options) (*Framework, error) {
 
 	prof := profiler.New(opts.Machine, f.db, opts.Seed+1)
 	prof.Sim = opts.Sim
+	prof.Tel = f.tel
 	if err := prof.Campaign(catalog, opts.SampleFraction); err != nil {
 		return nil, err
 	}
@@ -139,10 +153,16 @@ func New(opts Options) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.predicted, f.iters, err = opts.Predictor.Complete(sparse)
+	predict := f.tel.Phase(nil, "predict")
+	predict.SetAttr("sparsity", profiler.Sparsity(sparse))
+	pred := opts.Predictor
+	pred.Metrics = f.tel.Registry()
+	f.predicted, f.iters, err = pred.Complete(sparse)
 	if err != nil {
 		return nil, err
 	}
+	predict.SetAttr("fill_iters", f.iters)
+	f.tel.End(predict)
 	return f, nil
 }
 
@@ -162,6 +182,14 @@ func (f *Framework) TruePenalties() [][]float64 { return f.truth }
 // PredictorIterations returns how many fill iterations the preference
 // predictor used (0 in Oracle mode).
 func (f *Framework) PredictorIterations() int { return f.iters }
+
+// Telemetry returns the telemetry handle the framework was built with
+// (nil when observability is disabled).
+func (f *Framework) Telemetry() *telemetry.Telemetry { return f.tel }
+
+// Snapshot copies the framework's metrics and span tree. With telemetry
+// disabled it returns an empty snapshot, so callers need not branch.
+func (f *Framework) Snapshot() telemetry.Snapshot { return f.tel.Snapshot() }
 
 // PredictionAccuracy evaluates the paper's Equation 2 on this framework's
 // predicted versus true job-level penalties.
@@ -204,6 +232,8 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty population")
 	}
+	epoch := f.tel.Phase(nil, "epoch")
+	epoch.SetAttr("agents", n)
 	predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
 	if err != nil {
 		return nil, err
@@ -217,14 +247,24 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 		bw[i] = j.BandwidthGBps
 	}
 
+	reg := f.tel.Registry()
+	matchSpan := f.tel.Phase(epoch, "match")
+	preProposals := reg.Counter("match.proposals").Value()
+	preRotations := reg.Counter("match.rotations").Value()
 	match, err := f.opts.Policy.Assign(predD, policy.Context{
 		BandwidthGBps: bw,
 		Rand:          f.rng,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return nil, err
 	}
+	matchSpan.SetAttr("policy", f.opts.Policy.Name())
+	matchSpan.SetAttr("proposals", reg.Counter("match.proposals").Value()-preProposals)
+	matchSpan.SetAttr("rotations", reg.Counter("match.rotations").Value()-preRotations)
+	f.tel.End(matchSpan)
 
+	assess := f.tel.Phase(epoch, "assess")
 	agents := make([]*agent.Agent, n)
 	for i := range agents {
 		agents[i] = agent.New(i, pop.Jobs[i].Name, predD[i])
@@ -248,9 +288,13 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 			rep.TruePenalty[i] = trueD[i][j]
 		}
 	}
+	assess.SetAttr("breakaways", rep.BreakAwayCount())
+	assess.SetAttr("blocking_pairs", len(rep.BlockingPairs))
+	f.tel.End(assess)
 
 	// Dispatch: agents participate by default (the paper's
 	// implementation), so every assignment goes to the cluster.
+	dispatch := f.tel.Phase(epoch, "dispatch")
 	f.cluster.Reset()
 	var batch []cluster.Assignment
 	for i, j := range match {
@@ -267,6 +311,21 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 	}
 	results := f.cluster.Dispatch(batch)
 	rep.Cluster = f.cluster.Summarize(results)
+	dispatch.SetAttr("colocations", len(batch))
+	f.tel.End(dispatch)
+	f.tel.End(epoch)
+
+	if reg != nil {
+		reg.Counter("epoch.count").Inc()
+		reg.Counter("epoch.agents").Add(int64(n))
+		reg.Counter("epoch.breakaways").Add(int64(rep.BreakAwayCount()))
+		reg.Counter("epoch.blocking_pairs").Add(int64(len(rep.BlockingPairs)))
+		reg.Gauge("epoch.mean_penalty").Set(rep.MeanTruePenalty())
+		h := reg.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
+		for _, p := range rep.TruePenalty {
+			h.Observe(p)
+		}
+	}
 	return rep, nil
 }
 

@@ -102,8 +102,30 @@ func GreedyPair(agents []int, d [][]float64, match Matching) {
 // to minimize their individual disutilities. It reports the matching and
 // how many agents needed the greedy fallback.
 func AdaptedRoommates(d [][]float64) (Matching, int, error) {
+	match, stats, err := AdaptedRoommatesStats(d)
+	return match, stats.GreedyFallback, err
+}
+
+// AdaptedStats aggregates Irving work counters across the SR policy's
+// retry loop, for the telemetry layer.
+type AdaptedStats struct {
+	// Proposals and Rotations sum RoommateStats over every attempt,
+	// including failed ones.
+	Proposals int
+	Rotations int
+	// Retries is how many witness-removal rounds ran before a stable
+	// sub-instance was found.
+	Retries int
+	// GreedyFallback is how many agents the greedy completion paired.
+	GreedyFallback int
+}
+
+// AdaptedRoommatesStats is AdaptedRoommates plus the accumulated Irving
+// work counters.
+func AdaptedRoommatesStats(d [][]float64) (Matching, AdaptedStats, error) {
+	var stats AdaptedStats
 	if err := ValidatePenalties(d); err != nil {
-		return nil, 0, err
+		return nil, stats, err
 	}
 	n := len(d)
 	match := make(Matching, n)
@@ -111,7 +133,7 @@ func AdaptedRoommates(d [][]float64) (Matching, int, error) {
 		match[i] = Unmatched
 	}
 	if n < 2 {
-		return match, 0, nil
+		return match, stats, nil
 	}
 
 	// ids maps positions in the shrinking sub-instance to original agents.
@@ -129,7 +151,9 @@ func AdaptedRoommates(d [][]float64) (Matching, int, error) {
 				sub[a][b] = d[i][j]
 			}
 		}
-		m, err := StableRoommates(PrefsFromPenalties(sub))
+		m, rs, err := StableRoommatesStats(PrefsFromPenalties(sub))
+		stats.Proposals += rs.Proposals
+		stats.Rotations += rs.Rotations
 		if err == nil {
 			for a, b := range m {
 				if b != Unmatched {
@@ -141,9 +165,10 @@ func AdaptedRoommates(d [][]float64) (Matching, int, error) {
 		}
 		var nse *NoStableError
 		if !errors.As(err, &nse) {
-			return nil, 0, err
+			return nil, stats, err
 		}
 		// Remove the witness and retry on the rest.
+		stats.Retries++
 		w := nse.Agent
 		leftovers = append(leftovers, ids[w])
 		ids = append(ids[:w], ids[w+1:]...)
@@ -151,5 +176,6 @@ func AdaptedRoommates(d [][]float64) (Matching, int, error) {
 	leftovers = append(leftovers, ids...)
 
 	GreedyPair(leftovers, d, match)
-	return match, len(leftovers), nil
+	stats.GreedyFallback = len(leftovers)
+	return match, stats, nil
 }

@@ -61,9 +61,17 @@ func (m Matching) Validate() error {
 // cross-set sense: no proposer and receiver prefer each other over their
 // assigned partners.
 func StableMarriage(proposerPrefs, receiverPrefs [][]int) ([]int, error) {
+	match, _, err := StableMarriageProposals(proposerPrefs, receiverPrefs)
+	return match, err
+}
+
+// StableMarriageProposals is StableMarriage plus the number of proposals
+// deferred acceptance issued — the work metric the paper's §IV overhead
+// discussion tracks and the telemetry layer exports.
+func StableMarriageProposals(proposerPrefs, receiverPrefs [][]int) ([]int, int, error) {
 	n := len(proposerPrefs)
 	if err := validateBipartite(proposerPrefs, receiverPrefs); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	// receiverRank[j][i] = rank of proposer i in receiver j's list.
@@ -81,6 +89,7 @@ func StableMarriage(proposerPrefs, receiverPrefs [][]int) ([]int, error) {
 	for i := n - 1; i >= 0; i-- {
 		free = append(free, i)
 	}
+	proposals := 0
 	for len(free) > 0 {
 		m := free[len(free)-1]
 		free = free[:len(free)-1]
@@ -91,6 +100,7 @@ func StableMarriage(proposerPrefs, receiverPrefs [][]int) ([]int, error) {
 		}
 		w := proposerPrefs[m][next[m]]
 		next[m]++
+		proposals++
 		switch cur := holds[w]; {
 		case cur == Unmatched:
 			holds[w] = m
@@ -106,7 +116,7 @@ func StableMarriage(proposerPrefs, receiverPrefs [][]int) ([]int, error) {
 			proposerMatch[m] = w
 		}
 	}
-	return proposerMatch, nil
+	return proposerMatch, proposals, nil
 }
 
 // StableMarriageRounds runs the paper's parallel formulation: each round,

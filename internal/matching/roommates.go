@@ -31,6 +31,9 @@ type roomTable struct {
 	count  []int    // active entries per agent
 	lo     []int    // first possibly-active index per agent (monotone)
 	hi     []int    // last possibly-active index per agent (monotone)
+
+	proposals int // phase-1 proposals issued
+	rotations int // phase-2 rotations eliminated
 }
 
 func newRoomTable(prefs [][]int) (*roomTable, error) {
@@ -126,21 +129,37 @@ func (t *roomTable) last(i int) int {
 // a *NoStableError when the instance has no perfectly stable assignment
 // (including every odd-n instance).
 func StableRoommates(prefs [][]int) (Matching, error) {
+	match, _, err := StableRoommatesStats(prefs)
+	return match, err
+}
+
+// RoommateStats counts the work Irving's algorithm performed: phase-1
+// proposals and phase-2 rotation eliminations. Both are reported even on
+// failed (no-stable-matching) runs, where they measure the work spent
+// proving infeasibility.
+type RoommateStats struct {
+	Proposals int
+	Rotations int
+}
+
+// StableRoommatesStats is StableRoommates plus the algorithm's work
+// counters, for the telemetry layer.
+func StableRoommatesStats(prefs [][]int) (Matching, RoommateStats, error) {
 	t, err := newRoomTable(prefs)
 	if err != nil {
-		return nil, err
+		return nil, RoommateStats{}, err
 	}
 	if t.n%2 == 1 {
 		// An odd population can never be perfectly matched; phase 1 would
 		// discover this, but failing fast keeps the witness meaningful.
-		return nil, &NoStableError{Agent: t.n - 1}
+		return nil, RoommateStats{}, &NoStableError{Agent: t.n - 1}
 	}
 
 	if agent, ok := t.phase1(); !ok {
-		return nil, &NoStableError{Agent: agent}
+		return nil, t.stats(), &NoStableError{Agent: agent}
 	}
 	if agent, ok := t.phase2(); !ok {
-		return nil, &NoStableError{Agent: agent}
+		return nil, t.stats(), &NoStableError{Agent: agent}
 	}
 
 	match := make(Matching, t.n)
@@ -149,9 +168,13 @@ func StableRoommates(prefs [][]int) (Matching, error) {
 	}
 	if err := match.Validate(); err != nil {
 		// The algorithm guarantees symmetry; this is a defensive check.
-		return nil, fmt.Errorf("matching: internal error: %w", err)
+		return nil, t.stats(), fmt.Errorf("matching: internal error: %w", err)
 	}
-	return match, nil
+	return match, t.stats(), nil
+}
+
+func (t *roomTable) stats() RoommateStats {
+	return RoommateStats{Proposals: t.proposals, Rotations: t.rotations}
 }
 
 // phase1 runs the proposal sequence. Each free agent proposes down its
@@ -176,6 +199,7 @@ func (t *roomTable) phase1() (int, bool) {
 			if q == Unmatched {
 				return p, false // p rejected by everyone
 			}
+			t.proposals++
 			cur := holds[q]
 			if cur == Unmatched {
 				holds[q] = p
@@ -253,6 +277,7 @@ func (t *roomTable) phase2() (int, bool) {
 		// Eliminate the rotation: each a_i moves from its first choice to
 		// its second; that second choice rejects everyone it likes less
 		// than a_i.
+		t.rotations++
 		type move struct{ a, b int }
 		moves := make([]move, 0, len(seq))
 		for _, a := range seq {

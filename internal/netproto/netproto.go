@@ -17,16 +17,26 @@ package netproto
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"cooper/internal/matching"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/stats"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
+
+// ErrServerClosed is returned by Serve after Shutdown: the listener was
+// closed deliberately, any in-flight epoch was drained, and no error
+// occurred. Mirrors net/http.ErrServerClosed so callers can distinguish a
+// graceful stop from a failure.
+var ErrServerClosed = errors.New("netproto: server closed")
 
 // Message is the single wire envelope; Type selects which fields matter.
 type Message struct {
@@ -35,8 +45,11 @@ type Message struct {
 	// register
 	Job string `json:"job,omitempty"`
 
-	// registered
-	AgentID int `json:"agent_id,omitempty"`
+	// registered. agent_id must NOT carry omitempty: the first agent to
+	// register is assigned ID 0, and omitting the field would make its
+	// "registered" reply indistinguishable from a malformed one for strict
+	// clients.
+	AgentID int `json:"agent_id"`
 
 	// assignment
 	PartnerID        int     `json:"partner_id"` // -1 when running solo
@@ -58,10 +71,13 @@ type Message struct {
 
 // Server is the networked coordinator: it accepts Epoch-size agent
 // registrations, assigns colocations with the configured policy, and
-// reports a summary.
+// reports a summary after each of Epochs scheduling rounds.
 type Server struct {
 	// Epoch is the number of agents per scheduling epoch.
 	Epoch int
+	// Epochs is how many scheduling rounds to run over the registered
+	// agents before closing. Zero means one.
+	Epochs int
 	// Policy assigns colocations; nil means SMR.
 	Policy policy.Policy
 	// Catalog maps job names to models; required.
@@ -71,12 +87,21 @@ type Server struct {
 	Penalties [][]float64
 	// Seed drives the policy's randomness.
 	Seed int64
+	// Metrics, when non-nil, receives wire and epoch counters
+	// (net.connections, net.msg_in.*, net.msg_out.*, net.epoch_latency_s,
+	// epoch.*). Nil disables recording.
+	Metrics *telemetry.Registry
+	// OnEpoch, when non-nil, is invoked after each epoch with its index
+	// (0-based) and the summary broadcast to the agents.
+	OnEpoch func(epoch int, summary Message)
 
 	ln       net.Listener
 	mu       sync.Mutex
+	closing  bool
 	sessions []*session
 	done     chan struct{}
 	err      error
+	rng      *rand.Rand
 }
 
 type session struct {
@@ -86,10 +111,50 @@ type session struct {
 	job  workload.Job
 }
 
-// Serve listens on addr (e.g. "127.0.0.1:0"), runs exactly one epoch once
-// Epoch agents have registered, and then closes. It returns the bound
-// address through the callback before blocking, so tests and tools can
-// connect.
+// Shutdown requests a graceful stop: the listener closes immediately (so
+// no new agents can register) and Serve returns ErrServerClosed after the
+// in-flight epoch, if any, has drained. Safe to call from any goroutine,
+// at any time, more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return
+	}
+	s.closing = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+// shuttingDown reports whether Shutdown has been requested.
+func (s *Server) shuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// send encodes msg to the session and counts it as net.msg_out.<type>.
+func (s *Server) send(sess *session, msg Message) error {
+	s.Metrics.Counter("net.msg_out." + msg.Type).Inc()
+	return sess.enc.Encode(msg)
+}
+
+// recv decodes one message from the session and counts it as
+// net.msg_in.<type>.
+func (s *Server) recv(sess *session) (Message, error) {
+	var msg Message
+	if err := sess.dec.Decode(&msg); err != nil {
+		return msg, err
+	}
+	s.Metrics.Counter("net.msg_in." + msg.Type).Inc()
+	return msg, nil
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0"), runs Epochs scheduling
+// rounds once Epoch agents have registered, and then closes. It returns
+// the bound address through the callback before blocking, so tests and
+// tools can connect. After Shutdown it returns ErrServerClosed.
 func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	if s.Epoch <= 0 {
 		return fmt.Errorf("netproto: Epoch must be positive")
@@ -100,12 +165,25 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	if s.Policy == nil {
 		s.Policy = policy.StableMarriageRandom{}
 	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.ln = ln
+	if s.closing {
+		// Shutdown raced Serve before the listener existed.
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.mu.Unlock()
 	s.done = make(chan struct{})
+	s.rng = stats.NewRand(s.Seed)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -113,22 +191,26 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	for len(s.sessions) < s.Epoch {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.shuttingDown() {
+				return ErrServerClosed
+			}
 			return err
 		}
+		s.Metrics.Counter("net.connections").Inc()
 		sess := &session{
 			conn: conn,
 			enc:  json.NewEncoder(conn),
 			dec:  json.NewDecoder(bufio.NewReader(conn)),
 		}
-		var reg Message
-		if err := sess.dec.Decode(&reg); err != nil || reg.Type != "register" {
-			_ = sess.enc.Encode(Message{Type: "error", Error: "expected register", PartnerID: -1})
+		reg, err := s.recv(sess)
+		if err != nil || reg.Type != "register" {
+			_ = s.send(sess, Message{Type: "error", Error: "expected register", PartnerID: -1})
 			conn.Close()
 			continue
 		}
 		job, ok := workload.Find(s.Catalog, reg.Job)
 		if !ok {
-			_ = sess.enc.Encode(Message{Type: "error",
+			_ = s.send(sess, Message{Type: "error",
 				Error: fmt.Sprintf("unknown job %q", reg.Job), PartnerID: -1})
 			conn.Close()
 			continue
@@ -136,7 +218,7 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 		sess.job = job
 		id := len(s.sessions)
 		s.sessions = append(s.sessions, sess)
-		if err := sess.enc.Encode(Message{Type: "registered", AgentID: id, PartnerID: -1}); err != nil {
+		if err := s.send(sess, Message{Type: "registered", AgentID: id, PartnerID: -1}); err != nil {
 			return err
 		}
 	}
@@ -147,17 +229,34 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 		ln.Close()
 		close(s.done)
 	}()
-	return s.runEpoch()
+
+	for e := 0; e < epochs; e++ {
+		start := time.Now()
+		summary, err := s.runEpoch()
+		if err != nil {
+			return err
+		}
+		s.Metrics.Histogram("net.epoch_latency_s", telemetry.DurationBuckets()).
+			Observe(time.Since(start).Seconds())
+		if s.OnEpoch != nil {
+			s.OnEpoch(e, summary)
+		}
+		if s.shuttingDown() {
+			// The in-flight epoch drained; stop before starting another.
+			return ErrServerClosed
+		}
+	}
+	return nil
 }
 
-func (s *Server) runEpoch() error {
+func (s *Server) runEpoch() (Message, error) {
 	pop := workload.Population{Jobs: make([]workload.Job, len(s.sessions)), Mix: "registered"}
 	for i, sess := range s.sessions {
 		pop.Jobs[i] = sess.job
 	}
 	d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
 	if err != nil {
-		return err
+		return Message{}, err
 	}
 	bw := make([]float64, len(pop.Jobs))
 	for i, j := range pop.Jobs {
@@ -165,10 +264,11 @@ func (s *Server) runEpoch() error {
 	}
 	match, err := s.Policy.Assign(d, policy.Context{
 		BandwidthGBps: bw,
-		Rand:          stats.NewRand(s.Seed),
+		Rand:          s.rng,
+		Metrics:       s.Metrics,
 	})
 	if err != nil {
-		return err
+		return Message{}, err
 	}
 
 	// Push assignments.
@@ -178,8 +278,8 @@ func (s *Server) runEpoch() error {
 			msg.PartnerJob = pop.Jobs[match[i]].Name
 			msg.PredictedPenalty = d[i][match[i]]
 		}
-		if err := sess.enc.Encode(msg); err != nil {
-			return err
+		if err := s.send(sess, msg); err != nil {
+			return Message{}, err
 		}
 	}
 
@@ -187,12 +287,12 @@ func (s *Server) runEpoch() error {
 	breakAways := 0
 	var meanPenalty float64
 	for i, sess := range s.sessions {
-		var assess Message
-		if err := sess.dec.Decode(&assess); err != nil {
-			return fmt.Errorf("netproto: agent %d assessment: %w", i, err)
+		assess, err := s.recv(sess)
+		if err != nil {
+			return Message{}, fmt.Errorf("netproto: agent %d assessment: %w", i, err)
 		}
 		if assess.Type != "assess" {
-			return fmt.Errorf("netproto: agent %d sent %q, want assess", i, assess.Type)
+			return Message{}, fmt.Errorf("netproto: agent %d sent %q, want assess", i, assess.Type)
 		}
 		if assess.Action == "break-away" {
 			breakAways++
@@ -212,11 +312,26 @@ func (s *Server) runEpoch() error {
 		Participating: len(s.sessions) - breakAways,
 	}
 	for _, sess := range s.sessions {
-		if err := sess.enc.Encode(summary); err != nil {
-			return err
+		if err := s.send(sess, summary); err != nil {
+			return Message{}, err
 		}
 	}
-	return nil
+	if s.Metrics != nil {
+		s.Metrics.Counter("epoch.count").Inc()
+		s.Metrics.Counter("epoch.agents").Add(int64(len(s.sessions)))
+		s.Metrics.Counter("epoch.breakaways").Add(int64(breakAways))
+		s.Metrics.Counter("epoch.participating").Add(int64(summary.Participating))
+		s.Metrics.Gauge("epoch.mean_penalty").Set(meanPenalty)
+		h := s.Metrics.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
+		for i := range s.sessions {
+			if match[i] != matching.Unmatched {
+				h.Observe(d[i][match[i]])
+			} else {
+				h.Observe(0)
+			}
+		}
+	}
+	return summary, nil
 }
 
 // Client is one networked agent.

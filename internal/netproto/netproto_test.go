@@ -1,6 +1,8 @@
 package netproto
 
 import (
+	"bufio"
+	"encoding/json"
 	"net"
 	"strings"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"cooper/internal/arch"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -271,5 +274,167 @@ func TestServerBadListenAddress(t *testing.T) {
 	srv, _ := testServer(t, 1, nil)
 	if err := srv.Serve("256.0.0.1:99999", nil); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+func TestRegisteredCarriesAgentIDZero(t *testing.T) {
+	// Regression: agent_id used to carry omitempty, so the first agent's
+	// "registered" reply (ID 0) dropped the field from the wire entirely.
+	srv, _ := testServer(t, 1, nil)
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"type":"register","job":"dedup"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Read the raw registered line to inspect the wire encoding itself;
+	// the same buffered reader then feeds the decoder so no bytes of the
+	// follow-on assignment are lost.
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, `"agent_id":0`) {
+		t.Errorf("registered reply must carry agent_id explicitly, got %q", line)
+	}
+
+	// Finish the epoch so the server goroutine exits cleanly.
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(br)
+	var assignment Message
+	if err := dec.Decode(&assignment); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(Message{Type: "assess", Action: "participate"}); err != nil {
+		t.Fatal(err)
+	}
+	var summary Message
+	if err := dec.Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestMultiEpochServe(t *testing.T) {
+	srv, _ := testServer(t, 2, policy.Greedy{})
+	srv.Epochs = 3
+	srv.Metrics = telemetry.NewRegistry()
+	var epochsSeen []int
+	srv.OnEpoch = func(e int, sum Message) {
+		epochsSeen = append(epochsSeen, e)
+		if sum.Participating+sum.BreakAways != 2 {
+			t.Errorf("epoch %d summary accounting: %+v", e, sum)
+		}
+	}
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	for _, job := range []string{"correlation", "dedup"} {
+		wg.Add(1)
+		go func(job string) {
+			defer wg.Done()
+			c, err := Dial(addr, job)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for e := 0; e < 3; e++ {
+				if _, _, err := c.RunEpoch(); err != nil {
+					t.Errorf("epoch %d: %v", e, err)
+					return
+				}
+			}
+		}(job)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if len(epochsSeen) != 3 || epochsSeen[0] != 0 || epochsSeen[2] != 2 {
+		t.Errorf("OnEpoch saw %v, want [0 1 2]", epochsSeen)
+	}
+	snap := srv.Metrics.Snapshot()
+	if got := snap.Counter("epoch.count"); got != 3 {
+		t.Errorf("epoch.count = %d, want 3", got)
+	}
+	if got := snap.Counter("net.connections"); got != 2 {
+		t.Errorf("net.connections = %d, want 2", got)
+	}
+	if got := snap.Counter("net.msg_in.assess"); got != 6 {
+		t.Errorf("net.msg_in.assess = %d, want 6", got)
+	}
+	if h, ok := snap.Histograms["net.epoch_latency_s"]; !ok || h.Count != 3 {
+		t.Errorf("net.epoch_latency_s count = %+v, want 3 observations", h)
+	}
+}
+
+func TestShutdownBeforeRegistration(t *testing.T) {
+	srv, _ := testServer(t, 2, nil)
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	<-addrCh
+	srv.Shutdown()
+	if err := <-srvErr; err != ErrServerClosed {
+		t.Errorf("Serve after Shutdown = %v, want ErrServerClosed", err)
+	}
+	// A second Shutdown is a no-op.
+	srv.Shutdown()
+}
+
+func TestShutdownDrainsInFlightEpoch(t *testing.T) {
+	srv, _ := testServer(t, 2, policy.Greedy{})
+	srv.Epochs = 100
+	srv.OnEpoch = func(e int, _ Message) {
+		if e == 0 {
+			srv.Shutdown() // drain: finish epoch 0, then stop
+		}
+	}
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	for _, job := range []string{"correlation", "dedup"} {
+		wg.Add(1)
+		go func(job string) {
+			defer wg.Done()
+			c, err := Dial(addr, job)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			if _, _, err := c.RunEpoch(); err != nil {
+				t.Errorf("epoch: %v", err)
+			}
+		}(job)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != ErrServerClosed {
+		t.Errorf("Serve = %v, want ErrServerClosed after drain", err)
 	}
 }

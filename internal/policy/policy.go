@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"cooper/internal/matching"
+	"cooper/internal/telemetry"
 )
 
 // Context carries the per-agent information policies may use alongside the
@@ -26,6 +27,10 @@ type Context struct {
 	// Rand drives randomized policies (SMR). Policies must not use any
 	// other randomness source, keeping experiments reproducible.
 	Rand *rand.Rand
+	// Metrics, when non-nil, receives the matching work counters
+	// (match.proposals, match.rotations, match.sr_retries,
+	// match.greedy_fallback). Nil disables recording.
+	Metrics *telemetry.Registry
 }
 
 // Policy assigns co-runners to agents. d[i][j] is agent i's penalty when
@@ -158,7 +163,7 @@ func (StableMarriagePartition) Assign(d [][]float64, ctx Context) (matching.Matc
 	half := len(order) / 2
 	computeSet := order[:half]           // least intensive half
 	memorySet := order[len(order)-half:] // most intensive half proposes
-	return marriageBetween(d, memorySet, computeSet)
+	return marriageBetween(d, memorySet, computeSet, ctx.Metrics)
 }
 
 // StableMarriageRandom is the paper's SMR policy: partition tasks into two
@@ -181,7 +186,7 @@ func (StableMarriageRandom) Assign(d [][]float64, ctx Context) (matching.Matchin
 	half := n / 2
 	proposers := order[:half]
 	receivers := order[half : 2*half]
-	return marriageBetween(d, proposers, receivers)
+	return marriageBetween(d, proposers, receivers, ctx.Metrics)
 }
 
 // StableRoommate is the paper's SR policy: Irving's stable roommates over
@@ -197,7 +202,13 @@ func (StableRoommate) Assign(d [][]float64, ctx Context) (matching.Matching, err
 	if err := validate(d, ctx, false, false); err != nil {
 		return nil, err
 	}
-	match, _, err := matching.AdaptedRoommates(d)
+	match, stats, err := matching.AdaptedRoommatesStats(d)
+	if ctx.Metrics != nil {
+		ctx.Metrics.Counter("match.proposals").Add(int64(stats.Proposals))
+		ctx.Metrics.Counter("match.rotations").Add(int64(stats.Rotations))
+		ctx.Metrics.Counter("match.sr_retries").Add(int64(stats.Retries))
+		ctx.Metrics.Counter("match.greedy_fallback").Add(int64(stats.GreedyFallback))
+	}
 	return match, err
 }
 
@@ -292,7 +303,8 @@ func sortedByBandwidth(bw []float64) []int {
 // marriageBetween runs stable marriage between two equally sized agent
 // sets, building preference lists from the penalty matrix, and returns
 // the global matching. A leftover agent (odd population) stays solo.
-func marriageBetween(d [][]float64, proposers, receivers []int) (matching.Matching, error) {
+// Proposal counts land in metrics when non-nil.
+func marriageBetween(d [][]float64, proposers, receivers []int, metrics *telemetry.Registry) (matching.Matching, error) {
 	if len(proposers) != len(receivers) {
 		return nil, fmt.Errorf("policy: partition sizes differ: %d vs %d",
 			len(proposers), len(receivers))
@@ -321,11 +333,12 @@ func marriageBetween(d [][]float64, proposers, receivers []int) (matching.Matchi
 		}
 		return lists
 	}
-	proposerMatch, err := matching.StableMarriage(
+	proposerMatch, proposals, err := matching.StableMarriageProposals(
 		prefs(proposers, receivers), prefs(receivers, proposers))
 	if err != nil {
 		return nil, err
 	}
+	metrics.Counter("match.proposals").Add(int64(proposals))
 	for a, b := range proposerMatch {
 		if b == matching.Unmatched {
 			continue

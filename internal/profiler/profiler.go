@@ -20,6 +20,7 @@ import (
 
 	"cooper/internal/arch"
 	"cooper/internal/sparklog"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -130,6 +131,10 @@ type Profiler struct {
 	// whole-task quantization that path carries. PARSEC jobs keep the
 	// direct (perf-stat-style) measurement.
 	UseSparkLogs bool
+	// Tel, when non-nil, receives the Campaign's sample and profile phase
+	// spans plus the profile.records counter and profile.sample_fraction
+	// gauge. Nil disables tracing.
+	Tel *telemetry.Telemetry
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -249,9 +254,9 @@ func (p *Profiler) Campaign(jobs []workload.Job, fraction float64) error {
 	if fraction > 1 {
 		fraction = 1
 	}
-	for _, j := range jobs {
-		p.ProfileStandalone(j)
-	}
+
+	// Sample phase: choose which colocations to measure.
+	sample := p.Tel.Phase(nil, "sample")
 	type pair struct{ a, b int }
 	var pairs []pair
 	for i := range jobs {
@@ -263,9 +268,26 @@ func (p *Profiler) Campaign(jobs []workload.Job, fraction float64) error {
 	p.rng.Shuffle(len(pairs), func(x, y int) { pairs[x], pairs[y] = pairs[y], pairs[x] })
 	p.mu.Unlock()
 	n := int(math.Round(fraction * float64(len(pairs))))
+	sample.SetAttr("fraction", fraction)
+	sample.SetAttr("space", len(pairs))
+	sample.SetAttr("sampled", n)
+	p.Tel.End(sample)
+	p.Tel.Gauge("profile.sample_fraction").Set(fraction)
+
+	// Profile phase: run the measurements on the simulated CMP.
+	profile := p.Tel.Phase(nil, "profile")
+	for _, j := range jobs {
+		p.ProfileStandalone(j)
+	}
 	for _, pr := range pairs[:n] {
 		p.ProfilePair(jobs[pr.a], jobs[pr.b])
 	}
+	records := len(jobs) + 2*n
+	profile.SetAttr("standalone", len(jobs))
+	profile.SetAttr("pairs", n)
+	profile.SetAttr("records", records)
+	p.Tel.End(profile)
+	p.Tel.Counter("profile.records").Add(int64(records))
 	return nil
 }
 

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"cooper/internal/telemetry"
 )
 
 // Mode selects the collaborative-filtering flavour.
@@ -45,6 +47,9 @@ type Predictor struct {
 	// Mode selects item-based (default, the paper's) or user-based
 	// filtering.
 	Mode Mode
+	// Metrics, when non-nil, receives the predictor's work counters
+	// (predict.fill_iters, predict.cells_filled, predict.fallback_cells).
+	Metrics *telemetry.Registry
 }
 
 // Default returns the configuration Cooper uses: full neighborhoods,
@@ -114,6 +119,16 @@ func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
 		out = next
 	}
 
+	filled := 0
+	fallback := 0
+	for i := range out {
+		for j := range out[i] {
+			if math.IsNaN(m[i][j]) && !math.IsNaN(out[i][j]) {
+				filled++
+			}
+		}
+	}
+
 	// Fallback for entries no neighborhood could reach: row mean, then
 	// global mean.
 	if hasNaN(out) {
@@ -146,9 +161,15 @@ func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
 					} else {
 						out[i][j] = global
 					}
+					fallback++
 				}
 			}
 		}
+	}
+	if p.Metrics != nil {
+		p.Metrics.Counter("predict.fill_iters").Add(int64(iters))
+		p.Metrics.Counter("predict.cells_filled").Add(int64(filled))
+		p.Metrics.Counter("predict.fallback_cells").Add(int64(fallback))
 	}
 	return out, iters, nil
 }

@@ -1,0 +1,81 @@
+package simcli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cooper/internal/core"
+	"cooper/internal/stats"
+	"cooper/internal/telemetry"
+	"cooper/internal/textplot"
+)
+
+// Trace runs one fully instrumented pass of the Cooper pipeline — offline
+// profiling campaign, preference prediction, and a scheduling epoch — and
+// renders the span tree, the phase timings, the epoch penalty histogram,
+// and the work counters. It is the cooper-sim -trace entry point.
+func Trace(w io.Writer, opts Options) error {
+	if opts.N <= 0 {
+		opts.N = 64
+	}
+	if opts.Quick && opts.N > 64 {
+		opts.N = 64
+	}
+	tel := telemetry.New()
+	fw, err := core.New(core.Options{
+		Seed:      opts.Seed,
+		Telemetry: tel,
+	})
+	if err != nil {
+		return err
+	}
+	pop := fw.SamplePopulation(opts.N, stats.Uniform{})
+	if _, err := fw.RunEpoch(pop); err != nil {
+		return err
+	}
+	tel.Trace.Finish()
+
+	snap := fw.Snapshot()
+	fmt.Fprintf(w, "span tree (%d agents, seed %d):\n\n", opts.N, opts.Seed)
+	fmt.Fprintln(w, tel.Trace.Render())
+
+	covered := tel.Trace.CoveredPhases()
+	fmt.Fprintf(w, "phases covered: %d/%d (%v)\n\n", len(covered),
+		len(telemetry.PhaseNames()), covered)
+
+	if h, ok := snap.Histograms["epoch.penalty"]; ok && h.Count > 0 {
+		labels := make([]string, len(h.Counts))
+		values := make([]float64, len(h.Counts))
+		for i, c := range h.Counts {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if i < len(h.Bounds) {
+				labels[i] = fmt.Sprintf("[%.3f,%.3f)", lo, h.Bounds[i])
+			} else {
+				labels[i] = fmt.Sprintf("[%.3f,+inf)", lo)
+			}
+			values[i] = float64(c)
+		}
+		fmt.Fprintf(w, "epoch penalty distribution (p50 %.4f, p95 %.4f, p99 %.4f):\n\n",
+			h.P50, h.P95, h.P99)
+		fmt.Fprintln(w, textplot.Bar(labels, values, 40, "%.0f"))
+	}
+
+	if len(snap.Counters) > 0 {
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		rows := make([][]string, len(names))
+		for i, name := range names {
+			rows[i] = []string{name, fmt.Sprintf("%d", snap.Counters[name])}
+		}
+		fmt.Fprintln(w, "work counters:")
+		fmt.Fprintln(w, textplot.Table([]string{"counter", "value"}, rows))
+	}
+	return nil
+}

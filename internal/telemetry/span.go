@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (e.g. the number of
+// Gale-Shapley proposals inside a match span).
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span times one region of the pipeline. Spans nest: a root "pipeline"
+// span holds the construction phases and one child per epoch. All methods
+// are nil-safe no-ops, so disabled tracing costs a nil check.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	done     bool
+	attrs    []Attr
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Name returns the span's name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Child starts a sub-span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Finish records the span's duration. Later calls are ignored, so a span
+// finished explicitly and again by a deferred cleanup keeps its first
+// (accurate) duration.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.dur = time.Since(s.start)
+		s.done = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's recorded duration; for an unfinished span,
+// the time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// tree rooted at s (including s itself), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name() == name {
+		return s
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// SpanSnapshot is the serializable form of a span tree.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	DurationUS int64           `json:"duration_us"`
+	Attrs      []Attr          `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the span tree into its serializable form.
+func (s *Span) Snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	snap := &SpanSnapshot{
+		Name:       s.name,
+		DurationUS: s.dur.Microseconds(),
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	if !s.done {
+		snap.DurationUS = time.Since(s.start).Microseconds()
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// Render draws the span tree as indented text:
+//
+//	pipeline                      52.1ms
+//	├─ sample                     11µs  fraction=0.25 pairs=52
+//	...
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, "", true, true)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, prefix string, last, root bool) {
+	s.mu.Lock()
+	name := s.name
+	dur := s.dur
+	if !s.done {
+		dur = time.Since(s.start)
+	}
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	line := prefix
+	childPrefix := prefix
+	if !root {
+		if last {
+			line += "└─ "
+			childPrefix += "   "
+		} else {
+			line += "├─ "
+			childPrefix += "│  "
+		}
+	}
+	fmt.Fprintf(b, "%-42s %10s", line+name, dur.Round(time.Microsecond))
+	for _, a := range attrs {
+		fmt.Fprintf(b, "  %s=%s", a.Key, formatAttr(a.Value))
+	}
+	b.WriteString("\n")
+	for i, c := range children {
+		c.render(b, childPrefix, i == len(children)-1, false)
+	}
+}
+
+func formatAttr(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", x)
+	case float32:
+		return fmt.Sprintf("%.4g", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// PhaseNames lists the six pipeline phases in execution order; renderers
+// and tests use it to check trace coverage.
+func PhaseNames() []string {
+	return []string{"sample", "profile", "predict", "match", "assess", "dispatch"}
+}
+
+// CoveredPhases reports which of the six pipeline phases appear in the
+// tree rooted at s with a positive duration, in phase order.
+func (s *Span) CoveredPhases() []string {
+	var covered []string
+	for _, name := range PhaseNames() {
+		if sp := s.Find(name); sp != nil && sp.Duration() > 0 {
+			covered = append(covered, name)
+		}
+	}
+	return covered
+}

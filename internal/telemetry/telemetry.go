@@ -1,0 +1,81 @@
+package telemetry
+
+import "time"
+
+// Telemetry bundles a metrics registry with a trace: the one handle the
+// framework, coordinator, and CLIs thread through the pipeline. A nil
+// *Telemetry disables everything at near-zero cost.
+type Telemetry struct {
+	// Metrics is the registry counters, gauges and histograms live in.
+	Metrics *Registry
+	// Trace is the root span the pipeline's phases nest under.
+	Trace *Span
+}
+
+// New returns an enabled Telemetry with an empty registry and a root
+// "pipeline" span.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Trace: NewSpan("pipeline")}
+}
+
+// Registry returns the metrics registry (nil for disabled telemetry), for
+// passing to sinks that take a bare *Registry.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}
+
+// Phase opens a span named name under parent, or under the root trace
+// when parent is nil. Finish it with End so its duration also lands in
+// the "phase.<name>_s" histogram.
+func (t *Telemetry) Phase(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = t.Trace
+	}
+	return parent.Child(name)
+}
+
+// End finishes a phase span and records its duration in the phase
+// histogram, so snapshots carry p50/p95/p99 phase timings across epochs.
+func (t *Telemetry) End(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	s.Finish()
+	t.Metrics.Histogram("phase."+s.Name()+"_s", DurationBuckets()).
+		Observe(s.Duration().Seconds())
+}
+
+// Counter is shorthand for t.Metrics.Counter (nil-safe).
+func (t *Telemetry) Counter(name string) *Counter { return t.Registry().Counter(name) }
+
+// Gauge is shorthand for t.Metrics.Gauge (nil-safe).
+func (t *Telemetry) Gauge(name string) *Gauge { return t.Registry().Gauge(name) }
+
+// Histogram is shorthand for t.Metrics.Histogram (nil-safe).
+func (t *Telemetry) Histogram(name string, bounds []float64) *Histogram {
+	return t.Registry().Histogram(name, bounds)
+}
+
+// ObserveDuration records a wall time in seconds into the named duration
+// histogram.
+func (t *Telemetry) ObserveDuration(name string, d time.Duration) {
+	t.Histogram(name, DurationBuckets()).Observe(d.Seconds())
+}
+
+// Snapshot copies the metrics and the trace. A nil Telemetry yields an
+// empty snapshot, so library users can call Framework.Snapshot()
+// unconditionally.
+func (t *Telemetry) Snapshot() Snapshot {
+	if t == nil {
+		return (*Registry)(nil).Snapshot()
+	}
+	snap := t.Metrics.Snapshot()
+	snap.Trace = t.Trace.Snapshot()
+	return snap
+}
