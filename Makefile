@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench snapshot clean
+.PHONY: all build vet test race ci bench bench-parallel bench-compare snapshot clean
 
 all: build
 
@@ -24,6 +24,19 @@ ci: vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
+
+# bench-parallel runs the serial-vs-parallel pipeline benchmarks whose
+# last snapshot is committed as BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -bench 'ProfilingCampaign|EpochPipeline' -benchtime=1s -run xxx .
+
+# bench-compare fails if the parallel pipeline regresses below its serial
+# counterpart (beyond a 15% noise allowance). On a single-core host
+# (GOMAXPROCS=1) parallel cannot beat serial, so the gate only checks that
+# the fan-out machinery adds no meaningful overhead; on multi-core hosts
+# it also demands a real speedup from the campaign leg.
+bench-compare:
+	@$(GO) run ./cmd/bench-compare
 
 # snapshot runs the telemetry-enabled epoch benchmark and archives the
 # machine-readable metrics snapshot at telemetry.json.

@@ -12,6 +12,7 @@ package cooper
 // full sweep under a minute; cmd/cooper-sim runs them at paper scale.
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -586,6 +587,7 @@ func benchEpochs(b *testing.B, tel *Telemetry) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer f.Close()
 	pop := f.SamplePopulation(200, Uniform())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -594,6 +596,54 @@ func benchEpochs(b *testing.B, tel *Telemetry) {
 		}
 	}
 }
+
+// benchCampaign measures the offline profiling campaign — the pipeline's
+// dominant cost — at a fixed worker count. Results are bit-identical at
+// any count; only wall clock changes.
+func benchCampaign(b *testing.B, workers int) {
+	l := getLab(b)
+	sim := arch.SimConfig{DurationS: 30, StepS: 1, PhaseNoise: 0.05, PhaseCorr: 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiler.New(l.Machine, profiler.NewDatabase(), 7)
+		p.Sim = sim
+		p.Workers = workers
+		if err := p.CampaignContext(context.Background(), l.Catalog, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfilingCampaignSerial is the Workers:1 baseline for the
+// bench-compare Makefile target.
+func BenchmarkProfilingCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkProfilingCampaignParallel runs the same campaign fanned out
+// over 8 workers (the per-run seeding makes the database identical).
+func BenchmarkProfilingCampaignParallel(b *testing.B) { benchCampaign(b, 8) }
+
+// benchEpochPipeline measures end-to-end epochs (expand, match, assess,
+// dispatch) through the worker pool and pair cache at a fixed count.
+func benchEpochPipeline(b *testing.B, workers int) {
+	f, err := New(Options{Oracle: true, Seed: 31, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	pop := f.SamplePopulation(400, Uniform())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RunEpoch(pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochPipelineSerial is the Workers:1 epoch baseline.
+func BenchmarkEpochPipelineSerial(b *testing.B) { benchEpochPipeline(b, 1) }
+
+// BenchmarkEpochPipelineParallel runs the same epochs at 8 workers.
+func BenchmarkEpochPipelineParallel(b *testing.B) { benchEpochPipeline(b, 8) }
 
 // BenchmarkEpochThroughput measures epoch scheduling with telemetry
 // disabled — the baseline the telemetry layer's overhead is judged

@@ -1,0 +1,124 @@
+// Command bench-compare gates the parallel pipeline against its serial
+// counterpart: it benchmarks the profiling campaign and the epoch
+// pipeline at Workers:1 and Workers:8 and exits non-zero if the parallel
+// legs regress.
+//
+// The gate is core-count aware. Parallelism cannot beat the serial path
+// on a single-core host, so at GOMAXPROCS=1 the gate only requires that
+// the fan-out machinery stays within a noise allowance of serial; with 2+
+// cores it also demands a real campaign speedup, scaled to the cores
+// available (the campaign's profiling runs are independent simulations,
+// so it is the leg that must scale).
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cooper/internal/arch"
+	"cooper/internal/core"
+	"cooper/internal/profiler"
+	"cooper/internal/stats"
+	"cooper/internal/workload"
+)
+
+// overheadAllowance is how much slower than serial the parallel leg may
+// run before the gate fails (benchmark noise plus pool bookkeeping).
+const overheadAllowance = 1.15
+
+func main() {
+	cmp := arch.DefaultCMP()
+	catalog, err := workload.Catalog(cmp)
+	if err != nil {
+		fatal(err)
+	}
+
+	campaign := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			sim := arch.SimConfig{DurationS: 30, StepS: 1, PhaseNoise: 0.05, PhaseCorr: 0.6}
+			for i := 0; i < b.N; i++ {
+				p := profiler.New(cmp, profiler.NewDatabase(), 7)
+				p.Sim = sim
+				p.Workers = workers
+				if err := p.CampaignContext(context.Background(), catalog, 0.25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	epochs := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			f, err := core.New(core.Options{Oracle: true, Seed: 31, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			pop := f.SamplePopulation(400, stats.Uniform{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.RunEpoch(pop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	cores := runtime.GOMAXPROCS(0)
+	fmt.Printf("bench-compare: GOMAXPROCS=%d, overhead allowance %.0f%%\n",
+		cores, (overheadAllowance-1)*100)
+
+	// Only the campaign leg carries a speedup floor: its profiling runs
+	// are embarrassingly parallel, while the epoch pipeline includes the
+	// inherently serial matching phase and is gated on overhead only.
+	ok := true
+	ok = gate("profiling campaign", campaign(1), campaign(8), cores, true) && ok
+	ok = gate("epoch pipeline", epochs(1), epochs(8), cores, false) && ok
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("bench-compare: PASS")
+}
+
+// gate benchmarks the two legs and applies the core-count-aware check:
+// every leg must stay within the overhead allowance, and legs with
+// requireSpeedup must also reach minSpeedup(cores).
+func gate(name string, serial, parallel func(b *testing.B), cores int, requireSpeedup bool) bool {
+	sNs := float64(testing.Benchmark(serial).NsPerOp())
+	pNs := float64(testing.Benchmark(parallel).NsPerOp())
+	speedup := sNs / pNs
+	fmt.Printf("bench-compare: %-18s serial %12.0f ns/op, parallel %12.0f ns/op, speedup %.2fx\n",
+		name, sNs, pNs, speedup)
+	if pNs > sNs*overheadAllowance {
+		fmt.Printf("bench-compare: FAIL: %s parallel leg is %.0f%% slower than serial\n",
+			name, (pNs/sNs-1)*100)
+		return false
+	}
+	if min := minSpeedup(cores); requireSpeedup && speedup < min {
+		fmt.Printf("bench-compare: FAIL: %s speedup %.2fx below the %.1fx floor for %d cores\n",
+			name, speedup, min, cores)
+		return false
+	}
+	return true
+}
+
+// minSpeedup is the speedup floor the gate demands from each leg, scaled
+// to the host: 2x with 8+ cores (the acceptance target at 8 workers),
+// 1.3x with 2-7, none on a single core where parallel cannot win.
+func minSpeedup(cores int) float64 {
+	switch {
+	case cores >= 8:
+		return 2.0
+	case cores >= 2:
+		return 1.3
+	default:
+		return 0
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-compare:", err)
+	os.Exit(1)
+}

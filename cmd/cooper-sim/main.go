@@ -15,6 +15,8 @@
 //	-pops   populations for multi-population experiments (default: paper's)
 //	-seed   RNG seed (default 1)
 //	-quick  scale everything down for a fast smoke run
+//	-workers worker pool bound for pipeline fan-outs (0 = GOMAXPROCS,
+//	        1 = serial; results are identical at any value)
 //	-json   emit results as JSON instead of text renderings
 //	-trace  run one instrumented pipeline pass and print its span tree,
 //	        phase timings, penalty histogram, and work counters
@@ -36,6 +38,9 @@ func main() {
 	pops := flag.Int("pops", 0, "number of populations (0 = per-figure paper default)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	quick := flag.Bool("quick", false, "scale experiments down for a fast run")
+	workers := flag.Int("workers", 0,
+		"worker pool bound for pipeline fan-outs (0 = GOMAXPROCS, 1 = serial; "+
+			"results are identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	trace := flag.Bool("trace", false,
 		"run one instrumented pipeline pass and print its telemetry")
@@ -47,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *trace {
-		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, JSON: *jsonOut}
+		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, Workers: *workers, JSON: *jsonOut}
 		if *n == 1000 {
 			opts.N = 64 // tracing one epoch needs no paper-scale population
 		}
@@ -65,7 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, JSON: *jsonOut}
+	opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, Workers: *workers, JSON: *jsonOut}
 	if err := simcli.Run(os.Stdout, lab, flag.Arg(0), opts); err != nil {
 		fatal(err)
 	}

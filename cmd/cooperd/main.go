@@ -11,10 +11,13 @@
 // /metrics returns the full JSON snapshot (counters, gauges, histogram
 // summaries) and /debug/vars an expvar-style flat object. SIGINT or
 // SIGTERM triggers a graceful shutdown: the listener closes, the
-// in-flight epoch drains, and the final telemetry snapshot is printed.
+// in-flight epoch drains, and the framework is Closed — its worker pool
+// shut down and in-flight work drained — before the final telemetry
+// snapshot is printed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -23,6 +26,7 @@ import (
 	"syscall"
 
 	"cooper/internal/arch"
+	"cooper/internal/core"
 	"cooper/internal/netproto"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
@@ -37,6 +41,9 @@ func main() {
 	epochs := flag.Int("epochs", 1, "scheduling rounds before exiting")
 	policyName := flag.String("policy", "SMR", "colocation policy (GR, CO, SMP, SMR, SR)")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	workers := flag.Int("workers", 0,
+		"worker pool bound for the pipeline's fan-out phases; "+
+			"0 means GOMAXPROCS, 1 forces the serial path")
 	metricsAddr := flag.String("metrics", "",
 		"serve telemetry over HTTP on this address (e.g. 127.0.0.1:7078); "+
 			"empty disables the endpoint")
@@ -49,13 +56,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cmp := arch.DefaultCMP()
-	catalog, err := workload.Catalog(cmp)
-	if err != nil {
-		fatal(err)
+
+	tel := telemetry.New()
+	opts := core.Options{
+		Policy:    pol,
+		Oracle:    true,
+		Seed:      *seed,
+		Workers:   *workers,
+		Telemetry: tel,
 	}
-	penalties := profiler.DensePenalties(cmp, catalog)
 	if *profiles != "" {
+		// Complete the profiled sparse matrix out of band and hand the
+		// framework the dense result; it then skips its own campaign.
 		f, err := os.Open(*profiles)
 		if err != nil {
 			fatal(err)
@@ -65,24 +77,38 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		catalog, err := workload.Catalog(arch.DefaultCMP())
+		if err != nil {
+			fatal(err)
+		}
 		sparse, err := profiler.PenaltyMatrix(db, catalog)
 		if err != nil {
 			fatal(err)
 		}
-		penalties, _, err = recommend.Default().Complete(sparse)
+		pred := recommend.Default()
+		pred.Workers = *workers
+		penalties, _, err := pred.CompleteContext(context.Background(), sparse)
 		if err != nil {
 			fatal(err)
 		}
+		opts.Oracle = false
+		opts.Penalties = penalties
 		fmt.Printf("cooperd: predicted penalties from %d profiled records\n", db.Len())
 	}
 
-	reg := telemetry.NewRegistry()
+	fw, err := core.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer fw.Close()
+
+	reg := tel.Registry()
 	srv := &netproto.Server{
 		Epoch:     *epoch,
 		Epochs:    *epochs,
 		Policy:    pol,
-		Catalog:   catalog,
-		Penalties: penalties,
+		Catalog:   fw.Catalog(),
+		Penalties: fw.PredictedPenalties(),
 		Seed:      *seed,
 		Metrics:   reg,
 		OnEpoch: func(e int, sum netproto.Message) {
@@ -113,18 +139,20 @@ func main() {
 		fmt.Printf("cooperd: telemetry on http://%s/metrics\n", *metricsAddr)
 	}
 
-	// Graceful shutdown: close the listener, drain the in-flight epoch.
+	// Graceful shutdown: close the listener, drain the in-flight epoch,
+	// then drain the framework's worker pool.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigs
 		fmt.Printf("cooperd: %s received, draining\n", sig)
 		srv.Shutdown()
+		fw.Close()
 	}()
 
 	err = srv.Serve(*addr, func(bound string) {
-		fmt.Printf("cooperd: coordinating %d-agent epochs on %s with %s\n",
-			*epoch, bound, pol.Name())
+		fmt.Printf("cooperd: coordinating %d-agent epochs on %s with %s (%d workers)\n",
+			*epoch, bound, pol.Name(), fw.Workers())
 	})
 	switch err {
 	case nil:

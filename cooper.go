@@ -19,16 +19,47 @@
 // The report carries the colocation assignment, per-agent penalties,
 // agents' break-away recommendations, and the cluster dispatch summary.
 //
+// # Concurrency and cancellation
+//
+// The pipeline's hot phases — the profiling campaign, penalty-matrix
+// completion, and per-epoch assessment — fan out across a bounded worker
+// pool sized by Options.Workers (<= 0 means GOMAXPROCS, 1 forces the
+// serial path). Parallelism never perturbs results: every fan-out writes
+// to its own slot and seeds its own randomness, so reports are
+// bit-identical at any worker count. Repeated contention solves are
+// memoized in a pair-penalty cache shared by profiling, assessment, and
+// dispatch.
+//
+// Context-aware variants of the entry points — NewContext,
+// Framework.RunEpochContext, Driver.RunContext — check their context
+// between pipeline phases and inside fan-outs; a fired context aborts the
+// run with an error wrapping ErrCanceled. Framework.Close drains in-flight
+// epochs and rejects new ones with ErrClosed, giving daemons a clean
+// shutdown path.
+//
+// # Errors
+//
+// Failures that callers branch on are typed sentinels, tested with
+// errors.Is:
+//
+//	_, err := cooper.StableRoommates(prefs)
+//	if errors.Is(err, cooper.ErrNoStableMatching) { ... } // odd cycles
+//
+//	_, err = f.RunEpochContext(ctx, pop)
+//	if errors.Is(err, cooper.ErrCanceled) { ... } // ctx fired mid-pipeline
+//	if errors.Is(err, cooper.ErrClosed) { ... }   // Close was called
+//
 // The package is a facade over the internal packages that implement the
 // substrates: the CMP contention simulator (internal/arch), workload
 // catalog (internal/workload), profiler (internal/profiler), preference
 // predictor (internal/recommend), stable matching (internal/matching),
 // cooperative game theory (internal/game), colocation policies
-// (internal/policy), agents (internal/agent), and cluster dispatch
-// (internal/cluster).
+// (internal/policy), agents (internal/agent), cluster dispatch
+// (internal/cluster), and the worker pool (internal/parallel).
 package cooper
 
 import (
+	"context"
 	"math/rand"
 
 	"cooper/internal/agent"
@@ -91,10 +122,30 @@ const (
 	BreakAway = agent.BreakAway
 )
 
+// Sentinel errors, tested with errors.Is (see the package doc).
+var (
+	// ErrNoStableMatching reports that Irving's stable-roommates algorithm
+	// found no perfectly stable assignment (an odd preference cycle).
+	ErrNoStableMatching = matching.ErrNoStableMatching
+	// ErrCanceled reports that a context-aware pipeline run (NewContext,
+	// RunEpochContext, Driver.RunContext) was aborted by its context.
+	ErrCanceled = core.ErrCanceled
+	// ErrClosed reports that the Framework was Closed and accepts no more
+	// epochs.
+	ErrClosed = core.ErrClosed
+)
+
 // New builds a Framework: it calibrates the 20-job catalog on the
 // machine, runs the offline profiling campaign, and trains the preference
 // predictor. See Options for the knobs.
 func New(opts Options) (*Framework, error) { return core.New(opts) }
+
+// NewContext is New with cancellation: the profiling campaign, predictor
+// training, and oracle computation honor ctx, returning an error that
+// wraps ErrCanceled if it fires mid-build.
+func NewContext(ctx context.Context, opts Options) (*Framework, error) {
+	return core.NewContext(ctx, opts)
+}
 
 // Observability.
 

@@ -172,8 +172,15 @@ func Exchange(agents []*Agent, match matching.Matching, alpha float64) ([]Recomm
 					blocking = append(blocking, sender)
 				}
 			}
+			// Ties on penalty (agents running the same job) break by ID:
+			// inbox arrival order is scheduling-dependent, and the
+			// pipeline guarantees bit-identical reports across runs.
 			sort.Slice(blocking, func(x, y int) bool {
-				return a.Penalties[blocking[x]] < a.Penalties[blocking[y]]
+				px, py := a.Penalties[blocking[x]], a.Penalties[blocking[y]]
+				if px != py {
+					return px < py
+				}
+				return blocking[x] < blocking[y]
 			})
 			rec := Recommendation{AgentID: a.ID, Action: Participate}
 			if len(blocking) > 0 {

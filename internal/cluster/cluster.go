@@ -55,6 +55,18 @@ type Machine struct {
 // Cluster is a set of machines fed by a dispatcher.
 type Cluster struct {
 	machines []*Machine
+	cache    *arch.PairCache
+}
+
+// SetPairCache installs a memoization cache for the contention solves the
+// virtual execution performs (one solo+pair equilibrium per dispatched
+// colocation). The cache must be keyed to the machines' CMP; a cache for
+// different hardware is ignored. Nil uninstalls.
+func (c *Cluster) SetPairCache(pc *arch.PairCache) {
+	if pc != nil && len(c.machines) > 0 && !pc.Keyed(c.machines[0].CMP) {
+		return
+	}
+	c.cache = pc
 }
 
 // New builds a cluster of n identical machines.
@@ -95,7 +107,7 @@ func (c *Cluster) Dispatch(assignments []Assignment) []Result {
 		}
 		m := c.machines[best]
 		m.queue = append(m.queue, a)
-		loads[best] += estimateDuration(m.CMP, a)
+		loads[best] += estimateDuration(m.CMP, a, c.cache)
 	}
 
 	// Daemons drain their queues concurrently (the paper's per-machine
@@ -106,7 +118,7 @@ func (c *Cluster) Dispatch(assignments []Assignment) []Result {
 		wg.Add(1)
 		go func(m *Machine) {
 			defer wg.Done()
-			resultCh <- m.drain()
+			resultCh <- m.drain(c.cache)
 		}(m)
 	}
 	wg.Wait()
@@ -126,13 +138,13 @@ func (c *Cluster) Dispatch(assignments []Assignment) []Result {
 }
 
 // drain executes the machine's queued assignments in order on its virtual
-// clock.
-func (m *Machine) drain() []Result {
+// clock, routing contention solves through cache when non-nil.
+func (m *Machine) drain(cache *arch.PairCache) []Result {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var results []Result
 	for _, a := range m.queue {
-		r := execute(m.CMP, a)
+		r := execute(m.CMP, a, cache)
 		r.Machine = m.ID
 		r.StartS = m.clock
 		duration := r.DurationA
@@ -148,17 +160,25 @@ func (m *Machine) drain() []Result {
 	return results
 }
 
-// execute computes the simulated outcome of one assignment.
-func execute(cmp arch.CMP, a Assignment) Result {
+// execute computes the simulated outcome of one assignment, memoizing
+// the contention solves through cache when non-nil.
+func execute(cmp arch.CMP, a Assignment, cache *arch.PairCache) Result {
 	if a.Solo() {
 		return Result{
 			Assignment: a,
 			DurationA:  a.JobA.RuntimeS,
 		}
 	}
-	soloA := cmp.Solo(a.JobA.Model)
-	soloB := cmp.Solo(a.JobB.Model)
-	perfA, perfB := cmp.Pair(a.JobA.Model, a.JobB.Model)
+	var soloA, soloB, perfA, perfB arch.Perf
+	if cache.Keyed(cmp) {
+		soloA = cache.Solo(a.JobA.Name, a.JobA.Model)
+		soloB = cache.Solo(a.JobB.Name, a.JobB.Model)
+		perfA, perfB = cache.Pair(a.JobA.Name, a.JobA.Model, a.JobB.Name, a.JobB.Model)
+	} else {
+		soloA = cmp.Solo(a.JobA.Model)
+		soloB = cmp.Solo(a.JobB.Model)
+		perfA, perfB = cmp.Pair(a.JobA.Model, a.JobB.Model)
+	}
 	dA := arch.Disutility(soloA, perfA)
 	dB := arch.Disutility(soloB, perfB)
 	return Result{
@@ -182,8 +202,8 @@ func stretch(runtime, d float64) float64 {
 	return runtime / (1 - d)
 }
 
-func estimateDuration(cmp arch.CMP, a Assignment) float64 {
-	r := execute(cmp, a)
+func estimateDuration(cmp arch.CMP, a Assignment, cache *arch.PairCache) float64 {
+	r := execute(cmp, a, cache)
 	if r.DurationB > r.DurationA {
 		return r.DurationB
 	}

@@ -7,6 +7,7 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,6 +82,15 @@ type Driver struct {
 // Run processes all arrivals, invoking one epoch per period boundary at
 // which jobs are pending, and returns the epochs plus a summary.
 func (d *Driver) Run(arrivals []Arrival) ([]Epoch, Summary, error) {
+	return d.RunContext(context.Background(), arrivals)
+}
+
+// RunContext is Run with cancellation: the driver checks ctx before each
+// epoch and the framework checks it between pipeline phases, so a fired
+// context stops the run within one phase. The epochs completed before
+// cancellation are returned alongside the error (which wraps
+// core.ErrCanceled).
+func (d *Driver) RunContext(ctx context.Context, arrivals []Arrival) ([]Epoch, Summary, error) {
 	if d.Framework == nil {
 		return nil, Summary{}, fmt.Errorf("coordinator: driver needs a framework")
 	}
@@ -113,9 +123,9 @@ func (d *Driver) Run(arrivals []Arrival) ([]Epoch, Summary, error) {
 				pop.Jobs[i] = a.Job
 				wait += t - a.TimeS
 			}
-			rep, err := d.Framework.RunEpoch(pop)
+			rep, err := d.Framework.RunEpochContext(ctx, pop)
 			if err != nil {
-				return nil, Summary{}, err
+				return epochs, summarize(epochs), err
 			}
 			pending = pending[len(batch):]
 			ep := Epoch{

@@ -7,20 +7,34 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"cooper/internal/agent"
 	"cooper/internal/arch"
 	"cooper/internal/cachesim"
 	"cooper/internal/cluster"
 	"cooper/internal/matching"
+	"cooper/internal/parallel"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/recommend"
+	"cooper/internal/stats"
 	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
+
+// ErrCanceled reports that a pipeline run was aborted by its context
+// before completing. Wraps the underlying context error; test with
+// errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("cooper: pipeline canceled")
+
+// ErrClosed reports that the framework was Closed and accepts no more
+// epochs. Test with errors.Is(err, ErrClosed).
+var ErrClosed = errors.New("cooper: framework closed")
 
 // Options configures a Framework.
 type Options struct {
@@ -56,6 +70,18 @@ type Options struct {
 	// (built via workload.BuildCatalog or workload.LoadCatalog against
 	// the same Machine). Nil uses the paper's 20 jobs.
 	Catalog []workload.Job
+	// Penalties, when non-nil, supplies the completed job-level penalty
+	// matrix directly (len(Catalog) x len(Catalog), row i = job i's
+	// penalty against each co-runner) and skips the profiling campaign
+	// and predictor entirely — for daemons that load measurements from a
+	// profile database out of band.
+	Penalties [][]float64
+	// Workers bounds the worker pool the pipeline's fan-out phases share
+	// (profiling campaign, matrix completion, oracle computation, epoch
+	// assessment). <= 0 means GOMAXPROCS; 1 forces the serial pipeline.
+	// Any value produces bit-identical results — parallelism never
+	// perturbs the simulation.
+	Workers int
 	// Telemetry, when non-nil, receives phase spans and pipeline metrics
 	// from every layer the framework touches. Nil (the default) disables
 	// observability at near-zero cost.
@@ -87,7 +113,8 @@ func (o Options) withDefaults() Options {
 }
 
 // Framework is a ready-to-run Cooper instance: calibrated catalog,
-// profiling database, completed preference model, and cluster.
+// profiling database, completed preference model, worker pool, pair
+// cache, and cluster.
 type Framework struct {
 	opts    Options
 	catalog []workload.Job
@@ -99,11 +126,24 @@ type Framework struct {
 	iters     int         // predictor iterations used
 	rng       *rand.Rand
 	tel       *telemetry.Telemetry
+	pool      *parallel.Pool
+	cache     *arch.PairCache
+
+	mu       sync.Mutex // guards closed
+	closed   bool
+	inflight sync.WaitGroup // in-flight epochs, for Close's drain
 }
 
 // New builds a Framework: it calibrates the catalog, runs the offline
 // profiling campaign, and trains the preference predictor.
 func New(opts Options) (*Framework, error) {
+	return NewContext(context.Background(), opts)
+}
+
+// NewContext is New with cancellation: the profiling campaign, predictor
+// training, and oracle computation honor ctx, so a canceled build
+// returns ErrCanceled instead of running minutes of simulation.
+func NewContext(ctx context.Context, opts Options) (*Framework, error) {
 	opts = opts.withDefaults()
 	if err := opts.Machine.Validate(); err != nil {
 		return nil, err
@@ -125,7 +165,9 @@ func New(opts Options) (*Framework, error) {
 		db:      profiler.NewDatabase(),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		tel:     opts.Telemetry,
+		pool:    parallel.NewPool(opts.Workers),
 	}
+	f.cache = arch.NewPairCache(opts.Machine, f.tel.Registry())
 	if f.tel != nil {
 		// Route the model layers' package-level sinks into this registry.
 		arch.SetMetrics(f.tel.Registry())
@@ -136,18 +178,31 @@ func New(opts Options) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.cluster.SetPairCache(f.cache)
 
-	f.truth = profiler.DensePenalties(opts.Machine, catalog)
+	f.truth, err = profiler.DensePenaltiesContext(ctx, opts.Machine, catalog,
+		f.pool.Workers(), f.cache)
+	if err != nil {
+		return nil, wrapCanceled(ctx, err)
+	}
 	if opts.Oracle {
 		f.predicted = f.truth
+		return f, nil
+	}
+	if opts.Penalties != nil {
+		if err := validatePenalties(opts.Penalties, len(catalog)); err != nil {
+			return nil, err
+		}
+		f.predicted = opts.Penalties
 		return f, nil
 	}
 
 	prof := profiler.New(opts.Machine, f.db, opts.Seed+1)
 	prof.Sim = opts.Sim
 	prof.Tel = f.tel
-	if err := prof.Campaign(catalog, opts.SampleFraction); err != nil {
-		return nil, err
+	prof.Workers = f.pool.Workers()
+	if err := prof.CampaignContext(ctx, catalog, opts.SampleFraction); err != nil {
+		return nil, wrapCanceled(ctx, err)
 	}
 	sparse, err := profiler.PenaltyMatrix(f.db, catalog)
 	if err != nil {
@@ -157,14 +212,72 @@ func New(opts Options) (*Framework, error) {
 	predict.SetAttr("sparsity", profiler.Sparsity(sparse))
 	pred := opts.Predictor
 	pred.Metrics = f.tel.Registry()
-	f.predicted, f.iters, err = pred.Complete(sparse)
+	pred.Workers = f.pool.Workers()
+	f.predicted, f.iters, err = pred.CompleteContext(ctx, sparse)
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(ctx, err)
 	}
 	predict.SetAttr("fill_iters", f.iters)
 	f.tel.End(predict)
 	return f, nil
 }
+
+// validatePenalties checks a caller-supplied job-level penalty matrix.
+func validatePenalties(d [][]float64, n int) error {
+	if len(d) != n {
+		return fmt.Errorf("core: penalties have %d rows for %d catalog jobs", len(d), n)
+	}
+	for i, row := range d {
+		if len(row) != n {
+			return fmt.Errorf("core: penalties row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// wrapCanceled tags an error with ErrCanceled when ctx was canceled, so
+// callers can test cancellation with errors.Is regardless of which
+// pipeline layer surfaced it first.
+func wrapCanceled(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return err
+}
+
+// Close drains the framework: it marks the framework closed, waits for
+// in-flight epochs to finish, and shuts the worker pool down. Further
+// RunEpoch calls return ErrClosed. Safe to call more than once and from
+// any goroutine (cooperd calls it from its signal handler while an epoch
+// may be mid-dispatch).
+func (f *Framework) Close() error {
+	f.mu.Lock()
+	already := f.closed
+	f.closed = true
+	f.mu.Unlock()
+	if already {
+		return nil
+	}
+	f.inflight.Wait()
+	f.pool.Close()
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (f *Framework) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Workers returns the resolved worker budget of the framework's pool.
+func (f *Framework) Workers() int { return f.pool.Workers() }
+
+// PairCache returns the framework's memoized pair-penalty cache.
+func (f *Framework) PairCache() *arch.PairCache { return f.cache }
 
 // Catalog returns the calibrated 20-job catalog.
 func (f *Framework) Catalog() []workload.Job { return f.catalog }
@@ -198,10 +311,9 @@ func (f *Framework) PredictionAccuracy() (float64, error) {
 }
 
 // SamplePopulation draws n agents from the catalog with the given mix.
-func (f *Framework) SamplePopulation(n int, mix interface {
-	Sample(*rand.Rand) float64
-	Name() string
-}) workload.Population {
+// Any stats.Sampler works — the built-in mixes (stats.Uniform,
+// stats.Bimodal, ...) or a custom distribution.
+func (f *Framework) SamplePopulation(n int, mix stats.Sampler) workload.Population {
 	return workload.Sample(n, f.catalog, mix, f.rng)
 }
 
@@ -228,17 +340,33 @@ type EpochReport struct {
 // predict preferences, assign colocations, let agents assess them, and
 // dispatch the work.
 func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
+	return f.RunEpochContext(context.Background(), pop)
+}
+
+// RunEpochContext is RunEpoch with cancellation and parallel assessment.
+// The pipeline checks ctx between its phases (expand, match, assess,
+// dispatch) and inside the assessment fan-out, returning an error that
+// wraps ErrCanceled if ctx fires. After Close it returns ErrClosed.
+func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population) (*EpochReport, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	f.inflight.Add(1)
+	f.mu.Unlock()
+	defer f.inflight.Done()
+
 	n := len(pop.Jobs)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty population")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(ctx, err)
+	}
 	epoch := f.tel.Phase(nil, "epoch")
 	epoch.SetAttr("agents", n)
 	predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
-	if err != nil {
-		return nil, err
-	}
-	trueD, err := profiler.ExpandToAgents(f.truth, f.catalog, pop)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +375,9 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 		bw[i] = j.BandwidthGBps
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(ctx, err)
+	}
 	reg := f.tel.Registry()
 	matchSpan := f.tel.Phase(epoch, "match")
 	preProposals := reg.Counter("match.proposals").Value()
@@ -264,6 +395,9 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 	matchSpan.SetAttr("rotations", reg.Counter("match.rotations").Value()-preRotations)
 	f.tel.End(matchSpan)
 
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(ctx, err)
+	}
 	assess := f.tel.Phase(epoch, "assess")
 	agents := make([]*agent.Agent, n)
 	for i := range agents {
@@ -274,18 +408,27 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 		return nil, err
 	}
 
+	// True penalties come from simulating each matched pair on its own
+	// CMP, fanned out across the worker pool and memoized through the
+	// pair cache. The solve is deterministic, so this equals the oracle
+	// matrix lookup bit for bit at any worker count.
+	trueP, err := policy.TruePenalties(ctx, f.opts.Machine, pop.Jobs, match,
+		f.pool.Workers(), f.cache)
+	if err != nil {
+		return nil, wrapCanceled(ctx, err)
+	}
+
 	rep := &EpochReport{
 		Population:       pop,
 		Match:            match,
 		PredictedPenalty: make([]float64, n),
-		TruePenalty:      make([]float64, n),
+		TruePenalty:      trueP,
 		Recommendations:  recs,
 		BlockingPairs:    agent.BlockingPairsFromRecommendations(recs),
 	}
 	for i, j := range match {
 		if j != matching.Unmatched {
 			rep.PredictedPenalty[i] = predD[i][j]
-			rep.TruePenalty[i] = trueD[i][j]
 		}
 	}
 	assess.SetAttr("breakaways", rep.BreakAwayCount())
@@ -294,6 +437,9 @@ func (f *Framework) RunEpoch(pop workload.Population) (*EpochReport, error) {
 
 	// Dispatch: agents participate by default (the paper's
 	// implementation), so every assignment goes to the cluster.
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(ctx, err)
+	}
 	dispatch := f.tel.Phase(epoch, "dispatch")
 	f.cluster.Reset()
 	var batch []cluster.Assignment

@@ -1,0 +1,183 @@
+// Package parallel provides the bounded worker pool and deterministic
+// fan-out helpers the Cooper pipeline's hot paths share: the offline
+// profiling campaign, penalty-matrix completion, true-penalty assessment,
+// and the dense oracle computation all fan work units out across a fixed
+// number of workers.
+//
+// Determinism is the package's contract: a fan-out over n items invokes
+// the item function exactly once per index, items write results only into
+// their own slot, and any per-item randomness must be seeded from the item
+// index (see SplitSeed) — never drawn from a shared stream — so results
+// are bit-identical whatever the worker count or goroutine interleaving.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Pool.ForEach after Close: the pool no longer
+// accepts work. Test with errors.Is.
+var ErrClosed = errors.New("parallel: pool closed")
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS, the
+// number of OS threads Go will actually run concurrently.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// concurrent goroutines (workers <= 0 means GOMAXPROCS) and blocks until
+// all items finish or one fails. The first error cancels the remaining
+// items and is returned; a canceled ctx stops the fan-out and returns
+// ctx.Err() (wrapped). With workers == 1 the items run serially, in
+// order, on the calling goroutine.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("parallel: %w", err)
+		}
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("parallel: %w", err)
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	if err := parent.Err(); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	return nil
+}
+
+// Pool is a bounded worker pool shared by a pipeline's fan-out sites: a
+// fixed worker budget, a drain barrier, and a closed state. The zero
+// Pool and the nil Pool are both usable and run work with a default
+// GOMAXPROCS budget, so callers need not branch on configuration.
+type Pool struct {
+	workers int
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// NewPool returns a pool with the given worker budget (<= 0 means
+// GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	return &Pool{workers: Workers(workers)}
+}
+
+// Workers returns the pool's concurrency budget.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers == 0 {
+		return Workers(0)
+	}
+	return p.workers
+}
+
+// ForEach fans fn out over [0, n) under the pool's worker budget. After
+// Close it returns ErrClosed without running anything.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if p == nil {
+		return ForEach(ctx, 0, n, fn)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.mu.Unlock()
+	defer p.inflight.Done()
+	return ForEach(ctx, p.Workers(), n, fn)
+}
+
+// Close marks the pool closed and blocks until every in-flight ForEach
+// has drained. Safe to call more than once and from any goroutine; a nil
+// pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	p.inflight.Wait()
+}
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// SplitSeed derives a child seed for work item i from a base seed using a
+// SplitMix64-style finalizer. Fan-out sites that need randomness seed one
+// RNG per item with SplitSeed(base, i) instead of sharing a stream, which
+// is what keeps parallel results bit-identical to serial ones.
+func SplitSeed(base int64, i int64) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

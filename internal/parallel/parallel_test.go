@@ -1,0 +1,233 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 257
+		counts := make([]int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicWithSplitSeed(t *testing.T) {
+	run := func(workers int) []float64 {
+		out := make([]float64, 64)
+		err := ForEach(context.Background(), workers, len(out), func(i int) error {
+			r := rand.New(rand.NewSource(SplitSeed(42, int64(i))))
+			out[i] = r.NormFloat64() + r.Float64()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 7, 32} {
+		got := run(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d = %v, serial %v",
+					workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(context.Background(), workers, 1000, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return fmt.Errorf("item %d: %w", i, boom)
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if n := ran.Load(); n == 1000 {
+			t.Errorf("workers=%d: error did not stop the fan-out", workers)
+		}
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 100, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-flight: items block until released, cancellation frees
+	// the fan-out without running all items.
+	ctx, cancel = context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var ran atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 2, 1000, func(i int) error {
+			ran.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("cancellation did not stop the fan-out")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := ForEach(context.Background(), workers, 200, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var finished atomic.Int32
+	go func() {
+		_ = p.ForEach(context.Background(), 2, func(i int) error {
+			if i == 0 {
+				close(started)
+			}
+			<-release
+			finished.Add(1)
+			return nil
+		})
+	}()
+	<-started
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned before in-flight work drained")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+	if finished.Load() != 2 {
+		t.Errorf("drained %d items, want 2", finished.Load())
+	}
+	if !p.Closed() {
+		t.Error("pool should report closed")
+	}
+	if err := p.ForEach(context.Background(), 1, func(int) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("ForEach after Close = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestNilPoolRuns(t *testing.T) {
+	var p *Pool
+	var ran atomic.Int32
+	if err := p.ForEach(context.Background(), 5, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Errorf("nil pool ran %d of 5 items", ran.Load())
+	}
+	if p.Workers() <= 0 {
+		t.Error("nil pool must report a positive worker budget")
+	}
+	p.Close()
+	if p.Closed() {
+		t.Error("nil pool is never closed")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) <= 0 || Workers(-3) <= 0 {
+		t.Error("non-positive knobs must resolve to a positive budget")
+	}
+	if Workers(7) != 7 {
+		t.Error("positive knobs pass through")
+	}
+}
+
+func TestSplitSeedSpreads(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := int64(0); i < 1000; i++ {
+		s := SplitSeed(1, i)
+		if seen[s] {
+			t.Fatalf("seed collision at item %d", i)
+		}
+		seen[s] = true
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Error("different base seeds should derive different children")
+	}
+}
+
+func TestPoolConcurrentForEach(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.ForEach(context.Background(), 50, func(int) error {
+				total.Add(1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 8*50 {
+		t.Errorf("ran %d items, want %d", total.Load(), 8*50)
+	}
+}

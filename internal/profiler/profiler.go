@@ -12,6 +12,7 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"sync"
 
 	"cooper/internal/arch"
+	"cooper/internal/parallel"
 	"cooper/internal/sparklog"
 	"cooper/internal/telemetry"
 	"cooper/internal/workload"
@@ -135,9 +137,15 @@ type Profiler struct {
 	// spans plus the profile.records counter and profile.sample_fraction
 	// gauge. Nil disables tracing.
 	Tel *telemetry.Telemetry
+	// Workers bounds the campaign's fan-out across simulated profiling
+	// runs; <= 0 means GOMAXPROCS. Each run draws from its own RNG
+	// seeded by the run index, so results are bit-identical at any
+	// worker count.
+	Workers int
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu   sync.Mutex
+	seed int64
+	rng  *rand.Rand
 }
 
 // InstructionsPerTask converts instruction throughput into Spark task
@@ -146,17 +154,17 @@ type Profiler struct {
 const InstructionsPerTask = 1e9
 
 // measureIPS converts a simulated throughput into the observed one,
-// routing Spark jobs through the event-log path when enabled. Callers
-// must hold p.mu.
-func (p *Profiler) measureIPS(job workload.Job, ips float64) float64 {
+// routing Spark jobs through the event-log path when enabled, drawing
+// any measurement noise from r.
+func (p *Profiler) measureIPS(job workload.Job, ips float64, r *rand.Rand) float64 {
 	if p.UseSparkLogs && job.Suite == workload.Spark && ips > 0 {
 		rate := ips / InstructionsPerTask
-		got, err := sparklog.MeasureThroughput(rate, job.RuntimeS, p.rng)
+		got, err := sparklog.MeasureThroughput(rate, job.RuntimeS, r)
 		if err == nil && got > 0 {
 			return got * InstructionsPerTask
 		}
 	}
-	return p.noisy(ips)
+	return p.noisy(ips, r)
 }
 
 // New returns a profiler for machine m writing into db, with deterministic
@@ -167,29 +175,57 @@ func New(m arch.CMP, db *Database, seed int64) *Profiler {
 		Sim:          arch.DefaultSimConfig(),
 		DB:           db,
 		MeasureNoise: 0.005,
+		seed:         seed,
 		rng:          rand.New(rand.NewSource(seed)),
 	}
 }
 
-func (p *Profiler) noisy(x float64) float64 {
+func (p *Profiler) noisy(x float64, r *rand.Rand) float64 {
 	if p.MeasureNoise == 0 {
 		return x
 	}
-	return x * (1 + p.rng.NormFloat64()*p.MeasureNoise)
+	return x * (1 + r.NormFloat64()*p.MeasureNoise)
+}
+
+// runStandalone simulates job alone on the machine, drawing simulation
+// and measurement noise from r, and returns the unrecorded observation.
+func (p *Profiler) runStandalone(job workload.Job, r *rand.Rand) Record {
+	res := p.Machine.SimulateSolo(job.Model, p.Sim, r)
+	return Record{
+		Job:            job.Name,
+		Machine:        p.Machine.Name,
+		ThroughputIPS:  p.measureIPS(job, res.MeanIPS(), r),
+		BandwidthGBps:  res.MeanBandwidth() / 1e9,
+		MissRatio:      meanMiss(res),
+		MemUtilization: meanUtil(res),
+	}
+}
+
+// runPair simulates the colocation of a and b, drawing all noise from r,
+// and returns both unrecorded observations.
+func (p *Profiler) runPair(a, b workload.Job, r *rand.Rand) (Record, Record) {
+	resA, resB := p.Machine.SimulatePair(a.Model, b.Model, p.Sim, r)
+	recA := Record{
+		Job: a.Name, CoRunner: b.Name, Machine: p.Machine.Name,
+		ThroughputIPS:  p.measureIPS(a, resA.MeanIPS(), r),
+		BandwidthGBps:  resA.MeanBandwidth() / 1e9,
+		MissRatio:      meanMiss(resA),
+		MemUtilization: meanUtil(resA),
+	}
+	recB := Record{
+		Job: b.Name, CoRunner: a.Name, Machine: p.Machine.Name,
+		ThroughputIPS:  p.measureIPS(b, resB.MeanIPS(), r),
+		BandwidthGBps:  resB.MeanBandwidth() / 1e9,
+		MissRatio:      meanMiss(resB),
+		MemUtilization: meanUtil(resB),
+	}
+	return recA, recB
 }
 
 // ProfileStandalone runs job alone on the machine and records the result.
 func (p *Profiler) ProfileStandalone(job workload.Job) Record {
 	p.mu.Lock()
-	res := p.Machine.SimulateSolo(job.Model, p.Sim, p.rng)
-	rec := Record{
-		Job:            job.Name,
-		Machine:        p.Machine.Name,
-		ThroughputIPS:  p.measureIPS(job, res.MeanIPS()),
-		BandwidthGBps:  res.MeanBandwidth() / 1e9,
-		MissRatio:      meanMiss(res),
-		MemUtilization: meanUtil(res),
-	}
+	rec := p.runStandalone(job, p.rng)
 	p.mu.Unlock()
 	return p.DB.Insert(rec)
 }
@@ -198,21 +234,7 @@ func (p *Profiler) ProfileStandalone(job workload.Job) Record {
 // sides' observations.
 func (p *Profiler) ProfilePair(a, b workload.Job) (Record, Record) {
 	p.mu.Lock()
-	resA, resB := p.Machine.SimulatePair(a.Model, b.Model, p.Sim, p.rng)
-	recA := Record{
-		Job: a.Name, CoRunner: b.Name, Machine: p.Machine.Name,
-		ThroughputIPS:  p.measureIPS(a, resA.MeanIPS()),
-		BandwidthGBps:  resA.MeanBandwidth() / 1e9,
-		MissRatio:      meanMiss(resA),
-		MemUtilization: meanUtil(resA),
-	}
-	recB := Record{
-		Job: b.Name, CoRunner: a.Name, Machine: p.Machine.Name,
-		ThroughputIPS:  p.measureIPS(b, resB.MeanIPS()),
-		BandwidthGBps:  resB.MeanBandwidth() / 1e9,
-		MissRatio:      meanMiss(resB),
-		MemUtilization: meanUtil(resB),
-	}
+	recA, recB := p.runPair(a, b, p.rng)
 	p.mu.Unlock()
 	return p.DB.Insert(recA), p.DB.Insert(recB)
 }
@@ -245,6 +267,16 @@ func meanUtil(r arch.RunResult) float64 {
 // (two instances of the same job) are part of the space, as two agents
 // can run the same application.
 func (p *Profiler) Campaign(jobs []workload.Job, fraction float64) error {
+	return p.CampaignContext(context.Background(), jobs, fraction)
+}
+
+// CampaignContext runs Campaign with cancellation between and during the
+// profiling fan-out. The measurement runs fan out across p.Workers
+// workers; every run draws its simulation and measurement noise from a
+// private RNG seeded by the profiler seed and the run's index, and the
+// records land in the database in run order, so the database contents
+// are bit-identical whatever the worker count.
+func (p *Profiler) CampaignContext(ctx context.Context, jobs []workload.Job, fraction float64) error {
 	if len(jobs) == 0 {
 		return fmt.Errorf("profiler: empty catalog")
 	}
@@ -255,7 +287,9 @@ func (p *Profiler) Campaign(jobs []workload.Job, fraction float64) error {
 		fraction = 1
 	}
 
-	// Sample phase: choose which colocations to measure.
+	// Sample phase: choose which colocations to measure. The shuffle
+	// consumes the profiler's own stream serially, before any fan-out,
+	// so the sampled set is worker-count independent too.
 	sample := p.Tel.Phase(nil, "sample")
 	type pair struct{ a, b int }
 	var pairs []pair
@@ -274,13 +308,33 @@ func (p *Profiler) Campaign(jobs []workload.Job, fraction float64) error {
 	p.Tel.End(sample)
 	p.Tel.Gauge("profile.sample_fraction").Set(fraction)
 
-	// Profile phase: run the measurements on the simulated CMP.
+	// Profile phase: the runs — one per standalone job, one per sampled
+	// pair — are mutually independent simulations, so they fan out.
+	// Each run writes only its own slot; insertion happens afterwards in
+	// run order so record sequence numbers stay deterministic.
 	profile := p.Tel.Phase(nil, "profile")
-	for _, j := range jobs {
-		p.ProfileStandalone(j)
+	profile.SetAttr("workers", parallel.Workers(p.Workers))
+	runs := len(jobs) + n
+	out := make([][]Record, runs)
+	err := parallel.ForEach(ctx, p.Workers, runs, func(i int) error {
+		r := rand.New(rand.NewSource(parallel.SplitSeed(p.seed, int64(i))))
+		if i < len(jobs) {
+			out[i] = []Record{p.runStandalone(jobs[i], r)}
+			return nil
+		}
+		pr := pairs[i-len(jobs)]
+		recA, recB := p.runPair(jobs[pr.a], jobs[pr.b], r)
+		out[i] = []Record{recA, recB}
+		return nil
+	})
+	if err != nil {
+		p.Tel.End(profile)
+		return err
 	}
-	for _, pr := range pairs[:n] {
-		p.ProfilePair(jobs[pr.a], jobs[pr.b])
+	for _, recs := range out {
+		for _, rec := range recs {
+			p.DB.Insert(rec)
+		}
 	}
 	records := len(jobs) + 2*n
 	profile.SetAttr("standalone", len(jobs))
@@ -368,23 +422,50 @@ func Sparsity(d [][]float64) float64 {
 // prediction accuracy and to drive experiments that assume perfect
 // knowledge.
 func DensePenalties(m arch.CMP, jobs []workload.Job) [][]float64 {
+	d, _ := DensePenaltiesContext(context.Background(), m, jobs, 0, nil)
+	return d
+}
+
+// DensePenaltiesContext is DensePenalties with a cancellation point, a
+// worker budget for the O(n²) pair solves (<= 0 means GOMAXPROCS), and
+// an optional pair cache. When cache is keyed to m, every solve is
+// memoized through it — warming the cache for the epoch pipeline's
+// assessment and dispatch phases. The solver is deterministic, so the
+// result is identical at any worker count.
+func DensePenaltiesContext(ctx context.Context, m arch.CMP, jobs []workload.Job, workers int, cache *arch.PairCache) ([][]float64, error) {
 	n := len(jobs)
+	useCache := cache.Keyed(m)
 	solo := make([]float64, n)
 	for i, j := range jobs {
-		solo[i] = m.Solo(j.Model).IPS
+		if useCache {
+			solo[i] = cache.Solo(j.Name, j.Model).IPS
+		} else {
+			solo[i] = m.Solo(j.Model).IPS
+		}
 	}
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	// Row i's worker owns cells d[i][j] and d[j][i] for j >= i; the cell
+	// sets of distinct rows are disjoint, so no write races.
+	err := parallel.ForEach(ctx, workers, n, func(i int) error {
 		for j := i; j < n; j++ {
-			pi, pj := m.Pair(jobs[i].Model, jobs[j].Model)
+			var pi, pj arch.Perf
+			if useCache {
+				pi, pj = cache.Pair(jobs[i].Name, jobs[i].Model, jobs[j].Name, jobs[j].Model)
+			} else {
+				pi, pj = m.Pair(jobs[i].Model, jobs[j].Model)
+			}
 			d[i][j] = 1 - pi.IPS/solo[i]
 			d[j][i] = 1 - pj.IPS/solo[j]
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return d
+	return d, nil
 }
 
 // ExpandToAgents lifts a job-level penalty matrix to the agent level for a

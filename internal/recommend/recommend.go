@@ -12,10 +12,12 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"cooper/internal/parallel"
 	"cooper/internal/telemetry"
 )
 
@@ -47,6 +49,11 @@ type Predictor struct {
 	// Mode selects item-based (default, the paper's) or user-based
 	// filtering.
 	Mode Mode
+	// Workers bounds the fan-out of each fill iteration's similarity and
+	// prediction passes; <= 0 means GOMAXPROCS. The passes are pure
+	// functions of the previous iteration's matrix, so results are
+	// identical at any worker count.
+	Workers int
 	// Metrics, when non-nil, receives the predictor's work counters
 	// (predict.fill_iters, predict.cells_filled, predict.fallback_cells).
 	Metrics *telemetry.Registry
@@ -63,6 +70,13 @@ func Default() Predictor {
 // Known entries are preserved exactly. It returns an error if m is not
 // square or contains no known entries at all.
 func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
+	return p.CompleteContext(context.Background(), m)
+}
+
+// CompleteContext is Complete with a cancellation point between fill
+// iterations and a parallel inner loop: each iteration's column
+// similarities and row predictions fan out across p.Workers workers.
+func (p Predictor) CompleteContext(ctx context.Context, m [][]float64) ([][]float64, int, error) {
 	n := len(m)
 	out := make([][]float64, n)
 	known := 0
@@ -91,18 +105,27 @@ func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
 	}
 	iters := 0
 	for ; iters < maxIters && hasNaN(out); iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, fmt.Errorf("recommend: %w", err)
+		}
 		work := out
 		if p.Mode == UserBased {
 			// User-based filtering is item-based filtering on the
 			// transpose: similar rows vote on the missing column entry.
 			work = transpose(out)
 		}
-		sim := p.itemSimilarities(work)
+		sim, err := p.itemSimilarities(ctx, work)
+		if err != nil {
+			return nil, iters, err
+		}
 		next := make([][]float64, n)
 		for i := range out {
 			next[i] = append([]float64(nil), out[i]...)
 		}
-		for i := 0; i < n; i++ {
+		// Row i's worker reads the previous iteration's matrix and
+		// writes only next[i], so the fan-out is race-free and the
+		// result worker-count independent.
+		err = parallel.ForEach(ctx, p.Workers, n, func(i int) error {
 			for j := 0; j < n; j++ {
 				if !math.IsNaN(out[i][j]) {
 					continue
@@ -115,6 +138,10 @@ func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
 					next[i][j] = v
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, iters, err
 		}
 		out = next
 	}
@@ -199,8 +226,10 @@ func hasNaN(m [][]float64) bool {
 
 // itemSimilarities computes adjusted-cosine similarity between columns
 // (co-runners): ratings are centered on each row's mean so that jobs with
-// uniformly high penalties do not dominate.
-func (p Predictor) itemSimilarities(m [][]float64) [][]float64 {
+// uniformly high penalties do not dominate. Columns fan out across
+// p.Workers workers; column j's worker owns cells sim[j][k] and
+// sim[k][j] for k >= j, so distinct columns write disjoint cells.
+func (p Predictor) itemSimilarities(ctx context.Context, m [][]float64) ([][]float64, error) {
 	n := len(m)
 	rowMean := make([]float64, n)
 	for i, row := range m {
@@ -220,7 +249,7 @@ func (p Predictor) itemSimilarities(m [][]float64) [][]float64 {
 	for j := range sim {
 		sim[j] = make([]float64, n)
 	}
-	for j := 0; j < n; j++ {
+	err := parallel.ForEach(ctx, p.Workers, n, func(j int) error {
 		sim[j][j] = 1
 		for k := j + 1; k < n; k++ {
 			var dot, nj, nk float64
@@ -244,8 +273,12 @@ func (p Predictor) itemSimilarities(m [][]float64) [][]float64 {
 			sim[j][k] = s
 			sim[k][j] = s
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return sim
+	return sim, nil
 }
 
 // predict estimates entry (i, j) from row i's known ratings of items

@@ -23,6 +23,10 @@ type Options struct {
 	Seed int64
 	// Quick scales experiments down for a fast smoke run.
 	Quick bool
+	// Workers bounds the framework's worker pool for pipeline fan-outs;
+	// 0 means GOMAXPROCS, 1 forces the serial path. Results are identical
+	// at any value.
+	Workers int
 	// JSON emits the experiment's result structure as JSON instead of the
 	// text rendering.
 	JSON bool

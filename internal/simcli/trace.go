@@ -25,6 +25,7 @@ func Trace(w io.Writer, opts Options) error {
 	tel := telemetry.New()
 	fw, err := core.New(core.Options{
 		Seed:      opts.Seed,
+		Workers:   opts.Workers,
 		Telemetry: tel,
 	})
 	if err != nil {
