@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-parallel bench-compare snapshot clean
+.PHONY: all build vet test race ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
 
 all: build
 
@@ -18,17 +18,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the full verification gate: static checks, a clean build, and the
-# test suite under the race detector.
-ci: vet build race
+# ci is the full verification gate: static checks, a clean build, the
+# test suite under the race detector, and a one-iteration benchmark smoke
+# run so benchmarks cannot bit-rot silently.
+ci: vet build race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
+
+# bench-smoke executes every benchmark in the module exactly once — a
+# compile-and-run check, not a measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run xxx ./...
 
 # bench-parallel runs the serial-vs-parallel pipeline benchmarks whose
 # last snapshot is committed as BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -bench 'ProfilingCampaign|EpochPipeline' -benchtime=1s -run xxx .
+
+# bench-recommend benchmarks the flat prediction kernel against the
+# retained reference kernel (single thread, n = 20/100/400) and refreshes
+# the committed snapshot BENCH_recommend.json. Fails if the flat kernel's
+# n=400 speedup drops below 2x.
+bench-recommend:
+	@$(GO) run ./cmd/bench-compare -recommend-only -recommend-out BENCH_recommend.json
 
 # bench-compare fails if the parallel pipeline regresses below its serial
 # counterpart (beyond a 15% noise allowance). On a single-core host

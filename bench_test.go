@@ -316,6 +316,26 @@ func BenchmarkOverheadPrediction(b *testing.B) {
 	}
 }
 
+// BenchmarkOverheadPredictionReference runs the same §IV-A overhead
+// experiment through the retained naive kernel, so the committed flat-
+// kernel win (see BENCH_recommend.json) stays visible at the paper's
+// own operating point, not just on synthetic matrices.
+func BenchmarkOverheadPredictionReference(b *testing.B) {
+	l := getLab(b)
+	sparse := recommend.MaskPairs(l.Dense, 0.25, stats.NewRand(1))
+	pop := workload.Sample(1000, l.Catalog, stats.Uniform{}, stats.NewRand(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filled, _, err := recommend.Default().WithReferenceKernel().Complete(sparse)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := profiler.ExpandToAgents(filled, l.Catalog, pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOverheadMatching measures the §IV-C claim: stable matching
 // colocates 1000 agents in single-digit seconds (1-5s in the paper's
 // Java; this implementation is far faster).

@@ -1,26 +1,35 @@
 // Command bench-compare gates the parallel pipeline against its serial
 // counterpart: it benchmarks the profiling campaign and the epoch
 // pipeline at Workers:1 and Workers:8 and exits non-zero if the parallel
-// legs regress.
+// legs regress. It also gates the flat prediction kernel against the
+// retained naive reference kernel (-recommend-only runs just that leg;
+// -recommend-out snapshots it to BENCH_recommend.json).
 //
-// The gate is core-count aware. Parallelism cannot beat the serial path
-// on a single-core host, so at GOMAXPROCS=1 the gate only requires that
-// the fan-out machinery stays within a noise allowance of serial; with 2+
-// cores it also demands a real campaign speedup, scaled to the cores
-// available (the campaign's profiling runs are independent simulations,
-// so it is the leg that must scale).
+// The parallel gate is core-count aware. Parallelism cannot beat the
+// serial path on a single-core host, so at GOMAXPROCS=1 the gate only
+// requires that the fan-out machinery stays within a noise allowance of
+// serial; with 2+ cores it also demands a real campaign speedup, scaled
+// to the cores available (the campaign's profiling runs are independent
+// simulations, so it is the leg that must scale). The kernel gate is a
+// single-thread representation comparison — both legs run Workers:1 —
+// so its speedup floor holds on any host.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"cooper/internal/arch"
 	"cooper/internal/core"
 	"cooper/internal/profiler"
+	"cooper/internal/recommend"
 	"cooper/internal/stats"
 	"cooper/internal/workload"
 )
@@ -29,7 +38,27 @@ import (
 // run before the gate fails (benchmark noise plus pool bookkeeping).
 const overheadAllowance = 1.15
 
+// kernelSpeedupFloor is what the flat prediction kernel must deliver
+// over the reference kernel at n=400, single thread (the acceptance
+// target; smaller sizes are reported but not gated — fixed costs
+// dominate there).
+const kernelSpeedupFloor = 2.0
+
 func main() {
+	recommendOnly := flag.Bool("recommend-only", false,
+		"run only the prediction-kernel gate")
+	recommendOut := flag.String("recommend-out", "",
+		"write the kernel benchmark snapshot to this JSON file")
+	flag.Parse()
+
+	if *recommendOnly {
+		if !recommendGate(*recommendOut) {
+			os.Exit(1)
+		}
+		fmt.Println("bench-compare: PASS")
+		return
+	}
+
 	cmp := arch.DefaultCMP()
 	catalog, err := workload.Catalog(cmp)
 	if err != nil {
@@ -76,10 +105,121 @@ func main() {
 	ok := true
 	ok = gate("profiling campaign", campaign(1), campaign(8), cores, true) && ok
 	ok = gate("epoch pipeline", epochs(1), epochs(8), cores, false) && ok
+	ok = recommendGate(*recommendOut) && ok
 	if !ok {
 		os.Exit(1)
 	}
 	fmt.Println("bench-compare: PASS")
+}
+
+// kernelBench is one leg of the kernel snapshot written to
+// BENCH_recommend.json.
+type kernelBench struct {
+	Name       string `json:"name"`
+	Kernel     string `json:"kernel"`
+	N          int    `json:"n"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// sparseMatrix builds the deterministic benchmark input: an n×n penalty-
+// shaped matrix with 25% of its symmetric pairs observed, matching the
+// paper's operating-point sampling fraction.
+func sparseMatrix(n int) [][]float64 {
+	r := rand.New(rand.NewSource(int64(n)))
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		for j := range dense[i] {
+			dense[i][j] = -0.05 + 0.05*float64(r.Intn(16))
+		}
+	}
+	return recommend.MaskPairs(dense, 0.25, r)
+}
+
+// recommendGate benchmarks the flat prediction kernel against the
+// retained reference kernel at Workers:1 across the snapshot sizes,
+// optionally writes BENCH_recommend.json, and fails unless the n=400
+// speedup clears kernelSpeedupFloor. Both legs run single-threaded, so
+// the comparison measures representation, not parallelism, and the floor
+// is host-independent.
+func recommendGate(outPath string) bool {
+	bench := func(p recommend.Predictor, m [][]float64) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Complete(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	sizes := []int{20, 100, 400}
+	var benches []kernelBench
+	speedups := map[string]float64{}
+	ok := true
+	for _, n := range sizes {
+		m := sparseMatrix(n)
+		flat := recommend.Default()
+		flat.Workers = 1
+		ref := flat.WithReferenceKernel()
+		fr := testing.Benchmark(bench(flat, m))
+		rr := testing.Benchmark(bench(ref, m))
+		speedup := float64(rr.NsPerOp()) / float64(fr.NsPerOp())
+		fmt.Printf("bench-compare: kernel n=%-3d       reference %12d ns/op, flat %12d ns/op, speedup %.2fx\n",
+			n, rr.NsPerOp(), fr.NsPerOp(), speedup)
+		benches = append(benches,
+			kernelBench{fmt.Sprintf("BenchmarkCompleteReference/n=%d", n), "reference", n, rr.N, rr.NsPerOp()},
+			kernelBench{fmt.Sprintf("BenchmarkCompleteFlat/n=%d", n), "flat", n, fr.N, fr.NsPerOp()})
+		speedups[fmt.Sprintf("n%d", n)] = float64(int(speedup*100)) / 100
+		if n == 400 && speedup < kernelSpeedupFloor {
+			fmt.Printf("bench-compare: FAIL: kernel speedup %.2fx at n=400 below the %.1fx floor\n",
+				speedup, kernelSpeedupFloor)
+			ok = false
+		}
+	}
+
+	if outPath != "" {
+		snapshot := map[string]any{
+			"description": "Naive reference vs flat prediction kernel (matrix completion, " +
+				"25% observed pairs, Workers:1 both legs). The flat kernel's win is " +
+				"representational — bitset-masked word scans, incremental similarity " +
+				"invalidation, allocation-free top-K — so the speedup is core-count " +
+				"independent; rerun `make bench-recommend` to refresh this snapshot.",
+			"host": map[string]any{
+				"goos":       runtime.GOOS,
+				"goarch":     runtime.GOARCH,
+				"cpu":        cpuModel(),
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+			},
+			"benchmarks": benches,
+			"speedup":    speedups,
+		}
+		data, err := json.MarshalIndent(snapshot, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench-compare: wrote %s\n", outPath)
+	}
+	return ok
+}
+
+// cpuModel best-effort reads the CPU model string for the snapshot's
+// host stanza; empty when the platform does not expose /proc/cpuinfo.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
 }
 
 // gate benchmarks the two legs and applies the core-count-aware check:

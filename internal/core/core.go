@@ -208,16 +208,21 @@ func NewContext(ctx context.Context, opts Options) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := f.tel.Registry()
 	predict := f.tel.Phase(nil, "predict")
 	predict.SetAttr("sparsity", profiler.Sparsity(sparse))
+	preRecomputed := reg.Counter("predict.sim_pairs_recomputed").Value()
+	preSkipped := reg.Counter("predict.sim_pairs_skipped").Value()
 	pred := opts.Predictor
-	pred.Metrics = f.tel.Registry()
+	pred.Metrics = reg
 	pred.Workers = f.pool.Workers()
 	f.predicted, f.iters, err = pred.CompleteContext(ctx, sparse)
 	if err != nil {
 		return nil, wrapCanceled(ctx, err)
 	}
 	predict.SetAttr("fill_iters", f.iters)
+	predict.SetAttr("sim_pairs_recomputed", reg.Counter("predict.sim_pairs_recomputed").Value()-preRecomputed)
+	predict.SetAttr("sim_pairs_skipped", reg.Counter("predict.sim_pairs_skipped").Value()-preSkipped)
 	f.tel.End(predict)
 	return f, nil
 }

@@ -6,6 +6,7 @@ import (
 	"cooper/internal/matching"
 	"cooper/internal/policy"
 	"cooper/internal/stats"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -210,5 +211,42 @@ func TestRunEpochOddPopulation(t *testing.T) {
 	}
 	if rep.Cluster.Jobs != 41 {
 		t.Errorf("cluster ran %d jobs, want 41", rep.Cluster.Jobs)
+	}
+}
+
+func TestPredictSpanSimPairAttrs(t *testing.T) {
+	tel := telemetry.New()
+	f, err := New(Options{Seed: 11, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	span := tel.Trace.Find("predict")
+	if span == nil {
+		t.Fatal("no predict span recorded")
+	}
+	attrs := map[string]any{}
+	for _, a := range span.Snapshot().Attrs {
+		attrs[a.Key] = a.Value
+	}
+	rec, ok := attrs["sim_pairs_recomputed"].(int64)
+	if !ok {
+		t.Fatalf("sim_pairs_recomputed attr missing or wrong type: %v", attrs)
+	}
+	skip, ok := attrs["sim_pairs_skipped"].(int64)
+	if !ok {
+		t.Fatalf("sim_pairs_skipped attr missing or wrong type: %v", attrs)
+	}
+	if rec <= 0 {
+		t.Errorf("sim_pairs_recomputed = %d, want > 0 for a profiled fill", rec)
+	}
+	if rec+skip <= 0 || skip < 0 {
+		t.Errorf("sim pair counters implausible: recomputed=%d skipped=%d", rec, skip)
+	}
+	// The span attrs are deltas of the registry counters, so they must not
+	// exceed the totals.
+	reg := tel.Registry()
+	if total := reg.Counter("predict.sim_pairs_recomputed").Value(); rec > total {
+		t.Errorf("span delta %d exceeds counter total %d", rec, total)
 	}
 }

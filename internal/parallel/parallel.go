@@ -40,6 +40,16 @@ func Workers(n int) int {
 // ctx.Err() (wrapped). With workers == 1 the items run serially, in
 // order, on the calling goroutine.
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorker(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with a worker identity: fn receives the index
+// of the goroutine running the item (0 <= worker < min(workers, n), with
+// worker 0 on the serial path). Fan-out sites use the identity to give
+// each worker a private scratch buffer, making inner loops allocation-
+// free; results must never depend on which worker ran an item, so the
+// determinism contract is unchanged.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("parallel: %w", err)
@@ -55,7 +65,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("parallel: %w", err)
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -72,7 +82,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -82,13 +92,13 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					firstErr.CompareAndSwap(nil, &err)
 					cancel()
 					return
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if p := firstErr.Load(); p != nil {

@@ -231,3 +231,69 @@ func TestPoolConcurrentForEach(t *testing.T) {
 		t.Errorf("ran %d items, want %d", total.Load(), 8*50)
 	}
 }
+
+func TestForEachWorkerIdentity(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 100
+		resolved := workers
+		if resolved > n {
+			resolved = n
+		}
+		var ran [100]int32
+		seen := make([]atomic.Int32, resolved)
+		err := ForEachWorker(context.Background(), workers, n, func(worker, i int) error {
+			if worker < 0 || worker >= resolved {
+				return fmt.Errorf("worker id %d out of range [0,%d)", worker, resolved)
+			}
+			atomic.AddInt32(&ran[i], 1)
+			seen[worker].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		var total int32
+		for w := range seen {
+			total += seen[w].Load()
+		}
+		if total != int32(n) {
+			t.Fatalf("workers=%d: worker tallies sum to %d, want %d", workers, total, n)
+		}
+		if workers == 1 && seen[0].Load() != int32(n) {
+			t.Fatal("serial path must run everything on worker 0")
+		}
+	}
+}
+
+func TestForEachWorkerScratchIsolation(t *testing.T) {
+	// The motivating use: per-worker scratch buffers written by every
+	// item without synchronization must be race-free because a worker id
+	// is never shared between concurrent goroutines. Run with -race.
+	workers := 4
+	scratch := make([][]int, workers)
+	for i := range scratch {
+		scratch[i] = make([]int, 8)
+	}
+	out := make([]int, 200)
+	err := ForEachWorker(context.Background(), workers, len(out), func(worker, i int) error {
+		buf := scratch[worker]
+		for j := range buf {
+			buf[j] = i + j
+		}
+		out[i] = buf[3]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+3 {
+			t.Fatalf("item %d read %d from scratch, want %d", i, v, i+3)
+		}
+	}
+}

@@ -470,7 +470,11 @@ func DensePenaltiesContext(ctx context.Context, m arch.CMP, jobs []workload.Job,
 
 // ExpandToAgents lifts a job-level penalty matrix to the agent level for a
 // population: agent a's penalty with agent b is its job's penalty with b's
-// job. jobIndex maps catalog names to matrix rows.
+// job (zero on the diagonal). The result is flat — one backing allocation
+// with rows sliced out of it. Agents running the same job share the same
+// expanded row up to the diagonal, so the gather through the population's
+// row mapping happens once per distinct catalog job and every agent row
+// is a single copy, not n map/bounds-checked lookups.
 func ExpandToAgents(jobD [][]float64, jobs []workload.Job, pop workload.Population) ([][]float64, error) {
 	idx := make(map[string]int, len(jobs))
 	for i, j := range jobs {
@@ -485,14 +489,26 @@ func ExpandToAgents(jobD [][]float64, jobs []workload.Job, pop workload.Populati
 		}
 		rows[a] = i
 	}
+	// One expanded row per catalog job actually present in the population:
+	// expanded[r][b] = jobD[r][rows[b]].
+	expanded := make([][]float64, len(jobs))
+	for _, r := range rows {
+		if expanded[r] != nil {
+			continue
+		}
+		src := jobD[r]
+		row := make([]float64, n)
+		for b, rb := range rows {
+			row[b] = src[rb]
+		}
+		expanded[r] = row
+	}
+	backing := make([]float64, n*n)
 	d := make([][]float64, n)
 	for a := 0; a < n; a++ {
-		d[a] = make([]float64, n)
-		for b := 0; b < n; b++ {
-			if a != b {
-				d[a][b] = jobD[rows[a]][rows[b]]
-			}
-		}
+		d[a] = backing[a*n : (a+1)*n]
+		copy(d[a], expanded[rows[a]])
+		d[a][a] = 0
 	}
 	return d, nil
 }

@@ -1,0 +1,117 @@
+package recommend
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks: the flat production kernel against the retained
+// naive reference at the sizes cmd/bench-compare snapshots into
+// BENCH_recommend.json. Run with -benchmem: BenchmarkPredictCell is the
+// acceptance proof that the prediction hot path allocates nothing per
+// predicted cell.
+
+// benchComplete runs one kernel over a fixed random sparse matrix.
+func benchComplete(b *testing.B, p Predictor, n int) {
+	b.Helper()
+	m := randSparse(n, 0.25, int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Complete(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompleteFlat measures the flat kernel end to end (single
+// worker, so speedups over the reference are representation wins, not
+// parallelism).
+func BenchmarkCompleteFlat(b *testing.B) {
+	for _, n := range []int{20, 100, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := Default()
+			p.Workers = 1
+			benchComplete(b, p, n)
+		})
+	}
+}
+
+// BenchmarkCompleteReference measures the retained naive kernel on the
+// same inputs — the baseline the flat kernel's speedup is quoted
+// against.
+func BenchmarkCompleteReference(b *testing.B) {
+	for _, n := range []int{20, 100, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := Default().WithReferenceKernel()
+			p.Workers = 1
+			benchComplete(b, p, n)
+		})
+	}
+}
+
+// BenchmarkCompleteFlatUserBased covers the zero-copy transposed-view
+// path at the largest size.
+func BenchmarkCompleteFlatUserBased(b *testing.B) {
+	p := Default()
+	p.Workers = 1
+	p.Mode = UserBased
+	benchComplete(b, p, 400)
+}
+
+// BenchmarkPredictCell measures one cell prediction through a warmed
+// kernel and its per-worker scratch — with -benchmem it must report
+// 0 allocs/op, the "allocation-free per predicted cell" acceptance bar.
+func BenchmarkPredictCell(b *testing.B) {
+	n := 400
+	m := randSparse(n, 0.25, 1)
+	p := Default()
+	p.K = 10 // exercise the top-K selection buffer, the richest path
+	work, err := DenseFromRows(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := newKernel(p, work)
+	k.computeRowMeans()
+	k.computeCentered()
+	if err := k.similarityPass(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	// Pick an unknown cell in a row with known neighbors.
+	ti, tj := -1, -1
+	for i := 0; i < n && ti < 0; i++ {
+		rk := bitset(k.rowKnown[i*k.w : (i+1)*k.w])
+		if !rk.any() {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !rk.get(j) {
+				ti, tj = i, j
+				break
+			}
+		}
+	}
+	if ti < 0 {
+		b.Fatal("no unknown cell with known neighbors")
+	}
+	sc := &k.scratch[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.predictCell(sc, ti, tj)
+	}
+}
+
+// BenchmarkPreferenceAccuracy measures the sign-agreement scorer on a
+// completed 400x400 matrix pair.
+func BenchmarkPreferenceAccuracy(b *testing.B) {
+	n := 400
+	truth := randSparse(n, 1.0, 2)
+	pred := randSparse(n, 1.0, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PreferenceAccuracy(truth, pred)
+	}
+}

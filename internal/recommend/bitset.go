@@ -1,0 +1,68 @@
+package recommend
+
+import "math/bits"
+
+// bitset is a fixed-width set of row or column indices backed by uint64
+// words. The prediction kernel keeps one per matrix row and column to
+// mark known entries, so the similarity and prediction inner loops scan
+// words and pop set bits instead of testing every cell for NaN.
+type bitset []uint64
+
+// bitsetWords returns the number of uint64 words needed for n bits.
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+// newBitset returns an empty bitset able to hold n bits.
+func newBitset(n int) bitset { return make(bitset, bitsetWords(n)) }
+
+// set marks bit i.
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// get reports whether bit i is set.
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// reset clears every bit.
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// any reports whether any bit is set.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// intersects3 reports whether a & b & c has any set bit — the kernel's
+// dirty-pair test: does the overlap of two columns (a, b) touch any row
+// whose mean changed (c)?
+func intersects3(a, b, c []uint64) bool {
+	for i := range a {
+		if a[i]&b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tailMask returns the mask selecting the valid bits of the last word of
+// an n-bit bitset (all ones when n is a multiple of 64).
+func tailMask(n int) uint64 {
+	if r := n & 63; r != 0 {
+		return 1<<uint(r) - 1
+	}
+	return ^uint64(0)
+}

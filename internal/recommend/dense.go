@@ -1,0 +1,106 @@
+package recommend
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a square matrix in one flat backing slice with explicit row
+// and column strides. The default layout is row-major; T returns the
+// zero-copy column-major reinterpretation of the same backing, which is
+// how the user-based kernel reads the matrix "transposed" without ever
+// materializing a transpose (the old per-iteration transpose copy
+// survives only inside the retained reference kernel).
+type Dense struct {
+	n      int
+	rs, cs int // row and column strides into data
+	data   []float64
+}
+
+// NewDense returns an n×n row-major matrix of zeros.
+func NewDense(n int) *Dense {
+	return &Dense{n: n, rs: n, cs: 1, data: make([]float64, n*n)}
+}
+
+// DenseFromRows copies a square [][]float64 into a row-major Dense,
+// returning an error for ragged input.
+func DenseFromRows(m [][]float64) (*Dense, error) {
+	n := len(m)
+	d := NewDense(n)
+	for i, row := range m {
+		if len(row) != n {
+			return nil, fmt.Errorf("recommend: row %d has %d entries, want %d",
+				i, len(row), n)
+		}
+		copy(d.data[i*n:(i+1)*n], row)
+	}
+	return d, nil
+}
+
+// N returns the matrix order.
+func (d *Dense) N() int { return d.n }
+
+// At returns entry (i, j) under the view's layout.
+func (d *Dense) At(i, j int) float64 { return d.data[i*d.rs+j*d.cs] }
+
+// Set stores entry (i, j) under the view's layout.
+func (d *Dense) Set(i, j int, v float64) { d.data[i*d.rs+j*d.cs] = v }
+
+// T returns the transposed view: same backing slice, row and column
+// strides swapped. Zero-copy; writes through either view alias.
+func (d *Dense) T() *Dense {
+	return &Dense{n: d.n, rs: d.cs, cs: d.rs, data: d.data}
+}
+
+// RowMajor reports whether rows are contiguous in the backing slice, so
+// Row is valid.
+func (d *Dense) RowMajor() bool { return d.cs == 1 }
+
+// Row returns row i as a slice aliasing the backing array. Only valid on
+// row-major views; column-major callers go through At or T().Row.
+func (d *Dense) Row(i int) []float64 {
+	if !d.RowMajor() {
+		panic("recommend: Row on a column-major Dense view")
+	}
+	return d.data[i*d.rs : i*d.rs+d.n]
+}
+
+// ToRows materializes the view as a fresh [][]float64 (one backing
+// allocation, rows sliced out of it).
+func (d *Dense) ToRows() [][]float64 {
+	n := d.n
+	backing := make([]float64, n*n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*n : (i+1)*n]
+		if d.RowMajor() {
+			copy(rows[i], d.data[i*d.rs:i*d.rs+n])
+		} else {
+			for j := 0; j < n; j++ {
+				rows[i][j] = d.At(i, j)
+			}
+		}
+	}
+	return rows
+}
+
+// KnownBitsets scans the view once and returns per-row and per-column
+// known-entry bitsets (bit j of rowKnown[i] set iff entry (i, j) is not
+// NaN), plus the total number of known entries. Both bitset slabs are
+// packed: row i occupies words [i*w, (i+1)*w) with w = bitsetWords(n).
+func (d *Dense) KnownBitsets() (rowKnown, colKnown bitset, known int) {
+	n := d.n
+	w := bitsetWords(n)
+	rowKnown = make(bitset, n*w)
+	colKnown = make(bitset, n*w)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !math.IsNaN(d.At(i, j)) {
+				rowKnown[i*w+j>>6] |= 1 << uint(j&63)
+				colKnown[j*w+i>>6] |= 1 << uint(i&63)
+				known++
+			}
+		}
+	}
+	return rowKnown, colKnown, known
+}

@@ -1,0 +1,172 @@
+package recommend
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseTransposeViewIsZeroCopy(t *testing.T) {
+	d := NewDense(3)
+	v := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d.Set(i, j, v)
+			v++
+		}
+	}
+	tr := d.T()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(i, j) != d.At(j, i) {
+				t.Fatalf("T().At(%d,%d) = %v, want %v", i, j, tr.At(i, j), d.At(j, i))
+			}
+		}
+	}
+	// Writes through the view alias the same backing.
+	tr.Set(0, 2, -1)
+	if d.At(2, 0) != -1 {
+		t.Fatal("write through transposed view did not alias the backing")
+	}
+	if d.RowMajor() == tr.RowMajor() && d.N() > 1 {
+		t.Fatal("transposed view should flip RowMajor")
+	}
+	if tr.T().At(2, 0) != d.At(2, 0) {
+		t.Fatal("double transpose should be the original view")
+	}
+}
+
+func TestDenseFromRowsRoundTrip(t *testing.T) {
+	m := [][]float64{
+		{1, 2, math.NaN()},
+		{4, 5, 6},
+		{7, 8, 9},
+	}
+	d, err := DenseFromRows(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := d.ToRows()
+	trBack := d.T().ToRows()
+	for i := range m {
+		for j := range m[i] {
+			if math.Float64bits(back[i][j]) != math.Float64bits(m[i][j]) {
+				t.Fatalf("round trip changed cell (%d,%d)", i, j)
+			}
+			if math.Float64bits(trBack[j][i]) != math.Float64bits(m[i][j]) {
+				t.Fatalf("transposed ToRows wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	if got := d.Row(1); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	if _, err := DenseFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestDenseRowPanicsOnColumnMajor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Row on a column-major view should panic")
+		}
+	}()
+	NewDense(2).T().Row(0)
+}
+
+func TestKnownBitsets(t *testing.T) {
+	nan := math.NaN()
+	d, err := DenseFromRows([][]float64{
+		{1, nan, 3},
+		{nan, nan, 6},
+		{7, 8, nan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols, known := d.KnownBitsets()
+	if known != 5 {
+		t.Fatalf("known = %d, want 5", known)
+	}
+	w := bitsetWords(3)
+	wantRows := [][]int{{0, 2}, {2}, {0, 1}}
+	for i, want := range wantRows {
+		row := rows[i*w : (i+1)*w]
+		for j := 0; j < 3; j++ {
+			has := bitset(row).get(j)
+			expect := false
+			for _, c := range want {
+				if c == j {
+					expect = true
+				}
+			}
+			if has != expect {
+				t.Fatalf("rowKnown[%d] bit %d = %v", i, j, has)
+			}
+		}
+	}
+	// Column bitsets are the row bitsets of the transposed view.
+	trRows, trCols, trKnown := d.T().KnownBitsets()
+	if trKnown != known {
+		t.Fatalf("transposed known = %d", trKnown)
+	}
+	for i := range cols {
+		if cols[i] != trRows[i] || rows[i] != trCols[i] {
+			t.Fatal("transposed view should swap row and column bitsets")
+		}
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	if b.any() || b.count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.set(i)
+		if !b.get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.count() != 4 || !b.any() {
+		t.Fatalf("count = %d", b.count())
+	}
+	if b.get(1) || b.get(128) {
+		t.Fatal("unset bits read as set")
+	}
+	b.reset()
+	if b.any() {
+		t.Fatal("reset left bits")
+	}
+
+	x, y, z := newBitset(128), newBitset(128), newBitset(128)
+	x.set(70)
+	y.set(70)
+	if intersects3(x, y, z) {
+		t.Fatal("empty third set should not intersect")
+	}
+	z.set(70)
+	if !intersects3(x, y, z) {
+		t.Fatal("common bit 70 not found")
+	}
+	z.reset()
+	z.set(71)
+	if intersects3(x, y, z) {
+		t.Fatal("disjoint bits reported intersecting")
+	}
+}
+
+func TestTailMask(t *testing.T) {
+	if tailMask(64) != ^uint64(0) || tailMask(128) != ^uint64(0) {
+		t.Fatal("full words need a full mask")
+	}
+	if tailMask(1) != 1 {
+		t.Fatalf("tailMask(1) = %#x", tailMask(1))
+	}
+	if tailMask(65) != 1 {
+		t.Fatalf("tailMask(65) = %#x", tailMask(65))
+	}
+	if tailMask(3) != 0b111 {
+		t.Fatalf("tailMask(3) = %#x", tailMask(3))
+	}
+}

@@ -1,0 +1,269 @@
+package recommend
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cooper/internal/telemetry"
+)
+
+// randSparse builds an n×n matrix with roughly the given fraction of
+// entries known (drawn uniformly per cell) and the rest NaN. Values come
+// from a small discrete grid so exact similarity ties — the tie-break
+// path — actually occur. At least one entry is forced known so Complete
+// does not reject the matrix.
+func randSparse(n int, density float64, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if r.Float64() < density {
+				// Grid of 16 levels in [-0.05, 0.7]: coarse enough for
+				// duplicate values and exact ties, shaped like penalties.
+				m[i][j] = -0.05 + 0.05*float64(r.Intn(16))
+			} else {
+				m[i][j] = math.NaN()
+			}
+		}
+	}
+	m[r.Intn(n)][r.Intn(n)] = 0.25
+	return m
+}
+
+// mustEqualBits fails unless a and b are bit-identical (NaN patterns
+// included) — stricter than ==, which treats -0 == 0 and NaN != NaN.
+func mustEqualBits(t *testing.T, label string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d rows vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("%s: cell [%d][%d] differs: %v (%#x) vs %v (%#x)",
+					label, i, j, a[i][j], math.Float64bits(a[i][j]),
+					b[i][j], math.Float64bits(b[i][j]))
+			}
+		}
+	}
+}
+
+// TestFlatKernelMatchesReference is the equivalence suite: across sparse
+// densities 5–90%, both filtering modes, K ∈ {0, 3, 10}, and several
+// matrix sizes, the flat kernel's output must match the retained
+// reference kernel bit for bit, at Workers 1 and 8 alike.
+func TestFlatKernelMatchesReference(t *testing.T) {
+	sizes := []int{1, 2, 5, 8, 17, 33, 64, 65}
+	densities := []float64{0.05, 0.25, 0.5, 0.9}
+	ks := []int{0, 3, 10}
+	seed := int64(1)
+	for _, n := range sizes {
+		for _, density := range densities {
+			for _, kk := range ks {
+				for _, mode := range []Mode{ItemBased, UserBased} {
+					seed++
+					m := randSparse(n, density, seed)
+					label := fmt.Sprintf("n=%d density=%.2f K=%d mode=%d", n, density, kk, mode)
+					p := Predictor{K: kk, MinOverlap: 2, MaxIters: 3, Mode: mode}
+					ref, refIters, refErr := p.WithReferenceKernel().Complete(m)
+					for _, workers := range []int{1, 8} {
+						pw := p
+						pw.Workers = workers
+						got, iters, err := pw.Complete(m)
+						if (err != nil) != (refErr != nil) {
+							t.Fatalf("%s workers=%d: err %v vs reference %v", label, workers, err, refErr)
+						}
+						if err != nil {
+							continue
+						}
+						if iters != refIters {
+							t.Fatalf("%s workers=%d: %d iters vs reference %d", label, workers, iters, refIters)
+						}
+						mustEqualBits(t, fmt.Sprintf("%s workers=%d", label, workers), got, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatKernelMatchesReferenceMinOverlap sweeps the overlap threshold,
+// including the zero value a zero Predictor carries.
+func TestFlatKernelMatchesReferenceMinOverlap(t *testing.T) {
+	for _, minOverlap := range []int{0, 1, 2, 5} {
+		for _, mode := range []Mode{ItemBased, UserBased} {
+			m := randSparse(24, 0.3, int64(100+minOverlap))
+			p := Predictor{K: 4, MinOverlap: minOverlap, MaxIters: 3, Mode: mode}
+			ref, _, err := p.WithReferenceKernel().Complete(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := p.Complete(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualBits(t, fmt.Sprintf("minOverlap=%d mode=%d", minOverlap, mode), got, ref)
+		}
+	}
+}
+
+// TestFlatKernelMatchesReferenceOnCatalog runs both kernels over the
+// paper's real penalty matrix at the operating-point sampling fractions.
+func TestFlatKernelMatchesReferenceOnCatalog(t *testing.T) {
+	dense := denseCatalogPenalties(t)
+	for _, fraction := range []float64{0.1, 0.25, 0.75} {
+		sparse := MaskPairs(dense, fraction, rand.New(rand.NewSource(int64(fraction*100))))
+		for _, mode := range []Mode{ItemBased, UserBased} {
+			p := Default()
+			p.Mode = mode
+			ref, _, err := p.WithReferenceKernel().Complete(sparse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := p.Complete(sparse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualBits(t, fmt.Sprintf("catalog f=%.2f mode=%d", fraction, mode), got, ref)
+		}
+	}
+}
+
+// TestFlatKernelErrorParity pins the error cases to the reference's
+// behaviour: ragged rows, all-unknown matrices, empty input, canceled
+// contexts.
+func TestFlatKernelErrorParity(t *testing.T) {
+	if _, _, err := Default().Complete([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	nan := math.NaN()
+	if _, _, err := Default().Complete([][]float64{{nan, nan}, {nan, nan}}); err == nil {
+		t.Error("all-unknown matrix accepted")
+	}
+	filled, iters, err := Default().Complete(nil)
+	if err != nil || len(filled) != 0 || iters != 0 {
+		t.Errorf("empty matrix: %v %d %v", filled, iters, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := randSparse(10, 0.3, 7)
+	if _, _, err := Default().CompleteContext(ctx, m); err == nil {
+		t.Error("canceled context accepted")
+	}
+	if _, _, err := Default().WithReferenceKernel().CompleteContext(ctx, m); err == nil {
+		t.Error("canceled context accepted by reference")
+	}
+}
+
+// TestTopKTieBreakPrefersLowerColumn is the duplicated-column regression
+// test for the principled tie-break: when two neighbor columns are
+// exactly equally similar and K truncates between them, the lower column
+// index wins — in both kernels, so neighbor choice is pinned by the
+// comparator, not sort internals.
+func TestTopKTieBreakPrefersLowerColumn(t *testing.T) {
+	nan := math.NaN()
+	// Columns 1 and 2 are duplicates on rows 1..3, so sim(3,1) and
+	// sim(3,2) are computed from identical values and tie exactly. Row 0
+	// rates them differently (0.2 vs 0.9) and cell (0,3) is the one
+	// prediction; with K=1 the tie-break decides which rating is used.
+	m := [][]float64{
+		{0.10, 0.20, 0.90, nan},
+		{0.50, 0.30, 0.30, 0.40},
+		{0.10, 0.60, 0.60, 0.70},
+		{0.80, 0.20, 0.20, 0.30},
+	}
+	p := Predictor{K: 1, MinOverlap: 2, MaxIters: 3}
+
+	// Establish the premise: the similarities actually tie and are
+	// positive, so the test exercises the tie-break rather than a
+	// dominant neighbor.
+	work := [][]float64{}
+	for _, row := range m {
+		work = append(work, append([]float64(nil), row...))
+	}
+	sim, err := p.itemSimilarities(context.Background(), work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim[3][1] != sim[3][2] || sim[3][1] <= 0 {
+		t.Fatalf("premise broken: sim(3,1)=%v sim(3,2)=%v, want an exact positive tie",
+			sim[3][1], sim[3][2])
+	}
+
+	// Winner is column 1 (the lower index), whose rating in row 0 is
+	// 0.2: the prediction is the one-neighbor weighted mean
+	// (s*0.2)/s. Had the higher column won, it would be (s*0.9)/s.
+	s := sim[3][1]
+	want := (s * m[0][1]) / s
+	lose := (s * m[0][2]) / s
+	if want == lose {
+		t.Fatal("premise broken: both tie outcomes predict the same value")
+	}
+	for name, pred := range map[string]Predictor{"flat": p, "reference": p.WithReferenceKernel()} {
+		filled, _, err := pred.Complete(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filled[0][3] != want {
+			t.Errorf("%s kernel: predicted %v for cell (0,3), want %v (lower-column tie win)",
+				name, filled[0][3], want)
+		}
+	}
+}
+
+// TestFlatKernelWorkerIndependenceRandom fans the flat kernel out at
+// several worker counts over a larger random matrix and requires
+// bit-identical output (run with -race to also prove the fan-out safe).
+func TestFlatKernelWorkerIndependenceRandom(t *testing.T) {
+	m := randSparse(80, 0.2, 42)
+	p := Default()
+	p.Workers = 1
+	serial, iters1, err := p.Complete(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		pw := p
+		pw.Workers = workers
+		got, iters, err := pw.Complete(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iters != iters1 {
+			t.Fatalf("workers=%d: %d iters vs serial %d", workers, iters, iters1)
+		}
+		mustEqualBits(t, fmt.Sprintf("workers=%d", workers), got, serial)
+	}
+}
+
+// TestFlatKernelSimPairCounters checks the incremental invalidation
+// bookkeeping: a fully observed matrix does no similarity work at all,
+// and a multi-iteration fill records both recomputed and skipped pairs
+// consistent with the number of passes.
+func TestFlatKernelSimPairCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := Default()
+	p.Metrics = reg
+	m := randSparse(30, 0.25, 9)
+	_, iters, err := p.Complete(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 1 {
+		t.Fatalf("expected at least one fill iteration, got %d", iters)
+	}
+	pairs := int64(30 * 29 / 2)
+	rec := reg.Counter("predict.sim_pairs_recomputed").Value()
+	skip := reg.Counter("predict.sim_pairs_skipped").Value()
+	if rec+skip != pairs*int64(iters) {
+		t.Errorf("recomputed %d + skipped %d != %d pairs x %d iters",
+			rec, skip, pairs, iters)
+	}
+	if rec < pairs {
+		t.Errorf("first pass must recompute all %d pairs, counted %d", pairs, rec)
+	}
+}

@@ -1,0 +1,474 @@
+package recommend
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"cooper/internal/parallel"
+)
+
+// This file is the production prediction kernel. It differs from the
+// retained reference kernel (reference.go) only in representation and
+// work avoidance, never in arithmetic:
+//
+//   - The matrix lives in one flat row-major []float64 in "work"
+//     orientation (user-based mode enters through a zero-copy Dense
+//     column-major view, so no per-iteration transpose is materialized).
+//   - Known entries are tracked by per-row and per-column uint64 bitsets;
+//     the O(n³) similarity inner loop is a word scan over the AND of two
+//     column bitsets against precomputed row-mean-centered columns, with
+//     no per-cell NaN test.
+//   - The similarity matrix persists across fill iterations and is
+//     recomputed incrementally: a pair (j, k) is recomputed only when a
+//     column gained a known entry or the pair's overlap touches a row
+//     whose mean changed; clean pairs keep their previous (identical)
+//     value. predict.sim_pairs_recomputed / predict.sim_pairs_skipped
+//     count the split.
+//   - Prediction is allocation-free: each worker owns a scratch buffer
+//     (candidate arrays plus a top-K insertion buffer), and top-K uses
+//     partial selection ordered by similarity descending with ties
+//     broken toward the lower column index — the exact order the
+//     reference kernel's sort produces.
+//
+// Every accumulation visits the same values in the same order as the
+// reference kernel, so the output is bit-identical for both modes, any
+// K/MinOverlap, and any worker count.
+
+// predictScratch is one worker's private buffers for the prediction
+// pass. Contents are fully overwritten per cell, so results never depend
+// on which worker ran a row.
+type predictScratch struct {
+	cols    []int     // candidate neighbor columns, ascending
+	sims    []float64 // candidate similarities, parallel to cols
+	topCols []int     // top-K selection buffer, sorted
+	topSims []float64
+}
+
+// kernel is the flat working state of one completeFlat call, in work
+// orientation (transposed for user-based mode).
+type kernel struct {
+	p Predictor
+	n int // matrix order
+	w int // bitset words per row/column
+
+	cur, next []float64 // n*n row-major values; unknown cells hold NaN
+	rowKnown  bitset    // n*w words: row i's known columns
+	colKnown  bitset    // n*w words: column j's known rows
+	rowMean   []float64
+	centered  []float64 // n*n column-major row-mean-centered values
+	sim       []float64 // n*n similarity matrix, persisted across iters
+	simFresh  bool      // first full similarity pass done
+	dirtyCol  bitset    // columns that gained entries since last sim pass
+	dirtyRow  bitset    // rows that gained entries since last sim pass
+	filled    bitset    // n*w scratch: cells filled by the current pass
+	unknown   int
+
+	recomputedBy, skippedBy []int64 // per-column pair counters (one owner each)
+	recomputed, skipped     int64
+
+	scratch []predictScratch
+}
+
+// completeFlat is the flat-kernel CompleteContext implementation.
+func (p Predictor) completeFlat(ctx context.Context, m [][]float64) ([][]float64, int, error) {
+	n := len(m)
+	known, err := validateSquare(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return make([][]float64, 0), 0, nil
+	}
+	if known == 0 {
+		return nil, 0, fmt.Errorf("recommend: matrix has no known entries")
+	}
+
+	work, err := DenseFromRows(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.Mode == UserBased {
+		// User-based filtering is item-based filtering on the transpose;
+		// the column-major view reinterprets the same backing in place.
+		work = work.T()
+	}
+	k := newKernel(p, work)
+
+	maxIters := p.maxIters()
+	iters := 0
+	for ; iters < maxIters && k.unknown > 0; iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, fmt.Errorf("recommend: %w", err)
+		}
+		if err := k.iterate(ctx); err != nil {
+			return nil, iters, err
+		}
+	}
+
+	out := k.result()
+	filled := (n*n - k.unknown) - known
+	fallback := fallbackFill(out)
+	if p.Metrics != nil {
+		p.Metrics.Counter("predict.fill_iters").Add(int64(iters))
+		p.Metrics.Counter("predict.cells_filled").Add(int64(filled))
+		p.Metrics.Counter("predict.fallback_cells").Add(int64(fallback))
+		p.Metrics.Counter("predict.sim_pairs_recomputed").Add(k.recomputed)
+		p.Metrics.Counter("predict.sim_pairs_skipped").Add(k.skipped)
+	}
+	return out, iters, nil
+}
+
+// newKernel flattens the work view and builds the kernel's state: value
+// arrays, known bitsets, similarity storage, and per-worker scratch.
+func newKernel(p Predictor, work *Dense) *kernel {
+	n := work.N()
+	w := bitsetWords(n)
+	k := &kernel{
+		p: p, n: n, w: w,
+		cur:      make([]float64, n*n),
+		next:     make([]float64, n*n),
+		rowMean:  make([]float64, n),
+		centered: make([]float64, n*n),
+		sim:      make([]float64, n*n),
+		dirtyCol: newBitset(n),
+		dirtyRow: newBitset(n),
+		filled:   make(bitset, n*w),
+
+		recomputedBy: make([]int64, n),
+		skippedBy:    make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		row := k.cur[i*n : (i+1)*n]
+		if work.RowMajor() {
+			copy(row, work.Row(i))
+		} else {
+			for j := range row {
+				row[j] = work.At(i, j)
+			}
+		}
+	}
+	var known int
+	k.rowKnown, k.colKnown, known = work.KnownBitsets()
+	k.unknown = n*n - known
+	for j := 0; j < n; j++ {
+		k.sim[j*n+j] = 1
+	}
+
+	workers := parallel.Workers(p.Workers)
+	if workers > n {
+		workers = n
+	}
+	topCap := p.K
+	if topCap > n {
+		topCap = n
+	}
+	if topCap < 0 {
+		topCap = 0
+	}
+	k.scratch = make([]predictScratch, workers)
+	for i := range k.scratch {
+		k.scratch[i] = predictScratch{
+			cols:    make([]int, n),
+			sims:    make([]float64, n),
+			topCols: make([]int, topCap),
+			topSims: make([]float64, topCap),
+		}
+	}
+	return k
+}
+
+// iterate runs one fill iteration: fresh row means and centered columns,
+// the (incremental) similarity pass, the prediction pass, and the state
+// update that makes the predictions known.
+func (k *kernel) iterate(ctx context.Context) error {
+	k.computeRowMeans()
+	k.computeCentered()
+	if err := k.similarityPass(ctx); err != nil {
+		return err
+	}
+	if err := k.fillPass(ctx); err != nil {
+		return err
+	}
+	k.apply()
+	return nil
+}
+
+// computeRowMeans recomputes every row mean from scratch, accumulating
+// known entries in ascending column order — the reference kernel's
+// summation order, which an incrementally maintained sum would not
+// reproduce bit for bit.
+func (k *kernel) computeRowMeans() {
+	n, w := k.n, k.w
+	for i := 0; i < n; i++ {
+		row := k.cur[i*n : (i+1)*n]
+		rk := k.rowKnown[i*w : (i+1)*w]
+		var sum float64
+		cnt := 0
+		for wi, mask := range rk {
+			base := wi << 6
+			for mask != 0 {
+				sum += row[base+bits.TrailingZeros64(mask)]
+				mask &= mask - 1
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			k.rowMean[i] = sum / float64(cnt)
+		} else {
+			k.rowMean[i] = 0
+		}
+	}
+}
+
+// computeCentered refreshes the column-major centered values at every
+// known cell. Unknown cells are never read (the similarity loop masks
+// through the column bitsets), so they need no clearing.
+func (k *kernel) computeCentered() {
+	n, w := k.n, k.w
+	for j := 0; j < n; j++ {
+		col := k.centered[j*n : (j+1)*n]
+		ck := k.colKnown[j*w : (j+1)*w]
+		for wi, mask := range ck {
+			base := wi << 6
+			for mask != 0 {
+				i := base + bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				col[i] = k.cur[i*n+j] - k.rowMean[i]
+			}
+		}
+	}
+}
+
+// similarityPass recomputes adjusted-cosine similarities between column
+// pairs. The first pass computes every pair; later passes recompute only
+// pairs invalidated since — at least one column gained an entry, or the
+// pair's overlap contains a row whose mean changed — and count the rest
+// as skipped. Column j's worker owns sim[j][k] and sim[k][j] for k > j
+// plus its own counter slots, so the fan-out is race-free and the result
+// worker-count independent.
+func (k *kernel) similarityPass(ctx context.Context) error {
+	n, w := k.n, k.w
+	full := !k.simFresh
+	minOverlap := k.p.MinOverlap
+	err := parallel.ForEach(ctx, k.p.Workers, n, func(j int) error {
+		var rec, skip int64
+		kj := k.colKnown[j*w : (j+1)*w]
+		cj := k.centered[j*n : (j+1)*n]
+		dirtyJ := full || k.dirtyCol.get(j)
+		for c := j + 1; c < n; c++ {
+			kc := k.colKnown[c*w : (c+1)*w]
+			if !dirtyJ && !k.dirtyCol.get(c) && !intersects3(kj, kc, k.dirtyRow) {
+				skip++
+				continue
+			}
+			rec++
+			cc := k.centered[c*n : (c+1)*n]
+			var dot, nj, nc float64
+			overlap := 0
+			for wi := 0; wi < w; wi++ {
+				mask := kj[wi] & kc[wi]
+				if mask == 0 {
+					continue
+				}
+				overlap += bits.OnesCount64(mask)
+				base := wi << 6
+				for mask != 0 {
+					i := base + bits.TrailingZeros64(mask)
+					mask &= mask - 1
+					a, b := cj[i], cc[i]
+					dot += a * b
+					nj += a * a
+					nc += b * b
+				}
+			}
+			var s float64
+			if overlap >= minOverlap && nj != 0 && nc != 0 {
+				s = dot / (math.Sqrt(nj) * math.Sqrt(nc))
+			}
+			k.sim[j*n+c] = s
+			k.sim[c*n+j] = s
+		}
+		k.recomputedBy[j] = rec
+		k.skippedBy[j] = skip
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		k.recomputed += k.recomputedBy[j]
+		k.skipped += k.skippedBy[j]
+	}
+	k.simFresh = true
+	k.dirtyCol.reset()
+	k.dirtyRow.reset()
+	return nil
+}
+
+// fillPass predicts every still-unknown cell from the previous
+// iteration's matrix into next, recording which cells produced a value.
+// Row i's worker reads only cur/sim and writes only row i's slices of
+// next and filled, so the fan-out is race-free; the per-worker scratch
+// makes the pass allocation-free.
+func (k *kernel) fillPass(ctx context.Context) error {
+	n, w := k.n, k.w
+	copy(k.next, k.cur)
+	k.filled.reset()
+	tail := tailMask(n)
+	return parallel.ForEachWorker(ctx, k.p.Workers, n, func(worker, i int) error {
+		sc := &k.scratch[worker]
+		rk := k.rowKnown[i*w : (i+1)*w]
+		rowFilled := k.filled[i*w : (i+1)*w]
+		nrow := k.next[i*n : (i+1)*n]
+		for wi := 0; wi < w; wi++ {
+			missing := ^rk[wi]
+			if wi == w-1 {
+				missing &= tail
+			}
+			base := wi << 6
+			for missing != 0 {
+				j := base + bits.TrailingZeros64(missing)
+				missing &= missing - 1
+				if v, ok := k.predictCell(sc, i, j); ok {
+					nrow[j] = v
+					rowFilled[wi] |= 1 << uint(j&63)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// predictCell estimates cell (i, j) from row i's known ratings of
+// columns similar to j, matching the reference predict bit for bit: the
+// same candidates in the same order, the same top-K ordering (similarity
+// descending, ties toward the lower column), and the same weighted-sum
+// accumulation order. No allocation: all state lives in sc.
+func (k *kernel) predictCell(sc *predictScratch, i, j int) (float64, bool) {
+	n, w := k.n, k.w
+	row := k.cur[i*n : (i+1)*n]
+	srow := k.sim[j*n : (j+1)*n]
+	rk := k.rowKnown[i*w : (i+1)*w]
+	cand := 0
+	for wi := 0; wi < w; wi++ {
+		mask := rk[wi]
+		base := wi << 6
+		for mask != 0 {
+			c := base + bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if c == j {
+				continue
+			}
+			if s := srow[c]; s > 0 {
+				sc.cols[cand] = c
+				sc.sims[cand] = s
+				cand++
+			}
+		}
+	}
+	if cand == 0 {
+		return 0, false
+	}
+	var num, den float64
+	if kk := k.p.K; kk > 0 && cand > kk {
+		// Partial top-K selection: an insertion buffer holds the current
+		// best kk candidates in final order, so only the winners are
+		// sorted and the weighted sum runs in the reference's post-sort
+		// order.
+		topN := 0
+		for t := 0; t < cand; t++ {
+			s, c := sc.sims[t], sc.cols[t]
+			if topN == kk {
+				ls, lc := sc.topSims[kk-1], sc.topCols[kk-1]
+				if s < ls || (s == ls && c > lc) {
+					continue
+				}
+				topN--
+			}
+			pos := topN
+			for pos > 0 {
+				ps, pc := sc.topSims[pos-1], sc.topCols[pos-1]
+				if s > ps || (s == ps && c < pc) {
+					pos--
+				} else {
+					break
+				}
+			}
+			copy(sc.topSims[pos+1:topN+1], sc.topSims[pos:topN])
+			copy(sc.topCols[pos+1:topN+1], sc.topCols[pos:topN])
+			sc.topSims[pos] = s
+			sc.topCols[pos] = c
+			topN++
+		}
+		for t := 0; t < topN; t++ {
+			num += sc.topSims[t] * row[sc.topCols[t]]
+			den += sc.topSims[t]
+		}
+	} else {
+		// No truncation: the reference skips the sort and accumulates in
+		// ascending column order — the candidates' natural order here.
+		for t := 0; t < cand; t++ {
+			num += sc.sims[t] * row[sc.cols[t]]
+			den += sc.sims[t]
+		}
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// apply folds the pass's filled cells into the known bitsets, marks the
+// dirty rows/columns that drive the next incremental similarity pass,
+// and swaps the value buffers.
+func (k *kernel) apply() {
+	n, w := k.n, k.w
+	for i := 0; i < n; i++ {
+		base := i * w
+		rowDirty := false
+		for wi := 0; wi < w; wi++ {
+			mask := k.filled[base+wi]
+			if mask == 0 {
+				continue
+			}
+			rowDirty = true
+			k.rowKnown[base+wi] |= mask
+			wb := wi << 6
+			for mask != 0 {
+				j := wb + bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				k.colKnown[j*w+i>>6] |= 1 << uint(i&63)
+				k.dirtyCol.set(j)
+				k.unknown--
+			}
+		}
+		if rowDirty {
+			k.dirtyRow.set(i)
+		}
+	}
+	k.cur, k.next = k.next, k.cur
+}
+
+// result materializes the completed matrix in the caller's (original)
+// orientation: rows sliced out of one flat backing, un-transposing for
+// user-based mode.
+func (k *kernel) result() [][]float64 {
+	n := k.n
+	backing := make([]float64, n*n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*n : (i+1)*n]
+	}
+	if k.p.Mode == UserBased {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rows[i][j] = k.cur[j*n+i]
+			}
+		}
+	} else {
+		copy(backing, k.cur)
+	}
+	return rows
+}

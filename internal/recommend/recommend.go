@@ -9,15 +9,21 @@
 // scratch replacement with the same iterative behaviour — each iteration
 // predicts the unknown ratings it can, and one to three iterations fill
 // the matrix.
+//
+// Two kernels implement the fill. The production kernel (kernel.go) works
+// on a flat Dense matrix with known-entry bitsets: similarity inner loops
+// are word scans over precomputed row-mean-centered columns, the
+// similarity matrix is recomputed incrementally across fill iterations,
+// and prediction is allocation-free with per-worker scratch. The retained
+// naive kernel (reference.go) is the bit-for-bit baseline the equivalence
+// suite and the benchmark gate compare against.
 package recommend
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
-	"cooper/internal/parallel"
 	"cooper/internal/telemetry"
 )
 
@@ -38,7 +44,9 @@ const (
 // Predictor configures the collaborative filter.
 type Predictor struct {
 	// K is the neighborhood size; 0 means use every neighbor with
-	// positive similarity.
+	// positive similarity. Ties on equal similarity break toward the
+	// lower column index, so truncation is principled rather than an
+	// artifact of sort internals.
 	K int
 	// MinOverlap is the minimum number of co-rated rows for a pair of
 	// columns to be considered similar at all.
@@ -55,14 +63,29 @@ type Predictor struct {
 	// identical at any worker count.
 	Workers int
 	// Metrics, when non-nil, receives the predictor's work counters
-	// (predict.fill_iters, predict.cells_filled, predict.fallback_cells).
+	// (predict.fill_iters, predict.cells_filled, predict.fallback_cells,
+	// and on the flat kernel predict.sim_pairs_recomputed /
+	// predict.sim_pairs_skipped).
 	Metrics *telemetry.Registry
+
+	// reference routes Complete through the retained naive kernel.
+	reference bool
 }
 
 // Default returns the configuration Cooper uses: full neighborhoods,
 // two-row overlap, and the paper's one-to-three iterations.
 func Default() Predictor {
 	return Predictor{K: 0, MinOverlap: 2, MaxIters: 3}
+}
+
+// WithReferenceKernel returns a copy of p that routes Complete through
+// the retained naive [][]float64 kernel instead of the flat one. The two
+// kernels produce bit-identical output; the reference exists as the
+// baseline for the equivalence suite and cmd/bench-compare's kernel
+// gate, and is not part of the cooper facade.
+func (p Predictor) WithReferenceKernel() Predictor {
+	p.reference = true
+	return p
 }
 
 // Complete fills the unknown (NaN) entries of the sparse penalty matrix m
@@ -77,140 +100,81 @@ func (p Predictor) Complete(m [][]float64) ([][]float64, int, error) {
 // iterations and a parallel inner loop: each iteration's column
 // similarities and row predictions fan out across p.Workers workers.
 func (p Predictor) CompleteContext(ctx context.Context, m [][]float64) ([][]float64, int, error) {
+	if p.reference {
+		return p.completeReference(ctx, m)
+	}
+	return p.completeFlat(ctx, m)
+}
+
+// maxIters resolves the iteration bound (zero means the paper's 3).
+func (p Predictor) maxIters() int {
+	if p.MaxIters <= 0 {
+		return 3
+	}
+	return p.MaxIters
+}
+
+// validateSquare checks that m is square and counts its known entries,
+// reporting errors in the same shape for both kernels.
+func validateSquare(m [][]float64) (known int, err error) {
 	n := len(m)
-	out := make([][]float64, n)
-	known := 0
 	for i, row := range m {
 		if len(row) != n {
-			return nil, 0, fmt.Errorf("recommend: row %d has %d entries, want %d",
+			return 0, fmt.Errorf("recommend: row %d has %d entries, want %d",
 				i, len(row), n)
 		}
-		out[i] = append([]float64(nil), row...)
 		for _, v := range row {
 			if !math.IsNaN(v) {
 				known++
 			}
 		}
 	}
-	if n == 0 {
-		return out, 0, nil
-	}
-	if known == 0 {
-		return nil, 0, fmt.Errorf("recommend: matrix has no known entries")
-	}
-
-	maxIters := p.MaxIters
-	if maxIters <= 0 {
-		maxIters = 3
-	}
-	iters := 0
-	for ; iters < maxIters && hasNaN(out); iters++ {
-		if err := ctx.Err(); err != nil {
-			return nil, iters, fmt.Errorf("recommend: %w", err)
-		}
-		work := out
-		if p.Mode == UserBased {
-			// User-based filtering is item-based filtering on the
-			// transpose: similar rows vote on the missing column entry.
-			work = transpose(out)
-		}
-		sim, err := p.itemSimilarities(ctx, work)
-		if err != nil {
-			return nil, iters, err
-		}
-		next := make([][]float64, n)
-		for i := range out {
-			next[i] = append([]float64(nil), out[i]...)
-		}
-		// Row i's worker reads the previous iteration's matrix and
-		// writes only next[i], so the fan-out is race-free and the
-		// result worker-count independent.
-		err = parallel.ForEach(ctx, p.Workers, n, func(i int) error {
-			for j := 0; j < n; j++ {
-				if !math.IsNaN(out[i][j]) {
-					continue
-				}
-				wi, wj := i, j
-				if p.Mode == UserBased {
-					wi, wj = j, i
-				}
-				if v, ok := p.predict(work, sim, wi, wj); ok {
-					next[i][j] = v
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, iters, err
-		}
-		out = next
-	}
-
-	filled := 0
-	fallback := 0
-	for i := range out {
-		for j := range out[i] {
-			if math.IsNaN(m[i][j]) && !math.IsNaN(out[i][j]) {
-				filled++
-			}
-		}
-	}
-
-	// Fallback for entries no neighborhood could reach: row mean, then
-	// global mean.
-	if hasNaN(out) {
-		var globalSum float64
-		var globalN int
-		rowMean := make([]float64, n)
-		rowHas := make([]bool, n)
-		for i := range out {
-			var sum float64
-			var cnt int
-			for _, v := range out[i] {
-				if !math.IsNaN(v) {
-					sum += v
-					cnt++
-					globalSum += v
-					globalN++
-				}
-			}
-			if cnt > 0 {
-				rowMean[i] = sum / float64(cnt)
-				rowHas[i] = true
-			}
-		}
-		global := globalSum / float64(globalN)
-		for i := range out {
-			for j := range out[i] {
-				if math.IsNaN(out[i][j]) {
-					if rowHas[i] {
-						out[i][j] = rowMean[i]
-					} else {
-						out[i][j] = global
-					}
-					fallback++
-				}
-			}
-		}
-	}
-	if p.Metrics != nil {
-		p.Metrics.Counter("predict.fill_iters").Add(int64(iters))
-		p.Metrics.Counter("predict.cells_filled").Add(int64(filled))
-		p.Metrics.Counter("predict.fallback_cells").Add(int64(fallback))
-	}
-	return out, iters, nil
+	return known, nil
 }
 
-func transpose(m [][]float64) [][]float64 {
-	n := len(m)
-	out := make([][]float64, n)
+// fallbackFill replaces entries no neighborhood could reach with the row
+// mean, then the global mean, returning how many cells it filled. Shared
+// by both kernels so the fallback arithmetic is identical bit for bit.
+func fallbackFill(out [][]float64) int {
+	if !hasNaN(out) {
+		return 0
+	}
+	n := len(out)
+	fallback := 0
+	var globalSum float64
+	var globalN int
+	rowMean := make([]float64, n)
+	rowHas := make([]bool, n)
 	for i := range out {
-		out[i] = make([]float64, n)
-		for j := range out[i] {
-			out[i][j] = m[j][i]
+		var sum float64
+		var cnt int
+		for _, v := range out[i] {
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+				globalSum += v
+				globalN++
+			}
+		}
+		if cnt > 0 {
+			rowMean[i] = sum / float64(cnt)
+			rowHas[i] = true
 		}
 	}
-	return out
+	global := globalSum / float64(globalN)
+	for i := range out {
+		for j := range out[i] {
+			if math.IsNaN(out[i][j]) {
+				if rowHas[i] {
+					out[i][j] = rowMean[i]
+				} else {
+					out[i][j] = global
+				}
+				fallback++
+			}
+		}
+	}
+	return fallback
 }
 
 func hasNaN(m [][]float64) bool {
@@ -222,97 +186,6 @@ func hasNaN(m [][]float64) bool {
 		}
 	}
 	return false
-}
-
-// itemSimilarities computes adjusted-cosine similarity between columns
-// (co-runners): ratings are centered on each row's mean so that jobs with
-// uniformly high penalties do not dominate. Columns fan out across
-// p.Workers workers; column j's worker owns cells sim[j][k] and
-// sim[k][j] for k >= j, so distinct columns write disjoint cells.
-func (p Predictor) itemSimilarities(ctx context.Context, m [][]float64) ([][]float64, error) {
-	n := len(m)
-	rowMean := make([]float64, n)
-	for i, row := range m {
-		var sum float64
-		var cnt int
-		for _, v := range row {
-			if !math.IsNaN(v) {
-				sum += v
-				cnt++
-			}
-		}
-		if cnt > 0 {
-			rowMean[i] = sum / float64(cnt)
-		}
-	}
-	sim := make([][]float64, n)
-	for j := range sim {
-		sim[j] = make([]float64, n)
-	}
-	err := parallel.ForEach(ctx, p.Workers, n, func(j int) error {
-		sim[j][j] = 1
-		for k := j + 1; k < n; k++ {
-			var dot, nj, nk float64
-			overlap := 0
-			for i := 0; i < n; i++ {
-				a, b := m[i][j], m[i][k]
-				if math.IsNaN(a) || math.IsNaN(b) {
-					continue
-				}
-				a -= rowMean[i]
-				b -= rowMean[i]
-				dot += a * b
-				nj += a * a
-				nk += b * b
-				overlap++
-			}
-			if overlap < p.MinOverlap || nj == 0 || nk == 0 {
-				continue
-			}
-			s := dot / (math.Sqrt(nj) * math.Sqrt(nk))
-			sim[j][k] = s
-			sim[k][j] = s
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return sim, nil
-}
-
-// predict estimates entry (i, j) from row i's known ratings of items
-// similar to j. Returns false when no usable neighbor exists.
-func (p Predictor) predict(m, sim [][]float64, i, j int) (float64, bool) {
-	type neighbor struct {
-		col int
-		s   float64
-	}
-	var neighbors []neighbor
-	for k := range m[i] {
-		if k == j || math.IsNaN(m[i][k]) || sim[j][k] <= 0 {
-			continue
-		}
-		neighbors = append(neighbors, neighbor{k, sim[j][k]})
-	}
-	if len(neighbors) == 0 {
-		return 0, false
-	}
-	if p.K > 0 && len(neighbors) > p.K {
-		sort.Slice(neighbors, func(a, b int) bool {
-			return neighbors[a].s > neighbors[b].s
-		})
-		neighbors = neighbors[:p.K]
-	}
-	var num, den float64
-	for _, nb := range neighbors {
-		num += nb.s * m[i][nb.col]
-		den += nb.s
-	}
-	if den == 0 {
-		return 0, false
-	}
-	return num / den, true
 }
 
 // PreferenceAccuracy computes the paper's Equation 2: the fraction of
@@ -327,30 +200,39 @@ func PreferenceAccuracy(truth, pred [][]float64) (float64, error) {
 	if len(pred) != n {
 		return 0, fmt.Errorf("recommend: matrix sizes differ: %d vs %d", n, len(pred))
 	}
-	total, wrong := 0, 0
 	for a := 0; a < n; a++ {
 		if len(truth[a]) != n || len(pred[a]) != n {
 			return 0, fmt.Errorf("recommend: row %d not square", a)
 		}
+	}
+	// The pair count is closed-form: every row contributes the pairs over
+	// its n-1 off-diagonal candidates.
+	total := n * (n - 1) * (n - 2) / 2
+	if total == 0 {
+		return 1, nil
+	}
+	wrong := 0
+	for a := 0; a < n; a++ {
+		ta, pa := truth[a], pred[a]
 		for i := 0; i < n; i++ {
 			if i == a {
 				continue
 			}
+			ti, pi := ta[i], pa[i]
 			for j := i + 1; j < n; j++ {
 				if j == a {
 					continue
 				}
-				total++
-				st := sign(truth[a][i] - truth[a][j])
-				sp := sign(pred[a][i] - pred[a][j])
-				if st != sp {
+				dt, dp := ti-ta[j], pi-pa[j]
+				// Wrong when sign(dt) != sign(dp); comparing the
+				// greater/less predicates directly avoids the branchy
+				// three-way sign helper and handles NaN like sign()
+				// does (NaN compares false on both sides, i.e. sign 0).
+				if (dt > 0) != (dp > 0) || (dt < 0) != (dp < 0) {
 					wrong++
 				}
 			}
 		}
-	}
-	if total == 0 {
-		return 1, nil
 	}
 	return 1 - float64(wrong)/float64(total), nil
 }

@@ -1,0 +1,219 @@
+package recommend
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"cooper/internal/parallel"
+)
+
+// This file is the retained naive prediction kernel: [][]float64 rows, a
+// NaN test per cell, a from-scratch O(n³) similarity pass per fill
+// iteration, and a per-iteration transpose for user-based mode. It is
+// not the production path — kernel.go's flat kernel is — but stays as
+// the executable specification the randomized equivalence suite pins the
+// flat kernel against bit for bit, and as the baseline cmd/bench-compare
+// measures the kernel speedup from.
+
+// completeReference is the naive CompleteContext implementation.
+func (p Predictor) completeReference(ctx context.Context, m [][]float64) ([][]float64, int, error) {
+	n := len(m)
+	out := make([][]float64, n)
+	known := 0
+	for i, row := range m {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("recommend: row %d has %d entries, want %d",
+				i, len(row), n)
+		}
+		out[i] = append([]float64(nil), row...)
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				known++
+			}
+		}
+	}
+	if n == 0 {
+		return out, 0, nil
+	}
+	if known == 0 {
+		return nil, 0, fmt.Errorf("recommend: matrix has no known entries")
+	}
+
+	maxIters := p.maxIters()
+	iters := 0
+	for ; iters < maxIters && hasNaN(out); iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, fmt.Errorf("recommend: %w", err)
+		}
+		work := out
+		if p.Mode == UserBased {
+			// User-based filtering is item-based filtering on the
+			// transpose: similar rows vote on the missing column entry.
+			// (The flat kernel replaces this per-iteration copy with a
+			// zero-copy Dense column-major view.)
+			work = transpose(out)
+		}
+		sim, err := p.itemSimilarities(ctx, work)
+		if err != nil {
+			return nil, iters, err
+		}
+		next := make([][]float64, n)
+		for i := range out {
+			next[i] = append([]float64(nil), out[i]...)
+		}
+		// Row i's worker reads the previous iteration's matrix and
+		// writes only next[i], so the fan-out is race-free and the
+		// result worker-count independent.
+		err = parallel.ForEach(ctx, p.Workers, n, func(i int) error {
+			for j := 0; j < n; j++ {
+				if !math.IsNaN(out[i][j]) {
+					continue
+				}
+				wi, wj := i, j
+				if p.Mode == UserBased {
+					wi, wj = j, i
+				}
+				if v, ok := p.predict(work, sim, wi, wj); ok {
+					next[i][j] = v
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, iters, err
+		}
+		out = next
+	}
+
+	filled := 0
+	for i := range out {
+		for j := range out[i] {
+			if math.IsNaN(m[i][j]) && !math.IsNaN(out[i][j]) {
+				filled++
+			}
+		}
+	}
+
+	fallback := fallbackFill(out)
+	if p.Metrics != nil {
+		p.Metrics.Counter("predict.fill_iters").Add(int64(iters))
+		p.Metrics.Counter("predict.cells_filled").Add(int64(filled))
+		p.Metrics.Counter("predict.fallback_cells").Add(int64(fallback))
+	}
+	return out, iters, nil
+}
+
+// transpose materializes the transpose of a square matrix. Only the
+// reference kernel pays this per-iteration copy; the flat kernel reads
+// the same backing through a Dense column-major view.
+func transpose(m [][]float64) [][]float64 {
+	n := len(m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = m[j][i]
+		}
+	}
+	return out
+}
+
+// itemSimilarities computes adjusted-cosine similarity between columns
+// (co-runners): ratings are centered on each row's mean so that jobs with
+// uniformly high penalties do not dominate. Columns fan out across
+// p.Workers workers; column j's worker owns cells sim[j][k] and
+// sim[k][j] for k >= j, so distinct columns write disjoint cells.
+func (p Predictor) itemSimilarities(ctx context.Context, m [][]float64) ([][]float64, error) {
+	n := len(m)
+	rowMean := make([]float64, n)
+	for i, row := range m {
+		var sum float64
+		var cnt int
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			rowMean[i] = sum / float64(cnt)
+		}
+	}
+	sim := make([][]float64, n)
+	for j := range sim {
+		sim[j] = make([]float64, n)
+	}
+	err := parallel.ForEach(ctx, p.Workers, n, func(j int) error {
+		sim[j][j] = 1
+		for k := j + 1; k < n; k++ {
+			var dot, nj, nk float64
+			overlap := 0
+			for i := 0; i < n; i++ {
+				a, b := m[i][j], m[i][k]
+				if math.IsNaN(a) || math.IsNaN(b) {
+					continue
+				}
+				a -= rowMean[i]
+				b -= rowMean[i]
+				dot += a * b
+				nj += a * a
+				nk += b * b
+				overlap++
+			}
+			if overlap < p.MinOverlap || nj == 0 || nk == 0 {
+				continue
+			}
+			s := dot / (math.Sqrt(nj) * math.Sqrt(nk))
+			sim[j][k] = s
+			sim[k][j] = s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// predict estimates entry (i, j) from row i's known ratings of items
+// similar to j. Returns false when no usable neighbor exists.
+func (p Predictor) predict(m, sim [][]float64, i, j int) (float64, bool) {
+	type neighbor struct {
+		col int
+		s   float64
+	}
+	var neighbors []neighbor
+	for k := range m[i] {
+		if k == j || math.IsNaN(m[i][k]) || sim[j][k] <= 0 {
+			continue
+		}
+		neighbors = append(neighbors, neighbor{k, sim[j][k]})
+	}
+	if len(neighbors) == 0 {
+		return 0, false
+	}
+	if p.K > 0 && len(neighbors) > p.K {
+		// Similarity descending, ties toward the lower column index: the
+		// comparator is a strict total order, so truncation picks a
+		// principled neighborhood instead of whatever the non-stable
+		// sort left in front.
+		sort.Slice(neighbors, func(a, b int) bool {
+			if neighbors[a].s != neighbors[b].s {
+				return neighbors[a].s > neighbors[b].s
+			}
+			return neighbors[a].col < neighbors[b].col
+		})
+		neighbors = neighbors[:p.K]
+	}
+	var num, den float64
+	for _, nb := range neighbors {
+		num += nb.s * m[i][nb.col]
+		den += nb.s
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
