@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
+.PHONY: all build vet test race chaos ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
 
 all: build
 
@@ -18,10 +18,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the fault-injection suite under the race detector, three
+# times over: the seeded 50-epoch soak plus every resilience regression
+# (reaping, rejoin, deadlines, backoff, shutdown races). Repetition
+# shakes out scheduling-dependent flakes the single-run suite would miss.
+chaos:
+	$(GO) test -race -count=3 ./internal/faults/
+	$(GO) test -race -count=3 -run 'Chaos|Mute|Reap|Rejoin|Dial|Shutdown' ./internal/netproto/
+	$(GO) test -race -count=3 ./cmd/cooperd/
+
 # ci is the full verification gate: static checks, a clean build, the
-# test suite under the race detector, and a one-iteration benchmark smoke
-# run so benchmarks cannot bit-rot silently.
-ci: vet build race bench-smoke
+# test suite under the race detector, the chaos suite, and a
+# one-iteration benchmark smoke run so benchmarks cannot bit-rot
+# silently.
+ci: vet build race chaos bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"cooper/internal/faults"
 	"cooper/internal/netproto"
 )
 
@@ -20,13 +21,35 @@ func main() {
 	job := flag.String("job", "", "catalog job to run (e.g. dedup, correlation)")
 	alpha := flag.Float64("alpha", 0.02, "minimum gain before recommending break-away")
 	epochs := flag.Int("epochs", 1, "scheduling rounds to participate in (match the coordinator's -epochs)")
+	dialTimeout := flag.Duration("dial-timeout", 0,
+		"connect (and registration reply) deadline per attempt; 0 means the "+
+			"default (10s), negative disables")
+	retries := flag.Int("retries", 0,
+		"additional dial attempts after a retryable failure, with capped "+
+			"exponential backoff; registration rejections never retry")
+	epochTimeout := flag.Duration("epoch-timeout", 0,
+		"per-message read deadline while waiting on the coordinator; 0 means "+
+			"the default (2m), negative disables")
+	chaosSeed := flag.Int64("chaos-seed", 0,
+		"testing only: arm deterministic fault injection on this agent's "+
+			"connection with the hostile profile seeded here; 0 disables")
 	flag.Parse()
 	if *job == "" {
 		fmt.Fprintln(os.Stderr, "cooper-agent: -job is required")
 		os.Exit(2)
 	}
 
-	c, err := netproto.Dial(*addr, *job)
+	opts := netproto.DialOptions{
+		Timeout:     *dialTimeout,
+		Retries:     *retries,
+		ReadTimeout: *epochTimeout,
+	}
+	if *chaosSeed != 0 {
+		plan := faults.NewPlan(faults.Hostile(*chaosSeed), nil, nil)
+		opts.Faults = plan.Injector(0)
+		fmt.Printf("cooper-agent: CHAOS MODE: injecting faults on this connection (seed %d)\n", *chaosSeed)
+	}
+	c, err := netproto.DialWith(*addr, *job, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 
 	"cooper/internal/arch"
 	"cooper/internal/core"
+	"cooper/internal/faults"
 	"cooper/internal/netproto"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
@@ -50,6 +51,18 @@ func main() {
 	profiles := flag.String("profiles", "",
 		"measurement database from cooper-profile; penalties then come from "+
 			"profiled data completed by the predictor instead of the oracle")
+	readTimeout := flag.Duration("read-timeout", 0,
+		"per-message read deadline for agent connections; 0 means the "+
+			"default (30s), negative disables")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"per-message write deadline for agent connections; 0 means the "+
+			"default (10s), negative disables")
+	epochTimeout := flag.Duration("epoch-timeout", 0,
+		"wall-clock bound per scheduling epoch; laggards past it are reaped "+
+			"and the epoch completes degraded; 0 disables")
+	chaosSeed := flag.Int64("chaos-seed", 0,
+		"testing only: arm deterministic fault injection on every agent "+
+			"connection with the hostile profile seeded here; 0 disables")
 	flag.Parse()
 
 	pol, err := policy.ByName(*policyName)
@@ -104,35 +117,29 @@ func main() {
 
 	reg := tel.Registry()
 	srv := &netproto.Server{
-		Epoch:     *epoch,
-		Epochs:    *epochs,
-		Policy:    pol,
-		Catalog:   fw.Catalog(),
-		Penalties: fw.PredictedPenalties(),
-		Seed:      *seed,
-		Metrics:   reg,
+		Epoch:        *epoch,
+		Epochs:       *epochs,
+		Policy:       pol,
+		Catalog:      fw.Catalog(),
+		Penalties:    fw.PredictedPenalties(),
+		Seed:         *seed,
+		Metrics:      reg,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		EpochTimeout: *epochTimeout,
 		OnEpoch: func(e int, sum netproto.Message) {
 			fmt.Printf("cooperd: epoch %d done: mean penalty %.4f, %d break-aways, %d participating\n",
 				e, sum.MeanPenalty, sum.BreakAways, sum.Participating)
 		},
 	}
+	if *chaosSeed != 0 {
+		srv.Faults = faults.NewPlan(faults.Hostile(*chaosSeed), reg, nil)
+		fmt.Printf("cooperd: CHAOS MODE: injecting faults on every connection (seed %d)\n", *chaosSeed)
+	}
 
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			if err := reg.WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			if err := reg.WriteExpvar(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, metricsMux(reg)); err != nil {
 				fmt.Fprintln(os.Stderr, "cooperd: metrics endpoint:", err)
 			}
 		}()
@@ -167,6 +174,25 @@ func main() {
 	if err := reg.WriteJSON(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// metricsMux builds the telemetry HTTP handler: /metrics serves the full
+// JSON snapshot, /debug/vars the expvar-style flat object.
+func metricsMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteExpvar(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
 }
 
 func fatal(err error) {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cooper/internal/arch"
+	"cooper/internal/faults"
+	"cooper/internal/netproto"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/telemetry"
+	"cooper/internal/workload"
+)
+
+// TestMetricsExposition drives a mini soak through a fault-armed server,
+// ticks the retry and injection counters, and asserts the /metrics
+// endpoint exposes the full resilience counter set — including the
+// fault.injected.* family pre-created at zero — and that the exposed
+// snapshot matches a live Snapshot of the same registry exactly.
+func TestMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	cmp := arch.DefaultCMP()
+	catalog, err := workload.Catalog(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &netproto.Server{
+		Epoch:     2,
+		Epochs:    2,
+		Policy:    policy.Greedy{},
+		Catalog:   catalog,
+		Penalties: profiler.DensePenalties(cmp, catalog),
+		Seed:      1,
+		Metrics:   reg,
+		// Armed but quiet: zero probabilities exercise the injection path
+		// on every connection while keeping the soak clean, and pre-create
+		// the fault.injected.* counters in the registry.
+		Faults: faults.NewPlan(faults.Config{Seed: 11}, reg, nil),
+	}
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a }) }()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	for _, job := range []string{"correlation", "dedup"} {
+		wg.Add(1)
+		go func(job string) {
+			defer wg.Done()
+			c, err := netproto.Dial(addr, job)
+			if err != nil {
+				t.Errorf("dial %s: %v", job, err)
+				return
+			}
+			defer c.Close()
+			for e := 0; e < 2; e++ {
+				if _, _, err := c.RunEpoch(); err != nil {
+					t.Errorf("%s epoch %d: %v", job, e, err)
+					return
+				}
+			}
+		}(job)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// Tick net.retry and fault.injected.connect_fail with a dial whose
+	// connects are injected to fail, on a fake clock so the backoff ladder
+	// costs nothing.
+	failPlan := faults.NewPlan(faults.Config{Seed: 3, ConnectFailProb: 1}, reg, nil)
+	if _, err := netproto.DialWith(addr, "dedup", netproto.DialOptions{
+		Retries: 2,
+		Clock:   faults.NewFakeClock(time.Unix(0, 0)),
+		Faults:  failPlan.Injector(99),
+		Metrics: reg,
+		Jitter:  func() float64 { return 1 },
+	}); err == nil {
+		t.Fatal("injected connect failures did not fail the dial")
+	}
+
+	// Tick fault.injected.drop through a wrapped pipe.
+	dropPlan := faults.NewPlan(faults.Config{Seed: 5, DropProb: 1}, reg, nil)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if _, err := dropPlan.Wrap(0, a).Write([]byte("gone\n")); err != nil {
+		t.Fatalf("dropped write errored: %v", err)
+	}
+
+	ts := httptest.NewServer(metricsMux(reg))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var exposed telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&exposed); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+
+	want := append(faults.CounterNames(),
+		"net.reaped", "net.stale", "net.retry", "epoch.degraded")
+	for _, name := range want {
+		if _, ok := exposed.Counters[name]; !ok {
+			t.Errorf("/metrics missing counter %q", name)
+		}
+	}
+	if got := exposed.Counters["net.retry"]; got != 2 {
+		t.Errorf("net.retry = %d, want 2", got)
+	}
+	if got := exposed.Counters["fault.injected.connect_fail"]; got != 3 {
+		t.Errorf("fault.injected.connect_fail = %d, want 3", got)
+	}
+	if got := exposed.Counters["fault.injected.drop"]; got != 1 {
+		t.Errorf("fault.injected.drop = %d, want 1", got)
+	}
+
+	// Snapshot invariant: with no writers active, the exposed snapshot and
+	// a live one must agree counter for counter.
+	live := reg.Snapshot()
+	if !reflect.DeepEqual(exposed.Counters, live.Counters) {
+		t.Errorf("/metrics counters diverge from live snapshot:\n exposed: %v\n live: %v",
+			exposed.Counters, live.Counters)
+	}
+	if !reflect.DeepEqual(exposed.Gauges, live.Gauges) {
+		t.Errorf("/metrics gauges diverge from live snapshot")
+	}
+
+	vars, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vars.Body.Close()
+	body, err := io.ReadAll(vars.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(body) {
+		t.Error("/debug/vars is not valid JSON")
+	}
+	if !strings.Contains(string(body), `"fault.injected.drop": 1`) {
+		t.Error("/debug/vars missing fault.injected.drop")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"cooper/internal/agent"
 	"cooper/internal/arch"
@@ -86,6 +87,11 @@ type Options struct {
 	// from every layer the framework touches. Nil (the default) disables
 	// observability at near-zero cost.
 	Telemetry *telemetry.Telemetry
+	// EpochTimeout, when positive, bounds each RunEpoch's wall-clock time:
+	// the epoch's context is cut over to a deadline and a run that blows
+	// it returns an error wrapping ErrCanceled instead of stalling the
+	// caller's scheduling loop (cooperd -epoch-timeout).
+	EpochTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -361,6 +367,12 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 	f.inflight.Add(1)
 	f.mu.Unlock()
 	defer f.inflight.Done()
+
+	if f.opts.EpochTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.opts.EpochTimeout)
+		defer cancel()
+	}
 
 	n := len(pop.Jobs)
 	if n == 0 {

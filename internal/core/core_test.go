@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"cooper/internal/matching"
 	"cooper/internal/policy"
@@ -95,6 +97,30 @@ func TestRunEpochOracle(t *testing.T) {
 		if rep.TruePenalty[i] != rep.PredictedPenalty[i] {
 			t.Fatal("oracle epoch should have matching penalties")
 		}
+	}
+}
+
+func TestEpochTimeoutBoundsRunEpoch(t *testing.T) {
+	f, err := New(Options{Policy: policy.Greedy{}, Oracle: true, Seed: 1,
+		EpochTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pop := f.SamplePopulation(8, stats.Uniform{})
+	if _, err := f.RunEpoch(pop); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunEpoch under 1ns epoch timeout = %v, want ErrCanceled", err)
+	}
+
+	// A generous deadline must not perturb a normal epoch.
+	g, err := New(Options{Policy: policy.Greedy{}, Oracle: true, Seed: 1,
+		EpochTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.RunEpoch(pop); err != nil {
+		t.Fatalf("RunEpoch under 1h epoch timeout: %v", err)
 	}
 }
 

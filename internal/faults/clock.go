@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock reads and sleeps so that retry/backoff and
+// stall-injection code can run against a fake clock in tests: a backoff
+// ladder that would take seconds of real time completes instantly while
+// still recording exactly how long it would have slept.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock returns the process clock: time.Now and time.Sleep.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually advanced Clock for tests. Sleep returns
+// immediately, advancing the fake time and accumulating the total slept
+// duration so tests can assert on a backoff schedule without waiting it
+// out. Safe for concurrent use.
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake clock's current instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the fake clock by d without blocking and records d in
+// the slept total. Non-positive durations are ignored.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.slept += d
+}
+
+// Advance moves the clock forward by d without counting it as sleep.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Slept returns the total duration passed to Sleep so far.
+func (c *FakeClock) Slept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}

@@ -1,0 +1,384 @@
+package netproto
+
+// Chaos soak: 50 epochs of the full wire protocol under a hostile
+// fault-injection plan — dropped and duplicated messages, stalls, resets,
+// failed connects, two scheduled agent crashes and one rejoin — asserting
+// that every epoch completes (no wedged Serve), penalties stay bounded,
+// and the fault telemetry is byte-identical across two runs of the same
+// plan and seed.
+//
+// Determinism rests on three legs. First, injection is client-side only,
+// keyed by agent index, so each agent's fault stream depends only on its
+// own message sequence, never on accept order. Second, the harness runs
+// the agents in lockstep with the coordinator's epoch loop (BeforeEpoch
+// is the barrier): crashes execute between RunEpochs, never mid-read, and
+// every reaped agent is redialed and re-admitted before the next epoch
+// starts, so each epoch's population is a pure function of the fault
+// streams rather than of redial timing. Third, stall durations are
+// microseconds against deadlines of tens of milliseconds, so a stall can
+// never tip an agent over a deadline on a slow machine. Fourth, the
+// soak's tail is drained (finishSoak) before Serve tears the conns down,
+// so the final draws never race the teardown. The server does its part
+// too: a round's collect pass always runs even when an assignment write
+// failed, so which agents get reaped never depends on whether a write to
+// a dying conn errors now or at the next read.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cooper/internal/faults"
+	"cooper/internal/policy"
+	"cooper/internal/telemetry"
+)
+
+const chaosEpochs = 50
+
+var chaosJobs = []string{"correlation", "dedup", "swapt", "stream", "kmeans", "canneal"}
+
+// chaosConfig is the soak's hostile plan: a fifth of all traffic dropped,
+// some duplicated and stalled, occasional resets and failed connects, one
+// permanent crash and one crash-with-rejoin.
+func chaosConfig(seed int64) faults.Config {
+	return faults.Config{
+		Seed:            seed,
+		ConnectFailProb: 0.05,
+		DropProb:        0.22,
+		DupProb:         0.08,
+		StallProb:       0.12,
+		Stall:           300 * time.Microsecond,
+		ResetProb:       0.02,
+		Crashes: []faults.Crash{
+			{Agent: 1, Epoch: 4},
+			{Agent: 3, Epoch: 7, Rejoin: true},
+		},
+	}
+}
+
+// chaosHarness drives the agent fleet in lockstep with the server's epoch
+// loop. One mutex+cond covers all state; agents park between epochs and
+// BeforeEpoch releases them once per epoch.
+type chaosHarness struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	alive     []bool    // scheduled to exist (crash schedule flips these)
+	conn      []*Client // nil while disconnected
+	ran       []int     // last epoch the agent entered
+	goEpoch   int       // latest epoch released to the fleet
+	entered   int       // agents inside RunEpoch for goEpoch
+	inflight  int       // RunEpoch calls not yet returned
+	done      bool      // soak over: no more dials
+	stopped   bool
+	completed int       // successful RunEpochs across the fleet
+	drawTrace [][]int64 // per-epoch snapshot of each agent's draw count
+}
+
+func newChaosHarness(n int) *chaosHarness {
+	h := &chaosHarness{
+		alive:   make([]bool, n),
+		conn:    make([]*Client, n),
+		ran:     make([]int, n),
+		goEpoch: -1,
+	}
+	h.cond = sync.NewCond(&h.mu)
+	for i := range h.alive {
+		h.alive[i] = true
+		h.ran[i] = -1
+	}
+	return h
+}
+
+// runAgent is one agent's lifecycle: dial (retrying through injected
+// connect failures), run exactly one RunEpoch per released epoch, redial
+// after every reap, park while crashed.
+func (h *chaosHarness) runAgent(i int, job, addr string, plan *faults.Plan, reg *telemetry.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for !h.stopped {
+		switch {
+		case !h.alive[i]:
+			h.cond.Wait()
+		case h.conn[i] == nil:
+			if h.done {
+				// Soak over: dialing the closing listener would burn
+				// nondeterministically many connect-fail draws.
+				h.cond.Wait()
+				continue
+			}
+			h.mu.Unlock()
+			c, err := DialWith(addr, job, DialOptions{
+				Timeout:     2 * time.Second,
+				Retries:     3,
+				Backoff:     time.Millisecond,
+				MaxBackoff:  4 * time.Millisecond,
+				ReadTimeout: 5 * time.Second,
+				Faults:      plan.Injector(int64(i)),
+				Metrics:     reg,
+				Jitter:      func() float64 { return 1 },
+			})
+			h.mu.Lock()
+			if err != nil {
+				continue // injected failure or closing listener: retry until stopped
+			}
+			if h.stopped || !h.alive[i] {
+				c.Close()
+				continue
+			}
+			h.conn[i] = c
+			h.cond.Broadcast()
+		case h.goEpoch > h.ran[i]:
+			c := h.conn[i]
+			h.ran[i] = h.goEpoch
+			h.inflight++
+			h.entered++
+			h.cond.Broadcast()
+			h.mu.Unlock()
+			_, _, err := c.RunEpoch()
+			h.mu.Lock()
+			h.inflight--
+			if err != nil {
+				// Reaped (dropped assess, injected reset, crash): drop the
+				// conn and fall back to the dial branch.
+				c.Close()
+				if h.conn[i] == c {
+					h.conn[i] = nil
+				}
+			} else {
+				h.completed++
+			}
+			h.cond.Broadcast()
+		default:
+			h.cond.Wait()
+		}
+	}
+	if c := h.conn[i]; c != nil {
+		c.Close()
+		h.conn[i] = nil
+	}
+}
+
+// waitConnected blocks (mu held) until every scheduled-alive agent has a
+// registered conn. Redials always succeed eventually — the listener is
+// open and the agent loop keeps retrying through injected failures.
+func (h *chaosHarness) waitConnected() {
+	for !h.stopped {
+		ready := true
+		for i := range h.alive {
+			if h.alive[i] && h.conn[i] == nil {
+				ready = false
+			}
+		}
+		if ready {
+			return
+		}
+		h.cond.Wait()
+	}
+}
+
+// beforeEpoch is the lockstep barrier, run on the Serve goroutine.
+func (h *chaosHarness) beforeEpoch(srv *Server, plan *faults.Plan, e int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// 1. Wait out stragglers from the previous epoch, so crashes land
+	// between RunEpochs, never mid-read: closing a conn under an agent
+	// mid-read would make its draw count a scheduling race.
+	for h.inflight > 0 && !h.stopped {
+		h.cond.Wait()
+	}
+	// 2. Wait until every scheduled-alive agent is connected BEFORE
+	// executing the crash schedule. An agent reaped mid-epoch starts its
+	// redial immediately; if a crash scheduled for this boundary raced
+	// that redial, whether the crash closes a finished conn (forcing a
+	// second redial and its draws) or finds nil (letting the in-flight
+	// redial survive as the rejoin) would be scheduler timing. Settling
+	// the fleet first makes the crash always close a live conn.
+	h.waitConnected()
+	// 3. Execute the crash schedule, then wait for rejoiners to register
+	// and pull the queued registrations in: each epoch's population is a
+	// pure function of the fault streams, not of redial timing.
+	for _, cr := range plan.CrashesDue(e) {
+		i := int(cr.Agent)
+		if c := h.conn[i]; c != nil {
+			c.Close()
+			h.conn[i] = nil
+		}
+		h.alive[i] = cr.Rejoin
+		plan.RecordCrash()
+		if cr.Rejoin {
+			plan.RecordRejoin()
+		}
+	}
+	h.cond.Broadcast()
+	h.waitConnected()
+	srv.admitPending()
+	row := make([]int64, len(h.alive))
+	for i := range row {
+		row[i] = plan.Injector(int64(i)).Draws()
+	}
+	h.drawTrace = append(h.drawTrace, row)
+	// 4. Release the fleet and wait for everyone to be inside RunEpoch
+	// before the coordinator starts pushing assignments, so no agent can
+	// miss its assignment to a scheduling hiccup.
+	want := 0
+	for i := range h.conn {
+		if h.conn[i] != nil {
+			want++
+		}
+	}
+	h.entered = 0
+	h.goEpoch = e
+	h.cond.Broadcast()
+	for h.entered < want && !h.stopped {
+		h.cond.Wait()
+	}
+}
+
+// finishSoak runs on the Serve goroutine after the final epoch's
+// summaries go out, while the listener is still open: it drains the
+// in-flight RunEpochs and waits for any agent reaped in the final epoch
+// to finish its redial, so every draw completes before Serve closes the
+// conns, then parks the fleet. Without it the tail of the soak races the
+// teardown — an agent spinning dials against a dead listener burns a
+// connect-fail draw per attempt, as many attempts as the scheduler
+// allows.
+func (h *chaosHarness) finishSoak() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.inflight > 0 && !h.stopped {
+		h.cond.Wait()
+	}
+	h.waitConnected()
+	h.done = true
+	h.cond.Broadcast()
+}
+
+// runChaosSoak runs the full soak once and returns the registry and the
+// per-epoch summaries.
+func runChaosSoak(t *testing.T, seed int64) (*telemetry.Registry, []Message, *chaosHarness) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg := chaosConfig(seed)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(cfg, reg, nil)
+
+	srv, _ := testServer(t, len(chaosJobs), policy.Greedy{})
+	srv.Epochs = chaosEpochs
+	srv.Metrics = reg
+	srv.Seed = 7
+	srv.ReadTimeout = 75 * time.Millisecond
+	srv.WriteTimeout = 75 * time.Millisecond
+	// Generous on purpose: the epoch deadline must never bind, or which
+	// agents get reaped would depend on machine speed.
+	srv.EpochTimeout = 30 * time.Second
+
+	h := newChaosHarness(len(chaosJobs))
+	var summaries []Message
+	srv.OnEpoch = func(e int, s Message) {
+		summaries = append(summaries, s)
+		if e == chaosEpochs-1 {
+			h.finishSoak()
+		}
+	}
+	srv.BeforeEpoch = func(e int) { h.beforeEpoch(srv, plan, e) }
+
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	for i, job := range chaosJobs {
+		wg.Add(1)
+		go func(i int, job string) {
+			defer wg.Done()
+			h.runAgent(i, job, addr, plan, reg)
+		}(i, job)
+	}
+
+	wedged := false
+	select {
+	case err := <-srvErr:
+		if err != nil {
+			t.Errorf("chaos serve: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		wedged = true
+		srv.Shutdown()
+	}
+	h.mu.Lock()
+	h.stopped = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	wg.Wait()
+	if wedged {
+		t.Fatalf("chaos soak wedged: Serve did not finish %d epochs in 120s", chaosEpochs)
+	}
+	return reg, summaries, h
+}
+
+func TestChaosSoakCompletesAndIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak runs for seconds")
+	}
+	const seed = 20260806
+
+	reg1, summaries, h := runChaosSoak(t, seed)
+	if len(summaries) != chaosEpochs {
+		t.Fatalf("completed %d epochs, want %d", len(summaries), chaosEpochs)
+	}
+	for e, s := range summaries {
+		if s.MeanPenalty < 0 || s.MeanPenalty > 1 {
+			t.Errorf("epoch %d mean penalty %v outside [0, 1]", e, s.MeanPenalty)
+		}
+	}
+	if h.completed < chaosEpochs {
+		t.Errorf("only %d successful agent epochs across the fleet, want >= %d",
+			h.completed, chaosEpochs)
+	}
+	snap := reg1.Snapshot()
+	if got := snap.Counter("fault.injected.crash"); got != 2 {
+		t.Errorf("fault.injected.crash = %d, want 2", got)
+	}
+	if got := snap.Counter("fault.injected.rejoin"); got != 1 {
+		t.Errorf("fault.injected.rejoin = %d, want 1", got)
+	}
+	// With these probabilities over thousands of messages, silence from
+	// any of the high-rate injectors means injection is broken.
+	for _, name := range []string{"fault.injected.drop", "fault.injected.dup", "fault.injected.stall"} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("%s never fired over %d epochs", name, chaosEpochs)
+		}
+	}
+	if got := snap.Counter("net.reaped"); got < 2 {
+		t.Errorf("net.reaped = %d, want >= 2 (two scheduled crashes)", got)
+	}
+	if got := snap.Counter("epoch.degraded"); got < 2 {
+		t.Errorf("epoch.degraded = %d, want >= 2", got)
+	}
+
+	// Second run of the identical plan: the fault telemetry must match
+	// counter for counter. (net.stale and net.retry may legitimately vary
+	// with write-vs-deadline races; the injected faults may not.)
+	reg2, summaries2, h2 := runChaosSoak(t, seed)
+	if len(summaries2) != chaosEpochs {
+		t.Fatalf("rerun completed %d epochs, want %d", len(summaries2), chaosEpochs)
+	}
+	f1 := snap.CountersWithPrefix("fault.")
+	f2 := reg2.Snapshot().CountersWithPrefix("fault.")
+	if !reflect.DeepEqual(f1, f2) {
+		t.Errorf("fault telemetry diverged across two runs of the same plan:\n run1: %v\n run2: %v", f1, f2)
+		for e := 0; e < len(h.drawTrace) && e < len(h2.drawTrace); e++ {
+			if !reflect.DeepEqual(h.drawTrace[e], h2.drawTrace[e]) {
+				t.Errorf("first diverging draw snapshot at epoch %d:\n run1: %v\n run2: %v\n(prev run1: %v)",
+					e, h.drawTrace[e], h2.drawTrace[e], h.drawTrace[max(e-1, 0)])
+				break
+			}
+		}
+	}
+}

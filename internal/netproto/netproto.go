@@ -9,9 +9,19 @@
 //
 //	agent -> coordinator   {"type":"register","job":"dedup"}
 //	coordinator -> agent   {"type":"registered","agent_id":3}
-//	coordinator -> agent   {"type":"assignment","partner_id":7,...}
-//	agent -> coordinator   {"type":"assess","action":"participate"}
+//	coordinator -> agent   {"type":"assignment","partner_id":7,"seq":1,...}
+//	agent -> coordinator   {"type":"assess","action":"participate","seq":1}
 //	coordinator -> agent   {"type":"summary","mean_penalty":...}
+//
+// The coordinator is resilient to agent churn: every read and write
+// carries a deadline, an agent that dies or goes mute mid-epoch is reaped
+// (its session closed, net.reaped counted) and the survivors re-matched
+// in a fresh assignment round — the epoch completes degraded
+// (epoch.degraded) instead of wedging Serve. Assignment rounds carry a
+// sequence number so stale or duplicated assessments from superseded
+// rounds are recognized and skipped. Agents that rejoin after a crash
+// re-register as new sessions under a fresh AgentID. Deterministic fault
+// injection for all of this lives in internal/faults.
 package netproto
 
 import (
@@ -22,8 +32,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cooper/internal/faults"
 	"cooper/internal/matching"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
@@ -37,6 +49,39 @@ import (
 // occurred. Mirrors net/http.ErrServerClosed so callers can distinguish a
 // graceful stop from a failure.
 var ErrServerClosed = errors.New("netproto: server closed")
+
+// Default deadlines. A zero timeout field selects the default; a
+// negative one disables the deadline entirely (the pre-resilience
+// block-forever behaviour, for callers that really want it).
+const (
+	// DefaultReadTimeout bounds each server-side message read.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds each server-side message write.
+	DefaultWriteTimeout = 10 * time.Second
+	// DefaultDialTimeout bounds one connect attempt.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultClientReadTimeout bounds each client-side message read. It
+	// is deliberately generous: an agent legitimately idles while the
+	// coordinator waits out a full epoch of registrations.
+	DefaultClientReadTimeout = 2 * time.Minute
+
+	// maxStaleMessages bounds how many stale messages (assessments for a
+	// superseded assignment round, injector duplicates) the server skips
+	// per expected message before declaring the peer broken.
+	maxStaleMessages = 16
+)
+
+// timeoutOrDefault resolves a timeout knob: zero means def, negative
+// means disabled (returned as zero).
+func timeoutOrDefault(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
 
 // Message is the single wire envelope; Type selects which fields matter.
 type Message struct {
@@ -56,6 +101,14 @@ type Message struct {
 	PartnerJob       string  `json:"partner_job,omitempty"`
 	PredictedPenalty float64 `json:"predicted_penalty,omitempty"`
 
+	// Seq is the assignment round within the connection's lifetime: the
+	// coordinator stamps each assignment push with a monotonically
+	// increasing sequence and agents echo it in their assessment, letting
+	// the coordinator discard assessments for rounds superseded by a
+	// degraded re-match. Zero (absent) is accepted as "current" for
+	// minimal hand-rolled clients.
+	Seq int `json:"seq,omitempty"`
+
 	// assess
 	Action string `json:"action,omitempty"` // "participate" | "break-away"
 	With   int    `json:"with,omitempty"`   // preferred blocking partner
@@ -71,7 +124,9 @@ type Message struct {
 
 // Server is the networked coordinator: it accepts Epoch-size agent
 // registrations, assigns colocations with the configured policy, and
-// reports a summary after each of Epochs scheduling rounds.
+// reports a summary after each of Epochs scheduling rounds. Agents that
+// die mid-epoch are reaped and the survivors re-matched; agents that
+// rejoin are admitted at the next epoch boundary under a fresh AgentID.
 type Server struct {
 	// Epoch is the number of agents per scheduling epoch.
 	Epoch int
@@ -89,19 +144,45 @@ type Server struct {
 	Seed int64
 	// Metrics, when non-nil, receives wire and epoch counters
 	// (net.connections, net.msg_in.*, net.msg_out.*, net.epoch_latency_s,
-	// epoch.*). Nil disables recording.
+	// net.reaped, net.stale, epoch.*). Nil disables recording.
 	Metrics *telemetry.Registry
 	// OnEpoch, when non-nil, is invoked after each epoch with its index
 	// (0-based) and the summary broadcast to the agents.
 	OnEpoch func(epoch int, summary Message)
+	// BeforeEpoch, when non-nil, is invoked before each epoch's matching,
+	// after pending registrations have been admitted. Chaos harnesses use
+	// it to execute scheduled crashes and rejoins at deterministic points
+	// in the epoch sequence.
+	BeforeEpoch func(epoch int)
+
+	// ReadTimeout bounds each per-message read from an agent; zero means
+	// DefaultReadTimeout, negative disables. An agent that stays mute
+	// past the deadline mid-epoch is reaped.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each per-message write to an agent; zero means
+	// DefaultWriteTimeout, negative disables.
+	WriteTimeout time.Duration
+	// EpochTimeout, when positive, bounds one epoch's wall-clock time:
+	// reads past the epoch deadline fail, the laggards are reaped, and
+	// the epoch completes degraded with whoever remains.
+	EpochTimeout time.Duration
+	// Faults, when non-nil, wraps every accepted connection in the
+	// injector keyed by its accept index — server-side chaos for soak
+	// runs (cooperd -chaos-seed).
+	Faults *faults.Plan
 
 	ln       net.Listener
 	mu       sync.Mutex
 	closing  bool
+	pending  map[net.Conn]struct{} // conns mid-registration, closed by Shutdown
 	sessions []*session
 	done     chan struct{}
-	err      error
 	rng      *rand.Rand
+
+	registrations chan *session
+	idSeq         atomic.Int64 // next wire AgentID; never reused, so rejoins get fresh IDs
+	connSeq       atomic.Int64 // accept index, keys the server-side fault injector
+	seq           int          // assignment round sequence (epoch loop only)
 }
 
 type session struct {
@@ -109,12 +190,14 @@ type session struct {
 	enc  *json.Encoder
 	dec  *json.Decoder
 	job  workload.Job
+	id   int // wire AgentID: stable for the connection's lifetime
 }
 
 // Shutdown requests a graceful stop: the listener closes immediately (so
-// no new agents can register) and Serve returns ErrServerClosed after the
-// in-flight epoch, if any, has drained. Safe to call from any goroutine,
-// at any time, more than once.
+// no new agents can register), conns stuck mid-registration are closed,
+// and Serve returns ErrServerClosed after the in-flight epoch, if any,
+// has drained. Safe to call from any goroutine, at any time, more than
+// once.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -125,6 +208,9 @@ func (s *Server) Shutdown() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	for conn := range s.pending {
+		conn.Close()
+	}
 }
 
 // shuttingDown reports whether Shutdown has been requested.
@@ -134,15 +220,47 @@ func (s *Server) shuttingDown() bool {
 	return s.closing
 }
 
-// send encodes msg to the session and counts it as net.msg_out.<type>.
+// trackPending registers a conn as mid-registration so Shutdown can
+// unblock it; returns false (closing the conn) when shutdown has begun.
+func (s *Server) trackPending(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		conn.Close()
+		return false
+	}
+	s.pending[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackPending(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, conn)
+}
+
+// send encodes msg to the session under the write deadline and counts it
+// as net.msg_out.<type>.
 func (s *Server) send(sess *session, msg Message) error {
+	if t := timeoutOrDefault(s.WriteTimeout, DefaultWriteTimeout); t > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(t))
+	}
 	s.Metrics.Counter("net.msg_out." + msg.Type).Inc()
 	return sess.enc.Encode(msg)
 }
 
-// recv decodes one message from the session and counts it as
+// recv decodes one message from the session under the read deadline
+// (clamped to epochDeadline when set) and counts it as
 // net.msg_in.<type>.
-func (s *Server) recv(sess *session) (Message, error) {
+func (s *Server) recv(sess *session, epochDeadline time.Time) (Message, error) {
+	var dl time.Time
+	if t := timeoutOrDefault(s.ReadTimeout, DefaultReadTimeout); t > 0 {
+		dl = time.Now().Add(t)
+	}
+	if !epochDeadline.IsZero() && (dl.IsZero() || epochDeadline.Before(dl)) {
+		dl = epochDeadline
+	}
+	sess.conn.SetReadDeadline(dl)
 	var msg Message
 	if err := sess.dec.Decode(&msg); err != nil {
 		return msg, err
@@ -175,6 +293,7 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.pending = make(map[net.Conn]struct{})
 	if s.closing {
 		// Shutdown raced Serve before the listener existed.
 		s.mu.Unlock()
@@ -184,53 +303,48 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	s.mu.Unlock()
 	s.done = make(chan struct{})
 	s.rng = stats.NewRand(s.Seed)
+	s.registrations = make(chan *session, s.Epoch+16)
+	// Pre-create the resilience counters so exposition snapshots list
+	// them at zero before the first fault.
+	s.Metrics.Counter("net.reaped")
+	s.Metrics.Counter("net.stale")
+	s.Metrics.Counter("epoch.degraded")
+	go s.acceptLoop(ln)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
 
 	for len(s.sessions) < s.Epoch {
-		conn, err := ln.Accept()
-		if err != nil {
+		sess, ok := <-s.registrations
+		if !ok {
 			if s.shuttingDown() {
 				return ErrServerClosed
 			}
-			return err
+			return fmt.Errorf("netproto: listener closed before %d agents registered", s.Epoch)
 		}
-		s.Metrics.Counter("net.connections").Inc()
-		sess := &session{
-			conn: conn,
-			enc:  json.NewEncoder(conn),
-			dec:  json.NewDecoder(bufio.NewReader(conn)),
-		}
-		reg, err := s.recv(sess)
-		if err != nil || reg.Type != "register" {
-			_ = s.send(sess, Message{Type: "error", Error: "expected register", PartnerID: -1})
-			conn.Close()
-			continue
-		}
-		job, ok := workload.Find(s.Catalog, reg.Job)
-		if !ok {
-			_ = s.send(sess, Message{Type: "error",
-				Error: fmt.Sprintf("unknown job %q", reg.Job), PartnerID: -1})
-			conn.Close()
-			continue
-		}
-		sess.job = job
-		id := len(s.sessions)
 		s.sessions = append(s.sessions, sess)
-		if err := s.send(sess, Message{Type: "registered", AgentID: id, PartnerID: -1}); err != nil {
-			return err
-		}
 	}
 	defer func() {
 		for _, sess := range s.sessions {
 			sess.conn.Close()
 		}
 		ln.Close()
+		// Late registrations still in flight land in the channel after
+		// the accept loop notices the closed listener; drain and close
+		// them so nothing leaks.
+		go func() {
+			for sess := range s.registrations {
+				sess.conn.Close()
+			}
+		}()
 		close(s.done)
 	}()
 
 	for e := 0; e < epochs; e++ {
+		s.admitPending()
+		if s.BeforeEpoch != nil {
+			s.BeforeEpoch(e)
+		}
 		start := time.Now()
 		summary, err := s.runEpoch()
 		if err != nil {
@@ -249,89 +363,265 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	return nil
 }
 
-func (s *Server) runEpoch() (Message, error) {
-	pop := workload.Population{Jobs: make([]workload.Job, len(s.sessions)), Mix: "registered"}
-	for i, sess := range s.sessions {
-		pop.Jobs[i] = sess.job
-	}
-	d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
-	if err != nil {
-		return Message{}, err
-	}
-	bw := make([]float64, len(pop.Jobs))
-	for i, j := range pop.Jobs {
-		bw[i] = j.BandwidthGBps
-	}
-	match, err := s.Policy.Assign(d, policy.Context{
-		BandwidthGBps: bw,
-		Rand:          s.rng,
-		Metrics:       s.Metrics,
-	})
-	if err != nil {
-		return Message{}, err
-	}
-
-	// Push assignments.
-	for i, sess := range s.sessions {
-		msg := Message{Type: "assignment", PartnerID: match[i]}
-		if match[i] != matching.Unmatched {
-			msg.PartnerJob = pop.Jobs[match[i]].Name
-			msg.PredictedPenalty = d[i][match[i]]
-		}
-		if err := s.send(sess, msg); err != nil {
-			return Message{}, err
-		}
-	}
-
-	// Collect assessments.
-	breakAways := 0
-	var meanPenalty float64
-	for i, sess := range s.sessions {
-		assess, err := s.recv(sess)
+// acceptLoop accepts connections for the listener's lifetime and
+// registers each on its own goroutine, so one slow or half-written
+// registration cannot block the others. It closes the registrations
+// channel once the listener dies and every in-flight registration has
+// finished.
+func (s *Server) acceptLoop(ln net.Listener) {
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
 		if err != nil {
-			return Message{}, fmt.Errorf("netproto: agent %d assessment: %w", i, err)
+			wg.Wait()
+			close(s.registrations)
+			return
 		}
-		if assess.Type != "assess" {
-			return Message{}, fmt.Errorf("netproto: agent %d sent %q, want assess", i, assess.Type)
+		s.Metrics.Counter("net.connections").Inc()
+		if s.Faults != nil {
+			conn = s.Faults.Wrap(s.connSeq.Add(1)-1, conn)
 		}
-		if assess.Action == "break-away" {
-			breakAways++
+		if !s.trackPending(conn) {
+			continue
 		}
-		if match[i] != matching.Unmatched {
-			meanPenalty += d[i][match[i]]
-		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			s.register(conn)
+		}(conn)
 	}
-	meanPenalty /= float64(len(s.sessions))
+}
 
-	// Broadcast the summary.
-	summary := Message{
-		Type:          "summary",
-		PartnerID:     -1,
-		MeanPenalty:   meanPenalty,
-		BreakAways:    breakAways,
-		Participating: len(s.sessions) - breakAways,
+// register performs one registration exchange. A successful session is
+// queued for admission before the "registered" reply is sent, so an
+// agent that has seen its reply is guaranteed to be visible to the next
+// epoch's admission.
+func (s *Server) register(conn net.Conn) {
+	defer s.untrackPending(conn)
+	sess := &session{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
 	}
+	reg, err := s.recv(sess, time.Time{})
+	if err != nil || reg.Type != "register" {
+		_ = s.send(sess, Message{Type: "error", Error: "expected register", PartnerID: -1})
+		conn.Close()
+		return
+	}
+	job, ok := workload.Find(s.Catalog, reg.Job)
+	if !ok {
+		_ = s.send(sess, Message{Type: "error",
+			Error: fmt.Sprintf("unknown job %q", reg.Job), PartnerID: -1})
+		conn.Close()
+		return
+	}
+	sess.job = job
+	sess.id = int(s.idSeq.Add(1) - 1)
+	s.registrations <- sess
+	if err := s.send(sess, Message{Type: "registered", AgentID: sess.id, PartnerID: -1}); err != nil {
+		// The session is already queued; the dead conn will be reaped the
+		// first time the epoch loop touches it.
+		conn.Close()
+	}
+}
+
+// admitPending moves every queued registration (rejoining agents, late
+// arrivals) into the epoch population. Runs on the Serve goroutine at
+// epoch boundaries only.
+func (s *Server) admitPending() {
+	for {
+		select {
+		case sess, ok := <-s.registrations:
+			if !ok {
+				return
+			}
+			s.sessions = append(s.sessions, sess)
+		default:
+			return
+		}
+	}
+}
+
+// reap closes and removes dead sessions from the population, counting
+// each as net.reaped.
+func (s *Server) reap(dead []*session) {
+	gone := make(map[*session]bool, len(dead))
+	for _, sess := range dead {
+		if gone[sess] {
+			continue
+		}
+		gone[sess] = true
+		sess.conn.Close()
+		s.Metrics.Counter("net.reaped").Inc()
+	}
+	live := make([]*session, 0, len(s.sessions)-len(gone))
 	for _, sess := range s.sessions {
-		if err := s.send(sess, summary); err != nil {
+		if !gone[sess] {
+			live = append(live, sess)
+		}
+	}
+	s.sessions = live
+}
+
+// recvAssess reads the session's assessment for the current assignment
+// round, skipping a bounded amount of stale traffic: assessments echoing
+// a superseded round's seq, duplicated messages replayed by a fault
+// injector, or leftover junk from registration. Seq 0 (absent) is
+// accepted as current for minimal hand-rolled clients.
+func (s *Server) recvAssess(sess *session, epochDeadline time.Time) (Message, error) {
+	for tries := 0; tries < maxStaleMessages; tries++ {
+		msg, err := s.recv(sess, epochDeadline)
+		if err != nil {
+			return msg, err
+		}
+		if msg.Type == "assess" && (msg.Seq == 0 || msg.Seq == s.seq) {
+			return msg, nil
+		}
+		s.Metrics.Counter("net.stale").Inc()
+	}
+	return Message{}, fmt.Errorf("netproto: agent %d: %d stale messages while awaiting assess",
+		sess.id, maxStaleMessages)
+}
+
+// runEpoch clears one round of the matching market. If any agent proves
+// unreachable — a failed write, a read deadline, a stale-message flood —
+// it is reaped and the surviving population re-matched in a fresh
+// assignment round (an odd survivor parks solo, as the matching layer
+// already allows); the epoch then completes degraded instead of
+// erroring. Each retry round strictly shrinks the population, so the
+// loop terminates even under total loss, yielding an empty summary.
+func (s *Server) runEpoch() (Message, error) {
+	var epochDeadline time.Time
+	if s.EpochTimeout > 0 {
+		epochDeadline = time.Now().Add(s.EpochTimeout)
+	}
+	degraded := false
+	defer func() {
+		if degraded {
+			s.Metrics.Counter("epoch.degraded").Inc()
+		}
+	}()
+
+	for {
+		if len(s.sessions) == 0 {
+			// Every participant died; the epoch completes trivially
+			// rather than wedging Serve.
+			return Message{Type: "summary", PartnerID: -1}, nil
+		}
+		pop := workload.Population{Jobs: make([]workload.Job, len(s.sessions)), Mix: "registered"}
+		for i, sess := range s.sessions {
+			pop.Jobs[i] = sess.job
+		}
+		d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
+		if err != nil {
 			return Message{}, err
 		}
-	}
-	if s.Metrics != nil {
-		s.Metrics.Counter("epoch.count").Inc()
-		s.Metrics.Counter("epoch.agents").Add(int64(len(s.sessions)))
-		s.Metrics.Counter("epoch.breakaways").Add(int64(breakAways))
-		s.Metrics.Counter("epoch.participating").Add(int64(summary.Participating))
-		s.Metrics.Gauge("epoch.mean_penalty").Set(meanPenalty)
-		h := s.Metrics.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
-		for i := range s.sessions {
+		bw := make([]float64, len(pop.Jobs))
+		for i, j := range pop.Jobs {
+			bw[i] = j.BandwidthGBps
+		}
+		match, err := s.Policy.Assign(d, policy.Context{
+			BandwidthGBps: bw,
+			Rand:          s.rng,
+			Metrics:       s.Metrics,
+		})
+		if err != nil {
+			return Message{}, err
+		}
+
+		// Push assignments. Partner identity goes out as the partner's
+		// wire AgentID, which is stable across reaps and rejoins, not its
+		// transient index in this round's population.
+		s.seq++
+		deadWrite := make(map[*session]bool)
+		var dead []*session
+		for i, sess := range s.sessions {
+			msg := Message{Type: "assignment", Seq: s.seq, PartnerID: -1}
 			if match[i] != matching.Unmatched {
-				h.Observe(d[i][match[i]])
-			} else {
-				h.Observe(0)
+				partner := s.sessions[match[i]]
+				msg.PartnerID = partner.id
+				msg.PartnerJob = partner.job.Name
+				msg.PredictedPenalty = d[i][match[i]]
+			}
+			if err := s.send(sess, msg); err != nil {
+				dead = append(dead, sess)
+				deadWrite[sess] = true
 			}
 		}
+
+		// Collect assessments from every session whose assignment write
+		// succeeded, even when some writes failed. Whether a dead peer
+		// surfaces at write time or at the subsequent read is a kernel
+		// timing artifact (a write to a just-closed conn can still land in
+		// the buffer), so the set of agents reaped this round must not
+		// depend on it — skipping the collect pass after a write failure
+		// would let an unrelated mute agent survive into the retry round
+		// on some runs and not others. Reads keep going past individual
+		// failures so one mute agent costs one deadline, not one per
+		// survivor.
+		breakAways := 0
+		var meanPenalty float64
+		for i, sess := range s.sessions {
+			if deadWrite[sess] {
+				continue
+			}
+			assess, err := s.recvAssess(sess, epochDeadline)
+			if err != nil {
+				dead = append(dead, sess)
+				continue
+			}
+			if assess.Action == "break-away" {
+				breakAways++
+			}
+			if match[i] != matching.Unmatched {
+				meanPenalty += d[i][match[i]]
+			}
+		}
+		if len(dead) > 0 {
+			s.reap(dead)
+			degraded = true
+			continue // re-match the survivors
+		}
+		meanPenalty /= float64(len(s.sessions))
+
+		// Broadcast the summary. The epoch's result stands even if some
+		// agents prove unreachable here; they are reaped for the next
+		// epoch rather than triggering a re-match.
+		live := s.sessions
+		summary := Message{
+			Type:          "summary",
+			PartnerID:     -1,
+			MeanPenalty:   meanPenalty,
+			BreakAways:    breakAways,
+			Participating: len(live) - breakAways,
+		}
+		for _, sess := range live {
+			if err := s.send(sess, summary); err != nil {
+				dead = append(dead, sess)
+			}
+		}
+		if len(dead) > 0 {
+			s.reap(dead)
+			degraded = true
+		}
+		if s.Metrics != nil {
+			s.Metrics.Counter("epoch.count").Inc()
+			s.Metrics.Counter("epoch.agents").Add(int64(len(live)))
+			s.Metrics.Counter("epoch.breakaways").Add(int64(breakAways))
+			s.Metrics.Counter("epoch.participating").Add(int64(summary.Participating))
+			s.Metrics.Gauge("epoch.mean_penalty").Set(meanPenalty)
+			h := s.Metrics.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
+			for i := range live {
+				if match[i] != matching.Unmatched {
+					h.Observe(d[i][match[i]])
+				} else {
+					h.Observe(0)
+				}
+			}
+		}
+		return summary, nil
 	}
-	return summary, nil
 }
 
 // Client is one networked agent.
@@ -350,57 +640,62 @@ type Client struct {
 	Penalties map[string]float64
 	// OwnJob is the name of the job this agent runs.
 	OwnJob string
-}
-
-// Dial connects to the coordinator and registers the agent's job.
-func Dial(addr, job string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
-		conn:   conn,
-		enc:    json.NewEncoder(conn),
-		dec:    json.NewDecoder(bufio.NewReader(conn)),
-		OwnJob: job,
-	}
-	if err := c.enc.Encode(Message{Type: "register", Job: job}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	var reg Message
-	if err := c.dec.Decode(&reg); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if reg.Type == "error" {
-		conn.Close()
-		return nil, fmt.Errorf("netproto: %s", reg.Error)
-	}
-	if reg.Type != "registered" {
-		conn.Close()
-		return nil, fmt.Errorf("netproto: expected registered, got %q", reg.Type)
-	}
-	c.AgentID = reg.AgentID
-	return c, nil
+	// ReadTimeout bounds each message read from the coordinator; zero
+	// means DefaultClientReadTimeout, negative disables. It is what keeps
+	// RunEpoch from blocking forever on a hung coordinator.
+	ReadTimeout time.Duration
 }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// RunEpoch waits for the coordinator's assignment, assesses it against the
-// agent's predicted penalties, replies, and returns the assignment and the
-// epoch summary.
-func (c *Client) RunEpoch() (assignment, summary Message, err error) {
-	if err = c.dec.Decode(&assignment); err != nil {
-		return
+func (c *Client) setReadDeadline() {
+	if t := timeoutOrDefault(c.ReadTimeout, DefaultClientReadTimeout); t > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(t))
+	} else {
+		c.conn.SetReadDeadline(time.Time{})
 	}
-	if assignment.Type != "assignment" {
-		err = fmt.Errorf("netproto: expected assignment, got %q", assignment.Type)
-		return
-	}
+}
 
-	assess := Message{Type: "assess", Action: "participate"}
+// RunEpoch waits for the coordinator's assignment, assesses it against
+// the agent's predicted penalties, replies, and returns the assignment
+// and the epoch summary. The coordinator may push several assignment
+// rounds within one epoch (degraded re-matching after agent churn); each
+// is assessed in turn and the last one is returned alongside the
+// summary that closes the epoch.
+func (c *Client) RunEpoch() (assignment, summary Message, err error) {
+	assigned := false
+	for {
+		var msg Message
+		c.setReadDeadline()
+		if err = c.dec.Decode(&msg); err != nil {
+			return
+		}
+		switch msg.Type {
+		case "assignment":
+			assigned = true
+			assignment = msg
+			if err = c.enc.Encode(c.assess(msg)); err != nil {
+				return
+			}
+		case "summary":
+			if !assigned {
+				err = fmt.Errorf("netproto: expected assignment, got %q", msg.Type)
+				return
+			}
+			summary = msg
+			return
+		default:
+			err = fmt.Errorf("netproto: expected assignment, got %q", msg.Type)
+			return
+		}
+	}
+}
+
+// assess evaluates one assignment, echoing its round sequence so the
+// coordinator can discard assessments for superseded rounds.
+func (c *Client) assess(assignment Message) Message {
+	assess := Message{Type: "assess", Action: "participate", Seq: assignment.Seq}
 	if assignment.PartnerID >= 0 && c.Penalties != nil {
 		current := assignment.PredictedPenalty
 		bestJob, bestPen := "", current
@@ -416,15 +711,5 @@ func (c *Client) RunEpoch() (assignment, summary Message, err error) {
 			assess.Action = "break-away"
 		}
 	}
-	if err = c.enc.Encode(assess); err != nil {
-		return
-	}
-
-	if err = c.dec.Decode(&summary); err != nil {
-		return
-	}
-	if summary.Type != "summary" {
-		err = fmt.Errorf("netproto: expected summary, got %q", summary.Type)
-	}
-	return
+	return assess
 }

@@ -3,12 +3,15 @@ package netproto
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cooper/internal/arch"
+	"cooper/internal/faults"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/telemetry"
@@ -308,14 +311,19 @@ func TestRegisteredCarriesAgentIDZero(t *testing.T) {
 		t.Errorf("registered reply must carry agent_id explicitly, got %q", line)
 	}
 
-	// Finish the epoch so the server goroutine exits cleanly.
+	// Finish the epoch so the server goroutine exits cleanly. The assess
+	// echoes the assignment's round sequence (a seq-less assess is also
+	// accepted, but well-behaved clients echo it).
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(br)
 	var assignment Message
 	if err := dec.Decode(&assignment); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.Encode(Message{Type: "assess", Action: "participate"}); err != nil {
+	if assignment.Seq == 0 {
+		t.Error("assignment carries no round sequence")
+	}
+	if err := enc.Encode(Message{Type: "assess", Action: "participate", Seq: assignment.Seq}); err != nil {
 		t.Fatal(err)
 	}
 	var summary Message
@@ -400,6 +408,301 @@ func TestShutdownBeforeRegistration(t *testing.T) {
 	}
 	// A second Shutdown is a no-op.
 	srv.Shutdown()
+}
+
+// TestShutdownDuringHalfWrittenRegistration extends the shutdown-race
+// coverage: an agent that connected and wrote half a register message —
+// no terminating newline, so the decoder stays blocked — must not wedge
+// Shutdown. Run under -race (make race / make chaos).
+func TestShutdownDuringHalfWrittenRegistration(t *testing.T) {
+	srv, _ := testServer(t, 2, nil)
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"type":"register","job":"ded`)); err != nil {
+		t.Fatal(err)
+	}
+	// Give the registration goroutine a moment to block on the torn
+	// message, then race Shutdown against it.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(done)
+	}()
+	select {
+	case err := <-srvErr:
+		if err != ErrServerClosed {
+			t.Errorf("Serve = %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve wedged on a half-written registration during Shutdown")
+	}
+	<-done
+}
+
+// TestServerReapsMutePeer is the regression for the wedged-Serve bug: an
+// agent that registers and then goes mute used to block the assessment
+// collection forever. Now the mute session hits its read deadline, is
+// reaped, and the survivor is re-matched (solo) so the epoch completes.
+func TestServerReapsMutePeer(t *testing.T) {
+	srv, _ := testServer(t, 2, policy.Greedy{})
+	srv.Metrics = telemetry.NewRegistry()
+	srv.ReadTimeout = 150 * time.Millisecond
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	// The mute peer registers properly and then never speaks again.
+	mute, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	if _, err := mute.Write([]byte(`{"type":"register","job":"swapt"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(addr, "dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	assignment, summary, err := c.RunEpoch()
+	if err != nil {
+		t.Fatalf("surviving agent: %v", err)
+	}
+	if assignment.PartnerID != -1 {
+		t.Errorf("survivor re-matched to %d, want solo (-1)", assignment.PartnerID)
+	}
+	if summary.Participating != 1 {
+		t.Errorf("summary participating = %d, want 1", summary.Participating)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	snap := srv.Metrics.Snapshot()
+	if got := snap.Counter("net.reaped"); got != 1 {
+		t.Errorf("net.reaped = %d, want 1", got)
+	}
+	if got := snap.Counter("epoch.degraded"); got != 1 {
+		t.Errorf("epoch.degraded = %d, want 1", got)
+	}
+}
+
+// TestClientReadDeadlineOnMuteCoordinator is the client half of the
+// silent-peer regression: a coordinator that registers the agent and
+// then hangs must not block RunEpoch forever, even with fault injection
+// off.
+func TestClientReadDeadlineOnMuteCoordinator(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Register the agent, then go mute with the conn held open.
+		_, _ = conn.Write([]byte(`{"type":"registered","agent_id":0,"partner_id":-1}` + "\n"))
+		time.Sleep(10 * time.Second)
+		conn.Close()
+	}()
+	c, err := Dial(ln.Addr().String(), "dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ReadTimeout = 100 * time.Millisecond
+	start := time.Now()
+	if _, _, err := c.RunEpoch(); err == nil {
+		t.Fatal("RunEpoch returned nil against a mute coordinator")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("RunEpoch took %v to time out, want prompt return", elapsed)
+	}
+}
+
+// TestDialConnectTimeout pins the connect-timeout bugfix: dialing a
+// blackholed address must return promptly instead of hanging in the
+// kernel's connect retry for minutes. 203.0.113.1 (TEST-NET-3) is
+// reserved documentation space: unrouted hosts fail fast, firewalled
+// ones hit the 250ms dial timeout — either way the call returns quickly.
+func TestDialConnectTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := DialWith("203.0.113.1:9", "dedup", DialOptions{Timeout: 250 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to a blackholed address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial took %v, want prompt failure", elapsed)
+	}
+}
+
+// TestDialBackoffSchedule drives the retry ladder entirely on a fake
+// clock: four attempts, all failed by the injector, with the doubling
+// capped — and the test completes instantly while asserting the exact
+// 100+200+250ms backoff the real clock would have slept.
+func TestDialBackoffSchedule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clock := faults.NewFakeClock(time.Unix(0, 0))
+	plan := faults.NewPlan(faults.Config{Seed: 7, ConnectFailProb: 1}, reg, clock)
+	_, err := DialWith("127.0.0.1:1", "dedup", DialOptions{
+		Retries:    3,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 250 * time.Millisecond,
+		Clock:      clock,
+		Faults:     plan.Injector(0),
+		Metrics:    reg,
+		Jitter:     func() float64 { return 1 }, // sleep the full backoff
+	})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("net.retry"); got != 3 {
+		t.Errorf("net.retry = %d, want 3", got)
+	}
+	if got := snap.Counter("fault.injected.connect_fail"); got != 4 {
+		t.Errorf("connect_fail = %d, want 4 (initial + 3 retries)", got)
+	}
+	if want := 550 * time.Millisecond; clock.Slept() != want {
+		t.Errorf("backoff slept %v, want %v (100+200+250ms)", clock.Slept(), want)
+	}
+}
+
+// TestDialDoesNotRetryRejections: a coordinator that answered and said
+// no is a permanent failure; burning the retry budget on it would only
+// re-annoy it.
+func TestDialDoesNotRetryRejections(t *testing.T) {
+	srv, _ := testServer(t, 2, nil)
+	addrCh := make(chan string, 1)
+	go srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	addr := <-addrCh
+	defer srv.Shutdown()
+
+	reg := telemetry.NewRegistry()
+	clock := faults.NewFakeClock(time.Unix(0, 0))
+	_, err := DialWith(addr, "nonesuch", DialOptions{
+		Retries: 5,
+		Clock:   clock,
+		Metrics: reg,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Fatalf("err = %v, want unknown-job rejection", err)
+	}
+	if got := reg.Snapshot().Counter("net.retry"); got != 0 {
+		t.Errorf("net.retry = %d, want 0 for a permanent rejection", got)
+	}
+	if clock.Slept() != 0 {
+		t.Errorf("slept %v on a permanent rejection", clock.Slept())
+	}
+}
+
+// TestRejoinGetsFreshAgentID: a crashed agent that comes back registers
+// as a new session under a never-reused AgentID, and the epoch its death
+// degraded still completes for the survivor.
+func TestRejoinGetsFreshAgentID(t *testing.T) {
+	srv, _ := testServer(t, 2, policy.Greedy{})
+	srv.Epochs = 2
+	srv.Metrics = telemetry.NewRegistry()
+	srv.ReadTimeout = 150 * time.Millisecond
+
+	addrCh := make(chan string, 2)
+	srvErr := make(chan error, 1)
+	firstCh := make(chan *Client, 1)
+	rejoinedCh := make(chan *Client, 1)
+	srv.BeforeEpoch = func(e int) {
+		if e != 1 {
+			return
+		}
+		// Crash the first agent at the epoch boundary — it has finished
+		// epoch 0 (its goroutine pushed the client) — and rejoin at once.
+		// The registration completes inside this callback; the fresh
+		// session waits in the admission queue.
+		if first := <-firstCh; first != nil {
+			first.Close()
+		}
+		c, err := Dial(<-addrCh, "correlation")
+		if err != nil {
+			t.Errorf("rejoin dial: %v", err)
+			rejoinedCh <- nil
+			return
+		}
+		rejoinedCh <- c
+	}
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a; addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	firstID := make(chan int, 1)
+	wg.Add(1)
+	go func() { // participates in epoch 0 only, then is crashed
+		defer wg.Done()
+		c, err := Dial(addr, "correlation")
+		if err != nil {
+			t.Errorf("first dial: %v", err)
+			firstID <- -1
+			firstCh <- nil
+			return
+		}
+		firstID <- c.AgentID
+		if _, _, err := c.RunEpoch(); err != nil {
+			t.Errorf("first epoch 0: %v", err)
+		}
+		firstCh <- c
+	}()
+	wg.Add(1)
+	go func() { // survives both epochs
+		defer wg.Done()
+		c, err := Dial(addr, "dedup")
+		if err != nil {
+			t.Errorf("second dial: %v", err)
+			return
+		}
+		defer c.Close()
+		for e := 0; e < 2; e++ {
+			if _, _, err := c.RunEpoch(); err != nil {
+				t.Errorf("second epoch %d: %v", e, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	rejoined := <-rejoinedCh
+	if rejoined == nil {
+		t.Fatal("rejoin never completed")
+	}
+	defer rejoined.Close()
+	if fid := <-firstID; rejoined.AgentID == fid || rejoined.AgentID != 2 {
+		t.Errorf("rejoined AgentID = %d, want fresh ID 2 (crashed agent held %d)", rejoined.AgentID, fid)
+	}
+	snap := srv.Metrics.Snapshot()
+	if got := snap.Counter("net.reaped"); got < 1 {
+		t.Errorf("net.reaped = %d, want >= 1 after the crash", got)
+	}
+	if got := snap.Counter("epoch.degraded"); got != 1 {
+		t.Errorf("epoch.degraded = %d, want 1", got)
+	}
 }
 
 func TestShutdownDrainsInFlightEpoch(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -299,6 +300,20 @@ func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
 // Histogram returns a histogram's summary from the snapshot (zero value
 // when absent).
 func (s Snapshot) Histogram(name string) HistogramSummary { return s.Histograms[name] }
+
+// CountersWithPrefix returns every counter whose name starts with prefix,
+// as a fresh map. Determinism harnesses use it to compare one family of
+// counters (e.g. "fault.") across runs without dragging in unrelated,
+// legitimately run-dependent metrics.
+func (s Snapshot) CountersWithPrefix(prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out[name] = v
+		}
+	}
+	return out
+}
 
 // Snapshot copies every metric's current value. Safe to call while
 // writers are active. A nil registry yields an empty (non-nil-mapped)

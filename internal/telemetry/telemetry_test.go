@@ -28,6 +28,26 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+func TestCountersWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fault.injected.drop").Add(3)
+	r.Counter("fault.injected.dup") // present at zero
+	r.Counter("net.retry").Add(7)
+	got := r.Snapshot().CountersWithPrefix("fault.")
+	want := map[string]int64{"fault.injected.drop": 3, "fault.injected.dup": 0}
+	if len(got) != len(want) {
+		t.Fatalf("CountersWithPrefix = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+	if empty := (Snapshot{}).CountersWithPrefix("fault."); len(empty) != 0 {
+		t.Errorf("zero snapshot prefix scan = %v, want empty", empty)
+	}
+}
+
 func TestHistogramSummaryQuantiles(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("epoch.penalty", PenaltyBuckets())
