@@ -143,8 +143,13 @@ type Plan struct {
 
 // NewPlan builds a Plan. metrics may be nil (faults go uncounted); clock
 // nil means RealClock. The fault.injected.* counters are pre-created in
-// the registry so snapshots expose them at zero.
+// the registry so snapshots expose them at zero. An invalid Config is a
+// programmer error and panics: a malformed plan would silently skew the
+// cumulative-threshold fault selection, exactly what Validate guards.
 func NewPlan(cfg Config, metrics *telemetry.Registry, clock Clock) *Plan {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if clock == nil {
 		clock = RealClock()
 	}

@@ -252,6 +252,18 @@ func TestCrashScheduleAndCounters(t *testing.T) {
 	}
 }
 
+// TestNewPlanRejectsInvalidConfig: a malformed Config would silently
+// skew the cumulative-threshold fault selection, so NewPlan treats it as
+// a programmer error and panics via Validate.
+func TestNewPlanRejectsInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlan accepted per-message probabilities summing past 1")
+		}
+	}()
+	NewPlan(Config{Seed: 1, DropProb: 0.8, DupProb: 0.5}, nil, nil)
+}
+
 func TestNewPlanPreCreatesCounters(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	NewPlan(Config{Seed: 1}, reg, nil)

@@ -36,8 +36,9 @@ type DialOptions struct {
 	// [backoff/2, backoff). Zeros mean DefaultBackoff / DefaultMaxBackoff.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
-	// ReadTimeout is copied onto the resulting Client.
-	ReadTimeout time.Duration
+	// ReadTimeout and WriteTimeout are copied onto the resulting Client.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
 	// Clock times the backoff sleeps; nil means the real clock. Tests
 	// pass a faults.FakeClock so a multi-second backoff ladder asserts
 	// instantly.
@@ -128,19 +129,23 @@ func dialOnce(addr, job string, opts DialOptions) (*Client, error) {
 	}
 	conn = opts.Faults.Wrap(conn)
 	c := &Client{
-		conn:        conn,
-		enc:         json.NewEncoder(conn),
-		dec:         json.NewDecoder(bufio.NewReader(conn)),
-		OwnJob:      job,
-		ReadTimeout: opts.ReadTimeout,
+		conn:         conn,
+		enc:          json.NewEncoder(conn),
+		dec:          json.NewDecoder(bufio.NewReader(conn)),
+		OwnJob:       job,
+		ReadTimeout:  opts.ReadTimeout,
+		WriteTimeout: opts.WriteTimeout,
+	}
+	// The register write and its reply share the connect timeout: a
+	// coordinator that accepted the conn but won't read or answer is a
+	// dial failure, not a hang.
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
 	if err := c.enc.Encode(Message{Type: "register", Job: job}); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	// The registration reply shares the connect timeout: a coordinator
-	// that accepted the conn but never answers is a dial failure, not a
-	// hang.
 	if timeout > 0 {
 		conn.SetReadDeadline(time.Now().Add(timeout))
 	}

@@ -64,6 +64,10 @@ const (
 	// is deliberately generous: an agent legitimately idles while the
 	// coordinator waits out a full epoch of registrations.
 	DefaultClientReadTimeout = 2 * time.Minute
+	// DefaultClientWriteTimeout bounds each client-side message write, so
+	// an agent writing to a stalled coordinator with a full TCP buffer
+	// cannot block indefinitely.
+	DefaultClientWriteTimeout = 10 * time.Second
 
 	// maxStaleMessages bounds how many stale messages (assessments for a
 	// superseded assignment round, injector duplicates) the server skips
@@ -191,6 +195,18 @@ type session struct {
 	dec  *json.Decoder
 	job  workload.Job
 	id   int // wire AgentID: stable for the connection's lifetime
+
+	// writeMu serializes all writes to the conn. A session is queued for
+	// admission before its "registered" reply goes out (so an agent that
+	// has seen the reply is guaranteed visible to the next admission),
+	// which means the Serve goroutine can start pushing assignments while
+	// the registration goroutine is still around — without the mutex the
+	// two would race on the encoder, and the assignment could overtake
+	// the reply on the wire. needsReply marks the queued-but-unreplied
+	// window; whichever goroutine writes first flushes the reply, so it
+	// always precedes the session's first assignment.
+	writeMu    sync.Mutex
+	needsReply bool
 }
 
 // Shutdown requests a graceful stop: the listener closes immediately (so
@@ -240,8 +256,31 @@ func (s *Server) untrackPending(conn net.Conn) {
 }
 
 // send encodes msg to the session under the write deadline and counts it
-// as net.msg_out.<type>.
+// as net.msg_out.<type>. All writes funnel through the session's write
+// mutex, and a pending "registered" reply is flushed before msg so it can
+// neither race nor trail the first assignment push.
 func (s *Server) send(sess *session, msg Message) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	if err := s.flushReplyLocked(sess); err != nil {
+		return err
+	}
+	return s.encodeLocked(sess, msg)
+}
+
+// flushReplyLocked sends the session's "registered" reply if it is still
+// pending. Caller holds sess.writeMu.
+func (s *Server) flushReplyLocked(sess *session) error {
+	if !sess.needsReply {
+		return nil
+	}
+	sess.needsReply = false
+	return s.encodeLocked(sess, Message{Type: "registered", AgentID: sess.id, PartnerID: -1})
+}
+
+// encodeLocked writes one message under the write deadline and counts it
+// as net.msg_out.<type>. Caller holds sess.writeMu.
+func (s *Server) encodeLocked(sess *session, msg Message) error {
 	if t := timeoutOrDefault(s.WriteTimeout, DefaultWriteTimeout); t > 0 {
 		sess.conn.SetWriteDeadline(time.Now().Add(t))
 	}
@@ -314,16 +353,9 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 		ready(ln.Addr().String())
 	}
 
-	for len(s.sessions) < s.Epoch {
-		sess, ok := <-s.registrations
-		if !ok {
-			if s.shuttingDown() {
-				return ErrServerClosed
-			}
-			return fmt.Errorf("netproto: listener closed before %d agents registered", s.Epoch)
-		}
-		s.sessions = append(s.sessions, sess)
-	}
+	// Installed before the initial fill so that an early return (Shutdown,
+	// listener closed before Epoch agents registered) also releases every
+	// conn already admitted or still queued.
 	defer func() {
 		for _, sess := range s.sessions {
 			sess.conn.Close()
@@ -339,6 +371,17 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 		}()
 		close(s.done)
 	}()
+
+	for len(s.sessions) < s.Epoch {
+		sess, ok := <-s.registrations
+		if !ok {
+			if s.shuttingDown() {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("netproto: listener closed before %d agents registered", s.Epoch)
+		}
+		s.sessions = append(s.sessions, sess)
+	}
 
 	for e := 0; e < epochs; e++ {
 		s.admitPending()
@@ -395,7 +438,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // register performs one registration exchange. A successful session is
 // queued for admission before the "registered" reply is sent, so an
 // agent that has seen its reply is guaranteed to be visible to the next
-// epoch's admission.
+// epoch's admission. The reply itself is flushed under the session's
+// write mutex — by this goroutine, or by the Serve goroutine if it
+// admits the session and pushes its first assignment first (see send).
 func (s *Server) register(conn net.Conn) {
 	defer s.untrackPending(conn)
 	sess := &session{
@@ -418,8 +463,12 @@ func (s *Server) register(conn net.Conn) {
 	}
 	sess.job = job
 	sess.id = int(s.idSeq.Add(1) - 1)
+	sess.needsReply = true
 	s.registrations <- sess
-	if err := s.send(sess, Message{Type: "registered", AgentID: sess.id, PartnerID: -1}); err != nil {
+	sess.writeMu.Lock()
+	err = s.flushReplyLocked(sess)
+	sess.writeMu.Unlock()
+	if err != nil {
 		// The session is already queued; the dead conn will be reaped the
 		// first time the epoch loop touches it.
 		conn.Close()
@@ -644,6 +693,9 @@ type Client struct {
 	// means DefaultClientReadTimeout, negative disables. It is what keeps
 	// RunEpoch from blocking forever on a hung coordinator.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds each message write to the coordinator; zero
+	// means DefaultClientWriteTimeout, negative disables.
+	WriteTimeout time.Duration
 }
 
 // Close releases the connection.
@@ -654,6 +706,14 @@ func (c *Client) setReadDeadline() {
 		c.conn.SetReadDeadline(time.Now().Add(t))
 	} else {
 		c.conn.SetReadDeadline(time.Time{})
+	}
+}
+
+func (c *Client) setWriteDeadline() {
+	if t := timeoutOrDefault(c.WriteTimeout, DefaultClientWriteTimeout); t > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(t))
+	} else {
+		c.conn.SetWriteDeadline(time.Time{})
 	}
 }
 
@@ -675,6 +735,7 @@ func (c *Client) RunEpoch() (assignment, summary Message, err error) {
 		case "assignment":
 			assigned = true
 			assignment = msg
+			c.setWriteDeadline()
 			if err = c.enc.Encode(c.assess(msg)); err != nil {
 				return
 			}

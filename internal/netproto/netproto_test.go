@@ -705,6 +705,126 @@ func TestRejoinGetsFreshAgentID(t *testing.T) {
 	}
 }
 
+// TestRegisteredReplyPrecedesFirstAssignment pins the registration write
+// race: a session is queued for admission before its "registered" reply
+// goes out, so the Serve goroutine can push the first assignment while
+// the registration goroutine still owes the reply. Both writers funnel
+// through the session's write mutex and flush the pending reply first —
+// the client must see exactly one "registered", before any assignment,
+// regardless of which goroutine wins.
+func TestRegisteredReplyPrecedesFirstAssignment(t *testing.T) {
+	srv := &Server{}
+	client, server := net.Pipe()
+	defer client.Close()
+	sess := &session{
+		conn:       server,
+		enc:        json.NewEncoder(server),
+		id:         7,
+		needsReply: true,
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		// Serve goroutine wins the race: assignment push first.
+		sendErr <- srv.send(sess, Message{Type: "assignment", Seq: 1, PartnerID: -1})
+		// The registration goroutine flushes afterwards: must be a no-op,
+		// not a duplicate reply.
+		sess.writeMu.Lock()
+		err := srv.flushReplyLocked(sess)
+		sess.writeMu.Unlock()
+		if err != nil {
+			t.Errorf("late flushReply: %v", err)
+		}
+		server.Close()
+	}()
+	dec := json.NewDecoder(client)
+	var types []string
+	var first Message
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			break
+		}
+		if len(types) == 0 {
+			first = m
+		}
+		types = append(types, m.Type)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if len(types) != 2 || types[0] != "registered" || types[1] != "assignment" {
+		t.Fatalf("wire order = %v, want [registered assignment]", types)
+	}
+	if first.AgentID != 7 {
+		t.Errorf("registered reply AgentID = %d, want 7", first.AgentID)
+	}
+}
+
+// TestShutdownDuringInitialFillClosesRegisteredConns: Shutdown while the
+// server is still waiting for the rest of the initial population must
+// close the conns of agents that already registered — the cleanup used
+// to be installed only after the fill completed, leaking them.
+func TestShutdownDuringInitialFillClosesRegisteredConns(t *testing.T) {
+	srv, _ := testServer(t, 2, nil)
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	c, err := Dial(addr, "dedup") // 1 of 2: the fill loop keeps waiting
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Shutdown()
+	if err := <-srvErr; err != ErrServerClosed {
+		t.Fatalf("Serve = %v, want ErrServerClosed", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.RunEpoch()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunEpoch succeeded against a shut-down server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("registered conn not closed by Shutdown during the initial fill")
+	}
+}
+
+// TestClientWriteDeadlineOnStalledCoordinator: an agent writing its
+// assessment to a coordinator that has stopped reading (full TCP buffer)
+// must fail at the write deadline instead of blocking indefinitely.
+// net.Pipe makes the stall exact: a write blocks until the peer reads.
+func TestClientWriteDeadlineOnStalledCoordinator(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	c := &Client{
+		conn:         client,
+		enc:          json.NewEncoder(client),
+		dec:          json.NewDecoder(bufio.NewReader(client)),
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 100 * time.Millisecond,
+	}
+	defer c.Close()
+	go func() {
+		// Push an assignment, then never read the assess reply.
+		_, _ = server.Write([]byte(`{"type":"assignment","partner_id":-1,"seq":1}` + "\n"))
+	}()
+	start := time.Now()
+	if _, _, err := c.RunEpoch(); err == nil {
+		t.Fatal("RunEpoch succeeded against a coordinator that never reads")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("RunEpoch took %v to fail, want the 100ms write deadline", elapsed)
+	}
+}
+
 func TestShutdownDrainsInFlightEpoch(t *testing.T) {
 	srv, _ := testServer(t, 2, policy.Greedy{})
 	srv.Epochs = 100
