@@ -2,12 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
+.PHONY: all build lint vet test race chaos ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# lint fails on any file gofmt would rewrite, then vets the module.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +39,7 @@ chaos:
 # test suite under the race detector, the chaos suite, and a
 # one-iteration benchmark smoke run so benchmarks cannot bit-rot
 # silently.
-ci: vet build race chaos bench-smoke
+ci: lint build race chaos bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .

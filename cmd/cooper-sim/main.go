@@ -21,6 +21,8 @@
 //	-trace  run one instrumented pipeline pass and print its span tree,
 //	        phase timings, penalty histogram, and work counters
 //	        (no experiment argument needed)
+//	-trace-out  with -trace, also export the span tree as Chrome
+//	        trace_event JSON for Perfetto / chrome://tracing
 package main
 
 import (
@@ -44,6 +46,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	trace := flag.Bool("trace", false,
 		"run one instrumented pipeline pass and print its telemetry")
+	traceOut := flag.String("trace-out", "",
+		"with -trace, also export the span tree as Chrome trace_event JSON "+
+			"to this file (open in ui.perfetto.dev or chrome://tracing)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cooper-sim [flags] <experiment>\n\n"+
 			"experiments: %s\n\nflags:\n", strings.Join(simcli.Names(), " "))
@@ -52,7 +57,8 @@ func main() {
 	flag.Parse()
 
 	if *trace {
-		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick, Workers: *workers, JSON: *jsonOut}
+		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick,
+			Workers: *workers, JSON: *jsonOut, TraceOut: *traceOut}
 		if *n == 1000 {
 			opts.N = 64 // tracing one epoch needs no paper-scale population
 		}

@@ -1,0 +1,61 @@
+// Command cooper-top is a live terminal dashboard for a running cooperd:
+// it polls the daemon's metrics endpoint and redraws epoch throughput,
+// the penalty distribution, fault-injection counters, and the flight
+// recorder's recent events once per interval — top(1) for the
+// colocation market.
+//
+// Usage:
+//
+//	cooper-top [-metrics http://127.0.0.1:7078] [-interval 1s] [-events 10]
+//
+// The daemon must be started with -metrics to expose the endpoint.
+// -once renders a single frame without clearing the screen and exits,
+// for scripts and smoke tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"cooper/internal/telemetry"
+	"cooper/internal/topui"
+)
+
+func main() {
+	url := flag.String("metrics", "http://127.0.0.1:7078",
+		"cooperd metrics endpoint (the daemon's -metrics address)")
+	interval := flag.Duration("interval", time.Second, "poll and redraw interval")
+	events := flag.Int("events", 10, "flight-recorder events to show (0 = all retained)")
+	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	flag.Parse()
+
+	cl := &topui.Client{
+		BaseURL: *url,
+		HTTP:    &http.Client{Timeout: 5 * time.Second},
+	}
+	model := topui.NewModel(0)
+	for {
+		snap, err := cl.Snapshot()
+		var tail []telemetry.Event
+		if err == nil {
+			tail, err = cl.Events(*events)
+		}
+		frame := model.Frame(time.Now(), snap, tail, err)
+		if !*once {
+			// Clear and home, then repaint: flicker-free enough at 1 Hz
+			// without pulling in a terminal library.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(frame)
+		if *once {
+			if err != nil {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

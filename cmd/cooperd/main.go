@@ -8,21 +8,34 @@
 //	cooperd -addr 127.0.0.1:7077 -epoch 4 -epochs 1 -policy SMR
 //
 // With -metrics the daemon also serves live telemetry over HTTP:
-// /metrics returns the full JSON snapshot (counters, gauges, histogram
-// summaries) and /debug/vars an expvar-style flat object. SIGINT or
-// SIGTERM triggers a graceful shutdown: the listener closes, the
-// in-flight epoch drains, and the framework is Closed — its worker pool
-// shut down and in-flight work drained — before the final telemetry
-// snapshot is printed.
+//
+//	/metrics        JSON snapshot; Prometheus text with Accept: text/plain
+//	/metrics/prom   Prometheus text exposition, unconditionally
+//	/debug/vars     expvar-style flat object (histograms flattened)
+//	/debug/events   the flight recorder's retained tail as JSON lines
+//	/debug/trace    the live span tree as Chrome trace_event JSON
+//	/debug/pprof/   the standard net/http/pprof profiles
+//
+// A runtime sampler feeds runtime.* gauges (goroutines, heap, GC pause)
+// into the same registry while the endpoint is up. With -events-out the
+// full event stream — not just the ring's tail — is appended to a JSONL
+// file as it is recorded. SIGINT or SIGTERM triggers a graceful
+// shutdown: the listener closes, the in-flight epoch drains, and the
+// framework is Closed — its worker pool shut down and in-flight work
+// drained — before the final telemetry snapshot is printed.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"cooper/internal/arch"
@@ -63,6 +76,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0,
 		"testing only: arm deterministic fault injection on every agent "+
 			"connection with the hostile profile seeded here; 0 disables")
+	eventsOut := flag.String("events-out", "",
+		"append the flight-recorder event stream to this JSONL file as it "+
+			"is recorded (every event, not just the ring's retained tail)")
 	flag.Parse()
 
 	pol, err := policy.ByName(*policyName)
@@ -71,6 +87,20 @@ func main() {
 	}
 
 	tel := telemetry.New()
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := tel.Events.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "cooperd: event sink:", err)
+			}
+			f.Close()
+		}()
+		tel.Events.SetSink(f)
+		fmt.Printf("cooperd: recording events to %s\n", *eventsOut)
+	}
 	opts := core.Options{
 		Policy:    pol,
 		Oracle:    true,
@@ -124,6 +154,7 @@ func main() {
 		Penalties:    fw.PredictedPenalties(),
 		Seed:         *seed,
 		Metrics:      reg,
+		Events:       tel.Events,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		EpochTimeout: *epochTimeout,
@@ -134,12 +165,15 @@ func main() {
 	}
 	if *chaosSeed != 0 {
 		srv.Faults = faults.NewPlan(faults.Hostile(*chaosSeed), reg, nil)
+		srv.Faults.SetEvents(tel.Events)
 		fmt.Printf("cooperd: CHAOS MODE: injecting faults on every connection (seed %d)\n", *chaosSeed)
 	}
 
 	if *metricsAddr != "" {
+		sampler := telemetry.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, metricsMux(reg)); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, metricsMux(tel)); err != nil {
 				fmt.Fprintln(os.Stderr, "cooperd: metrics endpoint:", err)
 			}
 		}()
@@ -177,14 +211,33 @@ func main() {
 }
 
 // metricsMux builds the telemetry HTTP handler: /metrics serves the full
-// JSON snapshot, /debug/vars the expvar-style flat object.
-func metricsMux(reg *telemetry.Registry) *http.ServeMux {
+// JSON snapshot (or Prometheus text when the Accept header asks for
+// text/plain), /metrics/prom the Prometheus exposition unconditionally,
+// /debug/vars the expvar-style flat object, /debug/events the flight
+// recorder's retained tail as JSON lines (?n= trims to the newest n),
+// /debug/trace the live span tree as Chrome trace_event JSON, and
+// /debug/pprof/ the standard runtime profiles.
+func metricsMux(tel *telemetry.Telemetry) *http.ServeMux {
+	reg := tel.Registry()
+	servePlain := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsText(r.Header.Get("Accept")) {
+			servePlain(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		servePlain(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -192,7 +245,53 @@ func metricsMux(reg *telemetry.Registry) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		ring := tel.EventRing()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		for _, e := range ring.Tail(n) {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		var root *telemetry.SpanSnapshot
+		if tel != nil {
+			root = tel.Trace.Snapshot()
+		}
+		if root == nil {
+			http.Error(w, "no trace", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := telemetry.WriteChromeTrace(w, root); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// wantsText reports whether an Accept header prefers a text/plain
+// exposition over the default JSON: it names text/plain (or text/*)
+// without also asking for JSON earlier in the list.
+func wantsText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain", "text/*":
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

@@ -27,7 +27,8 @@ import (
 // fault.injected.* family pre-created at zero — and that the exposed
 // snapshot matches a live Snapshot of the same registry exactly.
 func TestMetricsExposition(t *testing.T) {
-	reg := telemetry.NewRegistry()
+	tel := telemetry.New()
+	reg := tel.Registry()
 
 	cmp := arch.DefaultCMP()
 	catalog, err := workload.Catalog(cmp)
@@ -42,6 +43,7 @@ func TestMetricsExposition(t *testing.T) {
 		Penalties: profiler.DensePenalties(cmp, catalog),
 		Seed:      1,
 		Metrics:   reg,
+		Events:    tel.Events,
 		// Armed but quiet: zero probabilities exercise the injection path
 		// on every connection while keeping the soak clean, and pre-create
 		// the fault.injected.* counters in the registry.
@@ -99,7 +101,7 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatalf("dropped write errored: %v", err)
 	}
 
-	ts := httptest.NewServer(metricsMux(reg))
+	ts := httptest.NewServer(metricsMux(tel))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -154,5 +156,143 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `"fault.injected.drop": 1`) {
 		t.Error("/debug/vars missing fault.injected.drop")
+	}
+	// Satellite: histograms flatten into <name>.count / .p99 keys.
+	if !strings.Contains(string(body), `"net.epoch_latency_s.count"`) ||
+		!strings.Contains(string(body), `"net.epoch_latency_s.p99"`) {
+		t.Error("/debug/vars missing flattened histogram keys for net.epoch_latency_s")
+	}
+
+	// Content negotiation: text/plain selects the Prometheus exposition on
+	// the same /metrics path; /metrics/prom serves it unconditionally.
+	for _, tc := range []struct {
+		path, accept string
+	}{
+		{"/metrics", "text/plain"},
+		{"/metrics", "text/plain; version=0.0.4, */*;q=0.1"},
+		{"/metrics/prom", ""},
+	} {
+		req, err := http.NewRequest("GET", ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		promBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+			t.Errorf("%s (Accept %q) Content-Type = %q, want %q",
+				tc.path, tc.accept, ct, telemetry.PrometheusContentType)
+		}
+		text := string(promBody)
+		for _, frag := range []string{
+			"# TYPE net_reaped counter",
+			"# TYPE net_epoch_latency_s histogram",
+			`net_epoch_latency_s_bucket{le="+Inf"}`,
+		} {
+			if !strings.Contains(text, frag) {
+				t.Errorf("%s exposition missing %q", tc.path, frag)
+			}
+		}
+	}
+	// A JSON-first Accept header keeps the JSON exposition.
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json, text/plain;q=0.5")
+	jresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("JSON-first Accept got Content-Type %q", ct)
+	}
+
+	// The flight recorder saw the soak: /debug/events parses back as
+	// typed events covering epoch boundaries and matches.
+	evResp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	events, err := telemetry.ReadEvents(evResp.Body)
+	if err != nil {
+		t.Fatalf("parsing /debug/events: %v", err)
+	}
+	kinds := map[telemetry.EventType]int{}
+	for _, e := range events {
+		kinds[e.Type]++
+	}
+	for _, want := range []telemetry.EventType{
+		telemetry.EventAgentRegistered, telemetry.EventEpochStart,
+		telemetry.EventPairMatched, telemetry.EventEpochEnd,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("/debug/events has no %s events (got %v)", want, kinds)
+		}
+	}
+	if kinds[telemetry.EventEpochStart] != 2 {
+		t.Errorf("epoch_start events = %d, want 2", kinds[telemetry.EventEpochStart])
+	}
+
+	// /debug/trace is valid Chrome trace_event JSON rooted at the
+	// pipeline span, and pprof answers on the same mux.
+	trResp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trResp.Body.Close()
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(trResp.Body).Decode(&trace); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 || trace.TraceEvents[0].Name != "pipeline" {
+		t.Errorf("/debug/trace root = %+v, want pipeline span first", trace.TraceEvents)
+	}
+	pp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", pp.StatusCode)
+	}
+}
+
+// TestWantsText pins the Accept-header negotiation rule: text/plain (or
+// text/*) selects Prometheus unless application/json is asked for first.
+func TestWantsText(t *testing.T) {
+	for _, tc := range []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"*/*", false},
+		{"application/json", false},
+		{"text/plain", true},
+		{"text/*", true},
+		{"text/plain; version=0.0.4", true},
+		{"application/json, text/plain", false},
+		{"text/plain, application/json", true},
+		{"application/openmetrics-text, text/plain;q=0.5", true},
+	} {
+		if got := wantsText(tc.accept); got != tc.want {
+			t.Errorf("wantsText(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
 	}
 }

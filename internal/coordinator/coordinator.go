@@ -135,13 +135,19 @@ func (d *Driver) RunContext(ctx context.Context, arrivals []Arrival) ([]Epoch, S
 				MeanWaitS:   wait / float64(len(batch)),
 			}
 			epochs = append(epochs, ep)
-			if reg := d.Framework.Telemetry().Registry(); reg != nil {
+			tel := d.Framework.Telemetry()
+			if reg := tel.Registry(); reg != nil {
 				reg.Counter("driver.epochs").Inc()
 				reg.Counter("driver.jobs").Add(int64(len(batch)))
 				reg.Gauge("driver.queue_depth").Set(float64(ep.QueuedAfter))
 				reg.Histogram("driver.wait_s", telemetry.DurationBuckets()).
 					Observe(ep.MeanWaitS)
 			}
+			tel.Record(telemetry.Event{
+				Type: telemetry.EventBatchScheduled, Epoch: len(epochs) - 1,
+				Agent: -1, Partner: -1,
+				Queued: ep.QueuedAfter, Value: ep.MeanWaitS,
+			})
 		}
 		if next >= len(sorted) && len(pending) == 0 && t >= horizon {
 			break

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cooper/internal/agent"
@@ -138,6 +139,7 @@ type Framework struct {
 	mu       sync.Mutex // guards closed
 	closed   bool
 	inflight sync.WaitGroup // in-flight epochs, for Close's drain
+	epochSeq atomic.Int64   // 0-based epoch index stamped on flight-recorder events
 }
 
 // New builds a Framework: it calibrates the catalog, runs the offline
@@ -383,6 +385,11 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 	}
 	epoch := f.tel.Phase(nil, "epoch")
 	epoch.SetAttr("agents", n)
+	epochIdx := int(f.epochSeq.Add(1) - 1)
+	f.tel.Record(telemetry.Event{
+		Type: telemetry.EventEpochStart, Epoch: epochIdx,
+		Agent: -1, Partner: -1, Value: float64(n),
+	})
 	predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
 	if err != nil {
 		return nil, err
@@ -447,6 +454,16 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		if j != matching.Unmatched {
 			rep.PredictedPenalty[i] = predD[i][j]
 		}
+		if j != matching.Unmatched && i < j {
+			// One flight-recorder record per colocation, predicted next
+			// to oracle truth — the per-pair accuracy residual the
+			// paper's Figure 5 aggregates.
+			f.tel.Record(telemetry.Event{
+				Type: telemetry.EventPairMatched, Epoch: epochIdx,
+				Agent: i, Partner: j, Job: pop.Jobs[i].Name,
+				Predicted: predD[i][j], True: trueP[i],
+			})
+		}
 	}
 	assess.SetAttr("breakaways", rep.BreakAwayCount())
 	assess.SetAttr("blocking_pairs", len(rep.BlockingPairs))
@@ -489,6 +506,14 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 			h.Observe(p)
 		}
 	}
+	f.tel.Record(telemetry.Event{
+		Type: telemetry.EventCacheHitRate, Epoch: epochIdx,
+		Agent: -1, Partner: -1, Value: f.cache.HitRate(),
+	})
+	f.tel.Record(telemetry.Event{
+		Type: telemetry.EventEpochEnd, Epoch: epochIdx,
+		Agent: -1, Partner: -1, Value: rep.MeanTruePenalty(),
+	})
 	return rep, nil
 }
 

@@ -290,3 +290,42 @@ func TestFakeClock(t *testing.T) {
 		t.Error("real clock returned zero time")
 	}
 }
+
+// TestInjectionEvents covers the fault-kind → flight-recorder mapping
+// the e2e soak can't: drops are excluded from the cooperd soak plan (a
+// dropped epoch summary would park its agent across the barrier), so
+// the drop event is asserted here, along with SetEvents retrofitting an
+// injector that predates the ring.
+func TestInjectionEvents(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewPlan(Config{Seed: 3, DropProb: 1}, reg, nil)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wa := p.Wrap(7, a) // injector created before the ring exists
+	ring := telemetry.NewEventRing(8)
+	p.SetEvents(ring) // must retrofit the existing key-7 injector
+	if _, err := wa.Write([]byte("gone\n")); err != nil {
+		t.Fatalf("dropped write: %v", err)
+	}
+	p.RecordCrash()
+	p.RecordRejoin()
+
+	events := ring.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %+v, want drop, crash, rejoin", events)
+	}
+	drop := events[0]
+	if drop.Type != telemetry.EventFaultInjected || drop.Kind != "drop" || drop.Agent != 7 {
+		t.Errorf("drop event = %+v, want fault_injected kind=drop agent=7", drop)
+	}
+	if events[1].Type != telemetry.EventFaultInjected || events[1].Kind != "crash" {
+		t.Errorf("crash event = %+v", events[1])
+	}
+	if events[2].Type != telemetry.EventAgentRejoined {
+		t.Errorf("rejoin event = %+v", events[2])
+	}
+	if got := reg.Snapshot().Counter("fault.injected.drop"); got != 1 {
+		t.Errorf("fault.injected.drop = %d, want 1", got)
+	}
+}

@@ -212,7 +212,7 @@ func (h *chaosHarness) beforeEpoch(srv *Server, plan *faults.Plan, e int) {
 	}
 	h.cond.Broadcast()
 	h.waitConnected()
-	srv.admitPending()
+	srv.admitPending(e)
 	row := make([]int64, len(h.alive))
 	for i := range row {
 		row[i] = plan.Injector(int64(i)).Draws()

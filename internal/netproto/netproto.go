@@ -150,6 +150,13 @@ type Server struct {
 	// (net.connections, net.msg_in.*, net.msg_out.*, net.epoch_latency_s,
 	// net.reaped, net.stale, epoch.*). Nil disables recording.
 	Metrics *telemetry.Registry
+	// Events, when non-nil, receives the typed flight-recorder stream:
+	// agent_registered at admission, agent_reaped, rematch_round,
+	// epoch_start/epoch_end, and pair_matched for every assignment push.
+	// All emission happens on the Serve goroutine, so two runs with the
+	// same seed and fault plan produce the same sequence (timestamps
+	// aside). Nil disables recording.
+	Events *telemetry.EventRing
 	// OnEpoch, when non-nil, is invoked after each epoch with its index
 	// (0-based) and the summary broadcast to the agents.
 	OnEpoch func(epoch int, summary Message)
@@ -381,15 +388,21 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 			return fmt.Errorf("netproto: listener closed before %d agents registered", s.Epoch)
 		}
 		s.sessions = append(s.sessions, sess)
+		s.Events.Record(telemetry.Event{Type: telemetry.EventAgentRegistered,
+			Epoch: 0, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 	}
 
 	for e := 0; e < epochs; e++ {
-		s.admitPending()
+		s.admitPending(e)
 		if s.BeforeEpoch != nil {
 			s.BeforeEpoch(e)
+			// Re-drain: a chaos harness may register sessions during the
+			// barrier (crash rejoins, redials after reaps) that belong in
+			// this epoch's population, not the next one's.
+			s.admitPending(e)
 		}
 		start := time.Now()
-		summary, err := s.runEpoch()
+		summary, err := s.runEpoch(e)
 		if err != nil {
 			return err
 		}
@@ -478,7 +491,7 @@ func (s *Server) register(conn net.Conn) {
 // admitPending moves every queued registration (rejoining agents, late
 // arrivals) into the epoch population. Runs on the Serve goroutine at
 // epoch boundaries only.
-func (s *Server) admitPending() {
+func (s *Server) admitPending(epoch int) {
 	for {
 		select {
 		case sess, ok := <-s.registrations:
@@ -486,6 +499,8 @@ func (s *Server) admitPending() {
 				return
 			}
 			s.sessions = append(s.sessions, sess)
+			s.Events.Record(telemetry.Event{Type: telemetry.EventAgentRegistered,
+				Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 		default:
 			return
 		}
@@ -493,8 +508,11 @@ func (s *Server) admitPending() {
 }
 
 // reap closes and removes dead sessions from the population, counting
-// each as net.reaped.
-func (s *Server) reap(dead []*session) {
+// each as net.reaped. Events are emitted in session order, not dead-list
+// order: whether a dead peer surfaced at write time or at the following
+// read is a kernel timing artifact (see runEpoch), and the flight
+// recorder's sequence must not depend on it.
+func (s *Server) reap(dead []*session, epoch int) {
 	gone := make(map[*session]bool, len(dead))
 	for _, sess := range dead {
 		if gone[sess] {
@@ -506,9 +524,12 @@ func (s *Server) reap(dead []*session) {
 	}
 	live := make([]*session, 0, len(s.sessions)-len(gone))
 	for _, sess := range s.sessions {
-		if !gone[sess] {
-			live = append(live, sess)
+		if gone[sess] {
+			s.Events.Record(telemetry.Event{Type: telemetry.EventAgentReaped,
+				Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
+			continue
 		}
+		live = append(live, sess)
 	}
 	s.sessions = live
 }
@@ -540,7 +561,7 @@ func (s *Server) recvAssess(sess *session, epochDeadline time.Time) (Message, er
 // already allows); the epoch then completes degraded instead of
 // erroring. Each retry round strictly shrinks the population, so the
 // loop terminates even under total loss, yielding an empty summary.
-func (s *Server) runEpoch() (Message, error) {
+func (s *Server) runEpoch(epoch int) (Message, error) {
 	var epochDeadline time.Time
 	if s.EpochTimeout > 0 {
 		epochDeadline = time.Now().Add(s.EpochTimeout)
@@ -551,11 +572,22 @@ func (s *Server) runEpoch() (Message, error) {
 			s.Metrics.Counter("epoch.degraded").Inc()
 		}
 	}()
+	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
+		Epoch: epoch, Agent: -1, Partner: -1, Value: float64(len(s.sessions))})
 
+	round := 0
 	for {
+		if round > 0 {
+			s.Events.Record(telemetry.Event{Type: telemetry.EventRematchRound,
+				Epoch: epoch, Agent: -1, Partner: -1, Round: round,
+				Value: float64(len(s.sessions))})
+		}
+		round++
 		if len(s.sessions) == 0 {
 			// Every participant died; the epoch completes trivially
 			// rather than wedging Serve.
+			s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+				Epoch: epoch, Agent: -1, Partner: -1})
 			return Message{Type: "summary", PartnerID: -1}, nil
 		}
 		pop := workload.Population{Jobs: make([]workload.Job, len(s.sessions)), Mix: "registered"}
@@ -592,6 +624,11 @@ func (s *Server) runEpoch() (Message, error) {
 				msg.PartnerID = partner.id
 				msg.PartnerJob = partner.job.Name
 				msg.PredictedPenalty = d[i][match[i]]
+				if i < match[i] {
+					s.Events.Record(telemetry.Event{Type: telemetry.EventPairMatched,
+						Epoch: epoch, Agent: sess.id, Partner: partner.id,
+						Job: sess.job.Name, Predicted: d[i][match[i]]})
+				}
 			}
 			if err := s.send(sess, msg); err != nil {
 				dead = append(dead, sess)
@@ -628,7 +665,7 @@ func (s *Server) runEpoch() (Message, error) {
 			}
 		}
 		if len(dead) > 0 {
-			s.reap(dead)
+			s.reap(dead, epoch)
 			degraded = true
 			continue // re-match the survivors
 		}
@@ -651,7 +688,7 @@ func (s *Server) runEpoch() (Message, error) {
 			}
 		}
 		if len(dead) > 0 {
-			s.reap(dead)
+			s.reap(dead, epoch)
 			degraded = true
 		}
 		if s.Metrics != nil {
@@ -669,6 +706,8 @@ func (s *Server) runEpoch() (Message, error) {
 				}
 			}
 		}
+		s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+			Epoch: epoch, Agent: -1, Partner: -1, Value: meanPenalty})
 		return summary, nil
 	}
 }

@@ -30,6 +30,10 @@ type Options struct {
 	// JSON emits the experiment's result structure as JSON instead of the
 	// text rendering.
 	JSON bool
+	// TraceOut, when set, makes Trace also export the span tree as Chrome
+	// trace_event JSON to this path, openable in Perfetto
+	// (ui.perfetto.dev) or chrome://tracing.
+	TraceOut string
 }
 
 // Names lists the runnable experiments in presentation order.

@@ -3,6 +3,8 @@ package simcli
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -139,5 +141,50 @@ func TestRunEfficiency(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "energy per job") {
 		t.Errorf("output missing efficiency header:\n%s", firstLines(buf.String(), 3))
+	}
+}
+
+// TestTraceExport runs the -trace entry point with a Chrome-trace export
+// path and checks both renderings: the text output carries the phase
+// quantile table, and the exported file is valid trace_event JSON rooted
+// at the pipeline span.
+func TestTraceExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := Trace(&buf, Options{N: 16, Seed: 1, TraceOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"span tree", "phase timings (ms):", "p99", "chrome trace written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, firstLines(text, 8))
+		}
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   *int64 `json:"ts"`
+			Dur  *int64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", out, err)
+	}
+	if len(trace.TraceEvents) < 2 {
+		t.Fatalf("exported %d events, want the pipeline span plus phases", len(trace.TraceEvents))
+	}
+	if trace.TraceEvents[0].Name != "pipeline" {
+		t.Errorf("root event = %q, want pipeline", trace.TraceEvents[0].Name)
+	}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" || ev.TS == nil || ev.Dur == nil {
+			t.Errorf("event %q malformed: ph=%q ts=%v dur=%v", ev.Name, ev.Ph, ev.TS, ev.Dur)
+		}
 	}
 }

@@ -3,7 +3,9 @@ package simcli
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strings"
 
 	"cooper/internal/core"
 	"cooper/internal/stats"
@@ -37,6 +39,21 @@ func Trace(w io.Writer, opts Options) error {
 	}
 	tel.Trace.Finish()
 
+	if opts.TraceOut != "" {
+		f, err := os.Create(opts.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, tel.Trace.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "chrome trace written to %s (open in ui.perfetto.dev)\n\n", opts.TraceOut)
+	}
+
 	snap := fw.Snapshot()
 	fmt.Fprintf(w, "span tree (%d agents, seed %d):\n\n", opts.N, opts.Seed)
 	fmt.Fprintln(w, tel.Trace.Render())
@@ -63,6 +80,31 @@ func Trace(w io.Writer, opts Options) error {
 		fmt.Fprintf(w, "epoch penalty distribution (p50 %.4f, p95 %.4f, p99 %.4f):\n\n",
 			h.P50, h.P95, h.P99)
 		fmt.Fprintln(w, textplot.Bar(labels, values, 40, "%.0f"))
+	}
+
+	// Phase timing quantiles: every phase.<name>_s histogram the epoch
+	// filled, as a p50/p95/p99 table in milliseconds.
+	var phases []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "phase.") && strings.HasSuffix(name, "_s") {
+			phases = append(phases, name)
+		}
+	}
+	if len(phases) > 0 {
+		sort.Strings(phases)
+		rows := make([][]string, len(phases))
+		for i, name := range phases {
+			h := snap.Histograms[name]
+			rows[i] = []string{
+				strings.TrimSuffix(strings.TrimPrefix(name, "phase."), "_s"),
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.3f", h.P50*1e3),
+				fmt.Sprintf("%.3f", h.P95*1e3),
+				fmt.Sprintf("%.3f", h.P99*1e3),
+			}
+		}
+		fmt.Fprintln(w, "phase timings (ms):")
+		fmt.Fprintln(w, textplot.Table([]string{"phase", "count", "p50", "p95", "p99"}, rows))
 	}
 
 	if len(snap.Counters) > 0 {

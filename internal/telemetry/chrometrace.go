@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace_event format's
+// traceEvents array: a complete ("ph":"X") event with a relative
+// timestamp and duration in microseconds. Perfetto and chrome://tracing
+// nest complete events on the same track by time containment, which
+// matches the span tree exactly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace_event format (the
+// form that can also carry metadata), which every trace viewer accepts.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports a span-tree snapshot as Chrome trace_event
+// JSON, openable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Timestamps are microseconds relative to the root span's start, so
+// traces from different runs align at zero. Span attributes become the
+// event's args.
+func WriteChromeTrace(w io.Writer, root *SpanSnapshot) error {
+	if root == nil {
+		return fmt.Errorf("telemetry: no trace to export")
+	}
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	appendChromeEvents(&trace.TraceEvents, root, root.StartUnixUS)
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// appendChromeEvents flattens the tree depth-first. A child whose clock
+// reads earlier than the root (impossible in practice, conceivable
+// under clock steps) clamps to zero rather than going negative, which
+// some viewers reject.
+func appendChromeEvents(out *[]chromeEvent, s *SpanSnapshot, epochUS int64) {
+	ts := s.StartUnixUS - epochUS
+	if ts < 0 {
+		ts = 0
+	}
+	ev := chromeEvent{
+		Name: s.Name,
+		Cat:  "cooper",
+		Ph:   "X",
+		TS:   ts,
+		Dur:  s.DurationUS,
+		PID:  1,
+		TID:  1,
+	}
+	if len(s.Attrs) > 0 {
+		ev.Args = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	*out = append(*out, ev)
+	for _, c := range s.Children {
+		appendChromeEvents(out, c, epochUS)
+	}
+}

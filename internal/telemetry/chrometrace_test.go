@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceExport checks the exported trace is valid trace_event
+// JSON: a traceEvents array of complete ("X") events whose child
+// intervals sit inside their parents — the property Perfetto uses to
+// nest them.
+func TestChromeTraceExport(t *testing.T) {
+	tel := New()
+	epoch := tel.Phase(nil, "epoch")
+	match := tel.Phase(epoch, "match")
+	match.SetAttr("proposals", 42)
+	time.Sleep(2 * time.Millisecond)
+	tel.End(match)
+	dispatch := tel.Phase(epoch, "dispatch")
+	time.Sleep(time.Millisecond)
+	tel.End(dispatch)
+	tel.End(epoch)
+	tel.Trace.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tel.Trace.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) != 4 {
+		t.Fatalf("exported %d events, want 4 (pipeline, epoch, match, dispatch)", len(trace.TraceEvents))
+	}
+
+	byName := map[string]int{}
+	for i, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS == nil || ev.Dur == nil {
+			t.Fatalf("event %q missing ts/dur", ev.Name)
+		}
+		if *ev.TS < 0 || *ev.Dur < 0 {
+			t.Errorf("event %q has negative ts/dur: %d/%d", ev.Name, *ev.TS, *ev.Dur)
+		}
+		if ev.PID != 1 || ev.TID != 1 {
+			t.Errorf("event %q pid/tid = %d/%d, want 1/1", ev.Name, ev.PID, ev.TID)
+		}
+		byName[ev.Name] = i
+	}
+	if trace.TraceEvents[0].Name != "pipeline" || *trace.TraceEvents[0].TS != 0 {
+		t.Errorf("root should be pipeline at ts 0, got %q at %d",
+			trace.TraceEvents[0].Name, *trace.TraceEvents[0].TS)
+	}
+	// Containment: match and dispatch inside epoch, epoch inside pipeline.
+	contains := func(outer, inner string) {
+		o, i := trace.TraceEvents[byName[outer]], trace.TraceEvents[byName[inner]]
+		if *i.TS < *o.TS || *i.TS+*i.Dur > *o.TS+*o.Dur {
+			t.Errorf("%s [%d, %d] not contained in %s [%d, %d]",
+				inner, *i.TS, *i.TS+*i.Dur, outer, *o.TS, *o.TS+*o.Dur)
+		}
+	}
+	contains("pipeline", "epoch")
+	contains("epoch", "match")
+	contains("epoch", "dispatch")
+	// dispatch starts after match ends (sequential phases).
+	m, d := trace.TraceEvents[byName["match"]], trace.TraceEvents[byName["dispatch"]]
+	if *d.TS < *m.TS+*m.Dur {
+		t.Errorf("dispatch at %d overlaps match ending at %d", *d.TS, *m.TS+*m.Dur)
+	}
+	if args := trace.TraceEvents[byName["match"]].Args; args["proposals"] != float64(42) {
+		t.Errorf("match args = %v, want proposals=42", args)
+	}
+
+	if err := WriteChromeTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil snapshot should error, not emit an empty trace")
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour) // immediate sample only
+	s.Stop()
+	snap := reg.Snapshot()
+	if g := snap.Gauge(GaugeGoroutines); g < 1 {
+		t.Errorf("runtime.goroutines = %v, want >= 1", g)
+	}
+	if g := snap.Gauge(GaugeHeapAlloc); g <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %v, want > 0", g)
+	}
+	if _, ok := snap.Gauges[GaugeGCPauseTot]; !ok {
+		t.Error("runtime.gc_pause_total_s missing")
+	}
+	// Nil registry: sampler must not panic and must stop cleanly.
+	StartRuntimeSampler(nil, time.Hour).Stop()
+	SampleRuntime(nil)
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop()
+}

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventType names one kind of flight-recorder event.
+type EventType string
+
+// The typed event vocabulary. Every record the pipeline emits is one of
+// these; renderers and tests can switch on the type without parsing
+// free-form strings.
+const (
+	// EventEpochStart opens a scheduling epoch (Value = population size).
+	EventEpochStart EventType = "epoch_start"
+	// EventEpochEnd closes a scheduling epoch (Value = mean penalty).
+	EventEpochEnd EventType = "epoch_end"
+	// EventPairMatched records one colocation assignment: Agent with
+	// Partner, Predicted (and, where the oracle is available, True)
+	// penalty for Agent's side.
+	EventPairMatched EventType = "pair_matched"
+	// EventAgentRegistered records an agent's admission to the population.
+	EventAgentRegistered EventType = "agent_registered"
+	// EventAgentReaped records an agent's removal after a dead or mute
+	// connection.
+	EventAgentReaped EventType = "agent_reaped"
+	// EventAgentRejoined records a scheduled post-crash rejoin (the agent
+	// re-registers under a fresh ID; Agent carries the injector key).
+	EventAgentRejoined EventType = "agent_rejoined"
+	// EventFaultInjected records one injected fault; Kind is the
+	// fault.injected.* suffix (drop, dup, stall, reset, connect_fail,
+	// crash) and Agent the injector key.
+	EventFaultInjected EventType = "fault_injected"
+	// EventCacheHitRate samples the pair-penalty cache at an epoch
+	// boundary (Value = hit rate in [0, 1]).
+	EventCacheHitRate EventType = "cache_hit_rate"
+	// EventRematchRound records a degraded re-matching round after reaps
+	// (Round = assignment round sequence, Value = agents reaped).
+	EventRematchRound EventType = "rematch_round"
+	// EventBatchScheduled records one coordinator batch: Value = mean
+	// queueing delay in seconds, Queued = jobs still waiting afterwards.
+	EventBatchScheduled EventType = "batch_scheduled"
+)
+
+// Event is one flight-recorder record: something that happened at a
+// point in an epoch, in a form stable enough to diff across runs. Seq
+// and TimeUnixNano are stamped by the ring at record time; everything
+// else is the emitter's. Agent and Partner deliberately do not carry
+// omitempty — agent 0 is a legal ID (the Message.AgentID lesson) — so
+// emitters set them to -1 when not applicable.
+type Event struct {
+	// Seq is the record's position in the ring's total order, starting
+	// at 0. Monotonic even across overflow (dropped records keep their
+	// numbers).
+	Seq int64 `json:"seq"`
+	// TimeUnixNano is the wall-clock stamp. It is the one field excluded
+	// from determinism comparisons; Canon zeroes it.
+	TimeUnixNano int64     `json:"time_unix_nano"`
+	Type         EventType `json:"type"`
+
+	// Epoch is the 0-based scheduling epoch, -1 when not tied to one.
+	Epoch int `json:"epoch"`
+	// Agent and Partner are wire agent IDs (or injector keys for fault
+	// events); -1 means not applicable.
+	Agent   int `json:"agent"`
+	Partner int `json:"partner"`
+
+	Job  string `json:"job,omitempty"`
+	Kind string `json:"kind,omitempty"`
+
+	// Round is the assignment round sequence for re-match events.
+	Round int `json:"round,omitempty"`
+	// Queued is the post-batch queue depth for coordinator events.
+	Queued int `json:"queued,omitempty"`
+
+	// Predicted and True are the penalties for pair_matched events.
+	Predicted float64 `json:"predicted,omitempty"`
+	True      float64 `json:"true,omitempty"`
+	// Value is the type-specific payload (population size, mean penalty,
+	// hit rate, ...).
+	Value float64 `json:"value,omitempty"`
+}
+
+// Canon returns the event with its wall-clock stamp zeroed — the
+// canonical form determinism tests compare, since two same-seed runs
+// must agree on everything but time.
+func (e Event) Canon() Event {
+	e.TimeUnixNano = 0
+	return e
+}
+
+// DefaultEventRingSize is the retained-event bound New gives a
+// Telemetry's ring: big enough for several 1000-agent epochs of pair
+// events, small enough to stay cache-resident.
+const DefaultEventRingSize = 4096
+
+// EventRing is the flight recorder: a bounded ring of the most recent
+// events, safe for concurrent writers, with a monotonic sequence, an
+// overflow counter, and an optional JSONL sink that sees every record
+// (the ring bounds memory, not the sink). A nil *EventRing is a valid
+// no-op recorder, like every other telemetry sink.
+type EventRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest retained event
+	n       int // retained count
+	seq     int64
+	dropped int64
+	dropCtr *Counter // mirrors dropped into a registry (events.dropped)
+	sink    *json.Encoder
+	sinkErr error
+	now     func() time.Time
+}
+
+// NewEventRing returns a ring retaining at most size events (size <= 0
+// means DefaultEventRingSize).
+func NewEventRing(size int) *EventRing {
+	if size <= 0 {
+		size = DefaultEventRingSize
+	}
+	return &EventRing{buf: make([]Event, size), now: time.Now}
+}
+
+// AttachDroppedCounter mirrors the ring's overflow count into c
+// (typically reg.Counter("events.dropped")), so exposition snapshots
+// surface recorder overflow without asking the ring.
+func (r *EventRing) AttachDroppedCounter(c *Counter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dropCtr = c
+	r.mu.Unlock()
+}
+
+// SetSink streams every subsequent record to w as one JSON object per
+// line, in ring order, as it is recorded. Writes happen under the
+// ring's lock, so lines never interleave; the first write error stops
+// the sink and is reported by Err.
+func (r *EventRing) SetSink(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if w == nil {
+		r.sink = nil
+	} else {
+		r.sink = json.NewEncoder(w)
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the first sink write error, if any.
+func (r *EventRing) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// Record stamps e with the next sequence number and the current time
+// and appends it, evicting the oldest retained event on overflow (the
+// ring keeps the tail — the newest records — and counts the eviction).
+func (r *EventRing) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.Seq = r.seq
+	r.seq++
+	e.TimeUnixNano = r.now().UnixNano()
+	if r.n == len(r.buf) {
+		// Overwrite the oldest slot.
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+		r.dropCtr.Inc()
+	} else {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	}
+	if r.sink != nil && r.sinkErr == nil {
+		if err := r.sink.Encode(e); err != nil {
+			r.sinkErr = err
+			r.sink = nil
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained tail, oldest first. The slice is a copy.
+func (r *EventRing) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Tail returns the newest n retained events, oldest first (all of them
+// when n <= 0 or n exceeds the retained count).
+func (r *EventRing) Tail(n int) []Event {
+	all := r.Events()
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// Len returns the retained event count.
+func (r *EventRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events overflow has evicted from the ring.
+// Evicted events were still delivered to the sink, if one was set.
+func (r *EventRing) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL dumps the retained tail as JSON lines, oldest first — the
+// same format the sink streams. /debug/events serves this.
+func (r *EventRing) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEvents parses a JSONL event stream (a sink file or /debug/events
+// body) back into events, in order.
+func ReadEvents(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format version this package writes.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a dotted Cooper metric name onto the Prometheus name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: dots and any other illegal runes
+// become underscores, and a leading digit gains one.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest
+// round-trip form (strconv spells infinities "+Inf"/"-Inf" and NaN
+// "NaN", which is exactly the exposition grammar).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter as a counter, every gauge as a
+// gauge, and every histogram as a classic cumulative-bucket histogram
+// with an explicit +Inf bucket, _sum, and _count. Families are sorted
+// by exposed name so the output is byte-stable for a given snapshot.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	type family struct {
+		name string // exposed (sanitized) name
+		emit func(io.Writer) error
+	}
+	var families []family
+
+	for name, v := range snap.Counters {
+		orig, val := name, v
+		n := promName(orig)
+		families = append(families, family{n, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "# HELP %s Cooper counter %s\n# TYPE %s counter\n%s %d\n",
+				n, orig, n, n, val)
+			return err
+		}})
+	}
+	for name, v := range snap.Gauges {
+		orig, val := name, v
+		n := promName(orig)
+		families = append(families, family{n, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "# HELP %s Cooper gauge %s\n# TYPE %s gauge\n%s %s\n",
+				n, orig, n, n, promFloat(val))
+			return err
+		}})
+	}
+	for name, h := range snap.Histograms {
+		orig, sum := name, h
+		n := promName(orig)
+		families = append(families, family{n, func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "# HELP %s Cooper histogram %s\n# TYPE %s histogram\n",
+				n, orig, n); err != nil {
+				return err
+			}
+			// Cooper buckets are per-bucket counts; Prometheus buckets
+			// are cumulative, with the implicit overflow folded into
+			// the mandatory +Inf bucket.
+			var cum uint64
+			for i, bound := range sum.Bounds {
+				if i < len(sum.Counts) {
+					cum += sum.Counts[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					n, promFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, sum.Count); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				n, promFloat(sum.Sum), n, sum.Count)
+			return err
+		}})
+	}
+
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+	for _, f := range families {
+		if err := f.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the registry's current snapshot in the
+// Prometheus text format; see the package-level WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}

@@ -361,8 +361,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteExpvar writes the snapshot in expvar's flat style: one JSON object
-// whose keys are metric names and whose values are counts, gauge values,
-// or histogram summaries, with names sorted for stable output.
+// whose keys are metric names and whose values are scalars, with names
+// sorted for stable output. Histograms are flattened into scalar keys —
+// <name>.count, <name>.sum, <name>.mean, <name>.min, <name>.max,
+// <name>.p50, <name>.p95, <name>.p99 — so expvar consumers that only
+// understand numbers (dashboards, jq one-liners) see the digest instead
+// of nothing.
 func (r *Registry) WriteExpvar(w io.Writer) error {
 	snap := r.Snapshot()
 	type kv struct {
@@ -376,8 +380,17 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 	for k, v := range snap.Gauges {
 		entries = append(entries, kv{k, v})
 	}
-	for k, v := range snap.Histograms {
-		entries = append(entries, kv{k, v})
+	for k, h := range snap.Histograms {
+		entries = append(entries,
+			kv{k + ".count", h.Count},
+			kv{k + ".sum", h.Sum},
+			kv{k + ".mean", h.Mean},
+			kv{k + ".min", h.Min},
+			kv{k + ".max", h.Max},
+			kv{k + ".p50", h.P50},
+			kv{k + ".p95", h.P95},
+			kv{k + ".p99", h.P99},
+		)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	if _, err := fmt.Fprintln(w, "{"); err != nil {

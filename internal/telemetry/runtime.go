@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler periodically snapshots the Go runtime — goroutine
+// count, heap occupancy, GC activity — into gauges, so the metrics
+// exposition carries process health next to the pipeline's own
+// telemetry (the always-on profiling posture of datacenter profilers).
+type RuntimeSampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Runtime gauge names the sampler maintains.
+const (
+	GaugeGoroutines  = "runtime.goroutines"
+	GaugeHeapAlloc   = "runtime.heap_alloc_bytes"
+	GaugeHeapSys     = "runtime.heap_sys_bytes"
+	GaugeGCCount     = "runtime.gc_count"
+	GaugeGCPauseTot  = "runtime.gc_pause_total_s"
+	GaugeGCPauseLast = "runtime.gc_pause_last_s"
+)
+
+// SampleRuntime takes one sample into reg's runtime.* gauges.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(GaugeGoroutines).Set(float64(runtime.NumGoroutine()))
+	reg.Gauge(GaugeHeapAlloc).Set(float64(ms.HeapAlloc))
+	reg.Gauge(GaugeHeapSys).Set(float64(ms.HeapSys))
+	reg.Gauge(GaugeGCCount).Set(float64(ms.NumGC))
+	reg.Gauge(GaugeGCPauseTot).Set(time.Duration(ms.PauseTotalNs).Seconds())
+	if ms.NumGC > 0 {
+		last := ms.PauseNs[(ms.NumGC+255)%256]
+		reg.Gauge(GaugeGCPauseLast).Set(time.Duration(last).Seconds())
+	}
+}
+
+// StartRuntimeSampler samples immediately and then every interval
+// (default 2s when interval <= 0) until Stop is called. A nil registry
+// yields a sampler that does nothing but still stops cleanly.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	SampleRuntime(reg)
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime(reg)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Safe to
+// call once.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}

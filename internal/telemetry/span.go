@@ -111,12 +111,16 @@ func (s *Span) Find(name string) *Span {
 	return nil
 }
 
-// SpanSnapshot is the serializable form of a span tree.
+// SpanSnapshot is the serializable form of a span tree. StartUnixUS
+// anchors the span on the wall clock so exporters (the Chrome
+// trace_event writer) can place children at their true offsets inside
+// their parents.
 type SpanSnapshot struct {
-	Name       string          `json:"name"`
-	DurationUS int64           `json:"duration_us"`
-	Attrs      []Attr          `json:"attrs,omitempty"`
-	Children   []*SpanSnapshot `json:"children,omitempty"`
+	Name        string          `json:"name"`
+	StartUnixUS int64           `json:"start_unix_us,omitempty"`
+	DurationUS  int64           `json:"duration_us"`
+	Attrs       []Attr          `json:"attrs,omitempty"`
+	Children    []*SpanSnapshot `json:"children,omitempty"`
 }
 
 // Snapshot copies the span tree into its serializable form.
@@ -126,9 +130,10 @@ func (s *Span) Snapshot() *SpanSnapshot {
 	}
 	s.mu.Lock()
 	snap := &SpanSnapshot{
-		Name:       s.name,
-		DurationUS: s.dur.Microseconds(),
-		Attrs:      append([]Attr(nil), s.attrs...),
+		Name:        s.name,
+		StartUnixUS: s.start.UnixMicro(),
+		DurationUS:  s.dur.Microseconds(),
+		Attrs:       append([]Attr(nil), s.attrs...),
 	}
 	if !s.done {
 		snap.DurationUS = time.Since(s.start).Microseconds()

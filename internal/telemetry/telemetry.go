@@ -10,12 +10,23 @@ type Telemetry struct {
 	Metrics *Registry
 	// Trace is the root span the pipeline's phases nest under.
 	Trace *Span
+	// Events is the epoch flight recorder: a bounded ring of typed
+	// events (epoch boundaries, matches, reaps, faults) every layer
+	// appends to.
+	Events *EventRing
 }
 
-// New returns an enabled Telemetry with an empty registry and a root
-// "pipeline" span.
+// New returns an enabled Telemetry with an empty registry, a root
+// "pipeline" span, and a flight recorder whose overflow count mirrors
+// into the registry's events.dropped counter.
 func New() *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Trace: NewSpan("pipeline")}
+	t := &Telemetry{
+		Metrics: NewRegistry(),
+		Trace:   NewSpan("pipeline"),
+		Events:  NewEventRing(DefaultEventRingSize),
+	}
+	t.Events.AttachDroppedCounter(t.Metrics.Counter("events.dropped"))
+	return t
 }
 
 // Registry returns the metrics registry (nil for disabled telemetry), for
@@ -49,6 +60,23 @@ func (t *Telemetry) End(s *Span) {
 	s.Finish()
 	t.Metrics.Histogram("phase."+s.Name()+"_s", DurationBuckets()).
 		Observe(s.Duration().Seconds())
+}
+
+// Record appends an event to the flight recorder (nil-safe).
+func (t *Telemetry) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.Events.Record(e)
+}
+
+// EventRing returns the flight recorder (nil for disabled telemetry),
+// for passing to sinks that take a bare *EventRing.
+func (t *Telemetry) EventRing() *EventRing {
+	if t == nil {
+		return nil
+	}
+	return t.Events
 }
 
 // Counter is shorthand for t.Metrics.Counter (nil-safe).

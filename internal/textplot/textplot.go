@@ -130,6 +130,40 @@ func Box(labels []string, boxes []stats.Boxplot, lo, hi float64, width int) stri
 	return sb.String()
 }
 
+// sparkGlyphs are the eight block heights a sparkline quantizes into.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character strip — the
+// live-dashboard form of a time series. Values are normalized to the
+// series' own min..max; a flat series renders at the lowest block, and
+// NaNs render as spaces. An empty series yields an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			sb.WriteByte(' ')
+		case hi <= lo:
+			sb.WriteRune(sparkGlyphs[0])
+		default:
+			k := int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+			sb.WriteRune(sparkGlyphs[k])
+		}
+	}
+	return sb.String()
+}
+
 // Table renders rows as a fixed-width table with a header.
 func Table(header []string, rows [][]string) string {
 	widths := make([]int, len(header))

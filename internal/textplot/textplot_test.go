@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -81,5 +82,21 @@ func TestTable(t *testing.T) {
 	}
 	if !strings.Contains(lines[3], "bbbb") {
 		t.Errorf("row missing: %q", lines[3])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty series = %q, want empty", got)
+	}
+	if got := Sparkline([]float64{3, 3, 3}); got != "▁▁▁" {
+		t.Errorf("flat series = %q, want lowest blocks", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q, want one of each glyph", got)
+	}
+	if got := Sparkline([]float64{0, math.NaN(), 1}); got != "▁ █" {
+		t.Errorf("NaN series = %q, want gap", got)
 	}
 }

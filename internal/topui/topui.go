@@ -1,0 +1,252 @@
+// Package topui implements the cooper-top terminal dashboard: it polls
+// a cooperd metrics endpoint — /metrics for the JSON snapshot and
+// /debug/events for the flight recorder's tail — and renders epoch
+// rate, penalty distribution, fault counters, and reap/rejoin history
+// as one plain-text frame per poll. Living in an internal package
+// (rather than package main) keeps the rendering testable; the command
+// just loops fetch → Frame → redraw.
+package topui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"cooper/internal/telemetry"
+	"cooper/internal/textplot"
+)
+
+// Client fetches telemetry from a cooperd -metrics endpoint.
+type Client struct {
+	// BaseURL is the endpoint root, e.g. "http://127.0.0.1:7078".
+	BaseURL string
+	// HTTP overrides the default client (tests inject timeouts).
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string) (*http.Response, error) {
+	resp, err := c.client().Get(c.BaseURL + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("topui: GET %s: %s", path, resp.Status)
+	}
+	return resp, nil
+}
+
+// Snapshot fetches the /metrics JSON snapshot.
+func (c *Client) Snapshot() (*telemetry.Snapshot, error) {
+	resp, err := c.get("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("topui: decoding /metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+// Events fetches the newest n flight-recorder events (all retained when
+// n <= 0).
+func (c *Client) Events(n int) ([]telemetry.Event, error) {
+	path := "/debug/events"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	resp, err := c.get(path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return telemetry.ReadEvents(resp.Body)
+}
+
+// sample is one poll's worth of trend state.
+type sample struct {
+	at     time.Time
+	epochs int64
+	mean   float64
+}
+
+// Model accumulates poll samples so successive frames can show the
+// epoch rate and the penalty trend. The zero Model is usable; a nil
+// *Model renders nothing and records nothing.
+type Model struct {
+	history []sample
+	cap     int
+}
+
+// NewModel returns a model retaining histLen samples of trend history
+// (<= 0 means 60, one minute at the default poll interval).
+func NewModel(histLen int) *Model {
+	if histLen <= 0 {
+		histLen = 60
+	}
+	return &Model{cap: histLen}
+}
+
+// EpochRate is the epochs-per-second slope across the retained history
+// (0 until two samples with distinct timestamps exist).
+func (m *Model) EpochRate() float64 {
+	if m == nil || len(m.history) < 2 {
+		return 0
+	}
+	first, last := m.history[0], m.history[len(m.history)-1]
+	dt := last.at.Sub(first.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(last.epochs-first.epochs) / dt
+}
+
+// Frame records one poll and renders the dashboard. Every input may be
+// missing: a nil snapshot renders a waiting banner around fetchErr, an
+// empty event tail renders no history section, and absent counters or
+// histograms simply drop their sections — the endpoint's vocabulary may
+// be older or newer than this binary's.
+func (m *Model) Frame(now time.Time, snap *telemetry.Snapshot, events []telemetry.Event, fetchErr error) string {
+	if m == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cooper-top  %s\n", now.Format("15:04:05"))
+	if fetchErr != nil {
+		fmt.Fprintf(&sb, "  fetch: %v\n", fetchErr)
+	}
+	if snap == nil {
+		if fetchErr == nil {
+			sb.WriteString("  waiting for metrics...\n")
+		}
+		return sb.String()
+	}
+
+	m.history = append(m.history, sample{
+		at:     now,
+		epochs: snap.Counter("epoch.count"),
+		mean:   snap.Gauge("epoch.mean_penalty"),
+	})
+	if len(m.history) > m.cap && m.cap > 0 {
+		m.history = m.history[len(m.history)-m.cap:]
+	}
+
+	fmt.Fprintf(&sb, "\nepochs %d (%.2f/s)  agents %d  reaped %d  degraded %d  stale %d  events dropped %d\n",
+		snap.Counter("epoch.count"), m.EpochRate(), snap.Counter("epoch.agents"),
+		snap.Counter("net.reaped"), snap.Counter("epoch.degraded"),
+		snap.Counter("net.stale"), snap.Counter("events.dropped"))
+	if g, ok := snap.Gauges["runtime.goroutines"]; ok {
+		fmt.Fprintf(&sb, "goroutines %.0f  heap %.1f MiB  gc pauses %.3f ms total\n",
+			g, snap.Gauge("runtime.heap_alloc_bytes")/(1<<20),
+			snap.Gauge("runtime.gc_pause_total_s")*1e3)
+	}
+
+	trend := make([]float64, len(m.history))
+	for i, s := range m.history {
+		trend[i] = s.mean
+	}
+	fmt.Fprintf(&sb, "mean penalty %.4f  %s\n", snap.Gauge("epoch.mean_penalty"),
+		textplot.Sparkline(trend))
+
+	if h := snap.Histogram("epoch.penalty"); h.Count > 0 {
+		sb.WriteString("\npenalty distribution (p50 ")
+		fmt.Fprintf(&sb, "%.4f, p95 %.4f, p99 %.4f):\n", h.P50, h.P95, h.P99)
+		sb.WriteString(histogramBar(h, 30))
+	}
+
+	if faults := snap.CountersWithPrefix("fault.injected."); len(faults) > 0 {
+		names := make([]string, 0, len(faults))
+		for name := range faults {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sb.WriteString("\nfault injections:")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "  %s %d", strings.TrimPrefix(name, "fault.injected."), faults[name])
+		}
+		sb.WriteString("\n")
+	}
+
+	if len(events) > 0 {
+		sb.WriteString("\nrecent events:\n")
+		for _, e := range events {
+			fmt.Fprintf(&sb, "  %s\n", FormatEvent(e))
+		}
+	}
+	return sb.String()
+}
+
+// histogramBar renders a histogram's buckets as a textplot bar chart,
+// tolerating summaries whose bounds/counts are missing or mismatched
+// (an endpoint that predates bucket exposition).
+func histogramBar(h telemetry.HistogramSummary, width int) string {
+	if len(h.Counts) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return ""
+	}
+	labels := make([]string, len(h.Counts))
+	values := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		if i < len(h.Bounds) {
+			labels[i] = fmt.Sprintf("[%.3f,%.3f)", lo, h.Bounds[i])
+		} else {
+			labels[i] = fmt.Sprintf("[%.3f,+inf)", lo)
+		}
+		values[i] = float64(c)
+	}
+	return textplot.Bar(labels, values, width, "%.0f")
+}
+
+// FormatEvent renders one flight-recorder event as a single dashboard
+// line. Fields at their not-applicable values (-1 IDs, zero payloads)
+// are omitted, so a sparse event renders sparse.
+func FormatEvent(e telemetry.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-6d %-16s", e.Seq, e.Type)
+	if e.Epoch >= 0 {
+		fmt.Fprintf(&b, " epoch=%d", e.Epoch)
+	}
+	if e.Agent >= 0 {
+		fmt.Fprintf(&b, " agent=%d", e.Agent)
+	}
+	if e.Partner >= 0 {
+		fmt.Fprintf(&b, " partner=%d", e.Partner)
+	}
+	if e.Job != "" {
+		fmt.Fprintf(&b, " job=%s", e.Job)
+	}
+	if e.Kind != "" {
+		fmt.Fprintf(&b, " kind=%s", e.Kind)
+	}
+	if e.Round > 0 {
+		fmt.Fprintf(&b, " round=%d", e.Round)
+	}
+	if e.Queued > 0 {
+		fmt.Fprintf(&b, " queued=%d", e.Queued)
+	}
+	if e.Predicted != 0 {
+		fmt.Fprintf(&b, " predicted=%.4f", e.Predicted)
+	}
+	if e.True != 0 {
+		fmt.Fprintf(&b, " true=%.4f", e.True)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&b, " value=%.4g", e.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package topui
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cooper/internal/telemetry"
+)
+
+// fakeEndpoint serves a live registry and event ring the way cooperd's
+// metrics mux does: /metrics as the JSON snapshot, /debug/events as
+// JSONL.
+func fakeEndpoint(t *testing.T, reg *telemetry.Registry, ring *telemetry.EventRing) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			t.Errorf("writing /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		if err := ring.WriteJSONL(w); err != nil {
+			t.Errorf("writing /debug/events: %v", err)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientAndFrame(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("epoch.count").Add(4)
+	reg.Counter("epoch.agents").Add(16)
+	reg.Counter("net.reaped").Add(2)
+	reg.Counter("fault.injected.drop").Add(7)
+	reg.Gauge("epoch.mean_penalty").Set(0.12)
+	reg.Gauge("runtime.goroutines").Set(9)
+	h := reg.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
+	for _, v := range []float64{0.01, 0.05, 0.12, 0.3} {
+		h.Observe(v)
+	}
+	ring := telemetry.NewEventRing(16)
+	ring.Record(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0, Agent: -1, Partner: -1, Value: 4})
+	ring.Record(telemetry.Event{Type: telemetry.EventAgentReaped, Epoch: 0, Agent: 3, Partner: -1, Job: "dedup"})
+
+	ts := fakeEndpoint(t, reg, ring)
+	cl := &Client{BaseURL: ts.URL}
+
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("epoch.count") != 4 {
+		t.Errorf("epoch.count = %d, want 4", snap.Counter("epoch.count"))
+	}
+	events, err := cl.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Type != telemetry.EventAgentReaped {
+		t.Fatalf("events = %+v, want epoch_start then agent_reaped", events)
+	}
+
+	m := NewModel(8)
+	frame := m.Frame(time.Unix(100, 0), snap, events, nil)
+	for _, want := range []string{
+		"epochs 4", "reaped 2", "goroutines 9",
+		"penalty distribution", "fault injections:", "drop 7",
+		"agent_reaped", "job=dedup",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// A second poll after progress yields a rate from the counter delta.
+	reg.Counter("epoch.count").Add(6)
+	snap2, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Frame(time.Unix(102, 0), snap2, nil, nil)
+	if rate := m.EpochRate(); rate != 3 {
+		t.Errorf("EpochRate = %v, want 3 (6 epochs over 2s)", rate)
+	}
+}
+
+// TestFrameNilSafety feeds the renderer every shape of missing data: a
+// nil model, a nil snapshot, an error, an empty snapshot with no
+// counters or histograms, and events at their not-applicable field
+// values. None may panic; all must render something sensible.
+func TestFrameNilSafety(t *testing.T) {
+	var nilModel *Model
+	if got := nilModel.Frame(time.Now(), &telemetry.Snapshot{}, nil, nil); got != "" {
+		t.Errorf("nil model rendered %q", got)
+	}
+	if nilModel.EpochRate() != 0 {
+		t.Error("nil model has a rate")
+	}
+
+	m := NewModel(0)
+	frame := m.Frame(time.Now(), nil, nil, nil)
+	if !strings.Contains(frame, "waiting for metrics") {
+		t.Errorf("nil snapshot frame = %q", frame)
+	}
+	frame = m.Frame(time.Now(), nil, nil, http.ErrServerClosed)
+	if !strings.Contains(frame, http.ErrServerClosed.Error()) {
+		t.Errorf("fetch error not surfaced: %q", frame)
+	}
+
+	// An empty snapshot (endpoint up, nothing recorded yet) renders the
+	// status line with zeros and drops the optional sections.
+	frame = m.Frame(time.Now(), &telemetry.Snapshot{}, nil, nil)
+	if !strings.Contains(frame, "epochs 0") {
+		t.Errorf("empty snapshot frame = %q", frame)
+	}
+	if strings.Contains(frame, "penalty distribution") || strings.Contains(frame, "fault injections") {
+		t.Errorf("empty snapshot rendered optional sections:\n%s", frame)
+	}
+
+	// A histogram summary with no buckets (older endpoint) renders no bar
+	// chart but must not panic.
+	snap := &telemetry.Snapshot{
+		Histograms: map[string]telemetry.HistogramSummary{
+			"epoch.penalty": {Count: 3, P50: 0.1},
+		},
+	}
+	frame = m.Frame(time.Now(), snap, []telemetry.Event{{Agent: -1, Partner: -1, Epoch: -1}}, nil)
+	if !strings.Contains(frame, "penalty distribution") {
+		t.Errorf("bucketless histogram dropped its header:\n%s", frame)
+	}
+
+	// Sparse events render only their set fields.
+	line := FormatEvent(telemetry.Event{Seq: 7, Type: telemetry.EventEpochEnd, Epoch: 2, Agent: -1, Partner: -1})
+	if strings.Contains(line, "agent=") || strings.Contains(line, "partner=") {
+		t.Errorf("sparse event rendered N/A fields: %q", line)
+	}
+	if !strings.Contains(line, "epoch=2") {
+		t.Errorf("event line missing epoch: %q", line)
+	}
+}
