@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet test race chaos ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
+.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
 
 all: build
 
@@ -35,11 +35,24 @@ chaos:
 	$(GO) test -race -count=3 -run 'Chaos|Mute|Reap|Rejoin|Dial|Shutdown' ./internal/netproto/
 	$(GO) test -race -count=3 ./cmd/cooperd/
 
+# audit round-trips a real flight recording through the offline
+# invariant auditor: cooper-sim writes a multi-epoch event log with
+# -events-out, then cooper-replay replays it against the full invariant
+# suite (stability, conservation, coverage, lifecycle, bracketing) and
+# must exit zero. The in-process gates — the invariant suite run inside
+# the chaos soaks — ride along via their test packages.
+audit:
+	$(GO) test -count=1 -run 'TestChaosSoak' ./internal/netproto/
+	$(GO) test -count=1 -run 'TestEventLog|TestReplay' ./cmd/cooperd/ ./cmd/cooper-replay/
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/cooper-sim -trace -quick -epochs 5 -events-out "$$tmp/events.jsonl" >/dev/null && \
+	$(GO) run ./cmd/cooper-replay "$$tmp/events.jsonl"
+
 # ci is the full verification gate: static checks, a clean build, the
-# test suite under the race detector, the chaos suite, and a
-# one-iteration benchmark smoke run so benchmarks cannot bit-rot
-# silently.
-ci: lint build race chaos bench-smoke
+# test suite under the race detector, the chaos suite, the flight-log
+# audit round-trip, and a one-iteration benchmark smoke run so
+# benchmarks cannot bit-rot silently.
+ci: lint build race chaos audit bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .

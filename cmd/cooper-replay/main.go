@@ -1,0 +1,129 @@
+// Command cooper-replay audits a flight-recorder event log offline. It
+// re-reads the JSONL stream a cooperd or cooper-sim -events-out run
+// wrote (or a /debug/events tail), replays each epoch's matching
+// arithmetic from its epoch_snapshot, and runs the invariant suite in
+// internal/audit — stability, accounting conservation, coverage,
+// session lifecycle, and epoch bracketing. Violations print with their
+// Seq evidence and the exit status is non-zero, so the command slots
+// straight into CI (make audit).
+//
+// Usage:
+//
+//	cooper-replay [-alpha α] events.jsonl
+//	cooper-replay -diff a.jsonl b.jsonl
+//
+// -diff compares two logs event by event in canonical form (timestamps
+// zeroed) and pinpoints the first diverging Seq — the determinism check
+// for two same-seed runs, and the bisection starting point when they
+// disagree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cooper/internal/audit"
+	"cooper/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 clean, 1 violations or divergence,
+// 2 usage or I/O failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cooper-replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alpha := fs.Float64("alpha", -1,
+		"impose stability contract α on every epoch (violate on blocking pairs where both agents gain > α); negative defers to each epoch_snapshot's declared contract")
+	diff := fs.Bool("diff", false,
+		"compare two logs in canonical form and report the first diverging event")
+	quiet := fs.Bool("q", false, "print violations only, no summary")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cooper-replay [-alpha α] [-q] events.jsonl\n")
+		fmt.Fprintf(stderr, "       cooper-replay -diff a.jsonl b.jsonl\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			fs.Usage()
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), stdout, stderr)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	events, ok := loadLog(fs.Arg(0), stderr)
+	if !ok {
+		return 2
+	}
+
+	opts := audit.Options{}
+	if *alpha >= 0 {
+		opts.Alpha = *alpha
+		opts.ForceAlpha = true
+	}
+	rep := audit.Replay(events, opts)
+
+	if !*quiet {
+		fmt.Fprintf(stdout, "%s: %d events, %d epochs, %d pairs, %d blocking pairs at α=0\n",
+			fs.Arg(0), rep.Events, rep.Epochs, rep.Pairs, rep.BlockingPairs)
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(stdout, "warning: %s\n", w)
+		}
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(stdout, "violation: %s\n", v)
+	}
+	if !rep.OK() {
+		fmt.Fprintf(stdout, "FAIL: %d violation(s)\n", len(rep.Violations))
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "ok: all invariants hold\n")
+	}
+	return 0
+}
+
+// runDiff compares two logs and reports the first divergence.
+func runDiff(pathA, pathB string, stdout, stderr io.Writer) int {
+	a, okA := loadLog(pathA, stderr)
+	b, okB := loadLog(pathB, stderr)
+	if !okA || !okB {
+		return 2
+	}
+	if d := audit.Diff(a, b); d != nil {
+		fmt.Fprintf(stdout, "logs diverge: %s\n", d)
+		return 1
+	}
+	fmt.Fprintf(stdout, "identical: %d events (timestamps aside)\n", len(a))
+	return 0
+}
+
+// loadLog reads a JSONL event log leniently: a truncated or corrupt
+// tail degrades to a warning and the parsed prefix is still audited —
+// half a flight recording beats none. Only a failure to open the file
+// is fatal.
+func loadLog(path string, stderr io.Writer) ([]telemetry.Event, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cooper-replay: %v\n", err)
+		return nil, false
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "cooper-replay: %s: log truncated or corrupt after %d events: %v (auditing the readable prefix)\n",
+			path, len(events), err)
+	}
+	return events, true
+}

@@ -1,0 +1,317 @@
+package main
+
+// End-to-end acceptance for the offline auditor: a real netproto
+// coordinator runs a 50-epoch session — including a mid-run client
+// death, so reap, re-match, and explicit-unpaired events all appear —
+// streaming its flight recording to JSONL. cooper-replay must pass the
+// pristine log, fail a log with one doctored pair event, call two
+// same-seed logs identical under -diff, and pinpoint the first
+// diverging Seq for two different-seed logs.
+//
+// Determinism rests on the same serialization the cooperd soak uses:
+// sequential dials fix the session order, every epoch event is emitted
+// on the Serve goroutine, and the client kill happens inside the
+// BeforeEpoch barrier — pair events for a round are recorded before any
+// send-failure detection, and reaps are recorded in session order, so
+// the stream does not depend on whether the dead conn fails at write or
+// at read.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cooper/internal/arch"
+	"cooper/internal/netproto"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/telemetry"
+	"cooper/internal/workload"
+)
+
+const (
+	replayEpochs   = 50
+	replayKillAt   = 20 // epoch whose barrier kills client 1
+	replayFleetLen = 4
+)
+
+var replayJobs = []string{"correlation", "dedup", "swapt", "stream"}
+
+// recordLog runs the instrumented coordinator once and returns the path
+// of the JSONL log it wrote.
+func recordLog(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	tel := telemetry.New()
+	path := filepath.Join(dir, "events.jsonl")
+	sink, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	tel.Events.SetSink(sink)
+
+	cmp := arch.DefaultCMP()
+	catalog, err := workload.Catalog(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	conns := make([]*netproto.Client, replayFleetLen)
+	srv := &netproto.Server{
+		Epoch:        replayFleetLen,
+		Epochs:       replayEpochs,
+		Policy:       policy.Greedy{},
+		Catalog:      catalog,
+		Penalties:    profiler.DensePenalties(cmp, catalog),
+		Seed:         seed,
+		Events:       tel.Events,
+		ReadTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		EpochTimeout: 30 * time.Second,
+		BeforeEpoch: func(e int) {
+			// Kill one agent mid-run, on the Serve goroutine so the reap
+			// lands deterministically in epoch replayKillAt. The surviving
+			// odd fleet then exercises agent_unpaired every epoch.
+			if e == replayKillAt {
+				mu.Lock()
+				if c := conns[1]; c != nil {
+					c.Close()
+					conns[1] = nil
+				}
+				mu.Unlock()
+			}
+		},
+	}
+
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a }) }()
+	addr := <-addrCh
+
+	// Sequential dials pin agent IDs to fleet order.
+	mu.Lock()
+	for i, job := range replayJobs {
+		c, err := netproto.DialWith(addr, job, netproto.DialOptions{
+			Timeout:     2 * time.Second,
+			ReadTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			mu.Unlock()
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns[i] = c
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i := range replayJobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			c := conns[i]
+			mu.Unlock()
+			if c == nil {
+				return
+			}
+			for {
+				if _, _, err := c.RunEpoch(); err != nil {
+					c.Close()
+					return
+				}
+			}
+		}(i)
+	}
+
+	select {
+	case err := <-srvErr:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		srv.Shutdown()
+		t.Fatalf("coordinator wedged: %d epochs not done in 90s", replayEpochs)
+	}
+	wg.Wait()
+
+	if err := tel.Events.Err(); err != nil {
+		t.Fatalf("event sink: %v", err)
+	}
+	return path
+}
+
+// runReplay invokes the CLI entry point and returns (exit, stdout, stderr).
+func runReplay(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestReplayCleanLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real 50-epoch coordinator")
+	}
+	path := recordLog(t, t.TempDir(), 7)
+	code, out, _ := runReplay(path)
+	if code != 0 {
+		t.Fatalf("exit %d on a clean log; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok: all invariants hold") {
+		t.Fatalf("output missing clean verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "50 epochs") {
+		t.Fatalf("output missing epoch count:\n%s", out)
+	}
+
+	// The log must carry the full lifecycle vocabulary the run exercised.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[telemetry.EventType]int{}
+	for _, e := range events {
+		byType[e.Type]++
+	}
+	if byType[telemetry.EventEpochSnapshot] != replayEpochs {
+		t.Errorf("epoch_snapshot events = %d, want %d", byType[telemetry.EventEpochSnapshot], replayEpochs)
+	}
+	if byType[telemetry.EventAgentReaped] != 1 {
+		t.Errorf("agent_reaped events = %d, want 1", byType[telemetry.EventAgentReaped])
+	}
+	if byType[telemetry.EventAgentUnpaired] == 0 {
+		t.Error("no agent_unpaired events despite an odd surviving fleet")
+	}
+	if byType[telemetry.EventRematchRound] == 0 {
+		t.Error("no rematch_round events despite a mid-epoch reap")
+	}
+}
+
+func TestReplayDetectsMutatedPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real 50-epoch coordinator")
+	}
+	dir := t.TempDir()
+	path := recordLog(t, dir, 7)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Type == telemetry.EventPairMatched {
+			events[i].Predicted *= 1.0000001 // a silent accounting error
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("log has no pair_matched events to mutate")
+	}
+	tampered := filepath.Join(dir, "tampered.jsonl")
+	w, err := os.Create(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, _ := runReplay(tampered)
+	if code != 1 {
+		t.Fatalf("exit %d on a tampered log, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "violation: conservation") {
+		t.Fatalf("output missing conservation violation:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL:") {
+		t.Fatalf("output missing FAIL verdict:\n%s", out)
+	}
+}
+
+func TestReplayDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives three real 50-epoch coordinators")
+	}
+	dirA, dirB, dirC := t.TempDir(), t.TempDir(), t.TempDir()
+	a := recordLog(t, dirA, 7)
+	b := recordLog(t, dirB, 7)
+	c := recordLog(t, dirC, 8)
+
+	code, out, _ := runReplay("-diff", a, b)
+	if code != 0 {
+		t.Fatalf("same-seed logs diverge (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "identical:") {
+		t.Fatalf("output missing identical verdict:\n%s", out)
+	}
+
+	code, out, _ = runReplay("-diff", a, c)
+	if code != 1 {
+		t.Fatalf("different-seed logs compare equal (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "logs diverge") || !strings.Contains(out, "seq") {
+		t.Fatalf("divergence report missing seq pinpoint:\n%s", out)
+	}
+}
+
+func TestReplayTruncatedLogIsLenient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real 50-epoch coordinator")
+	}
+	dir := t.TempDir()
+	path := recordLog(t, dir, 7)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.jsonl")
+	if err := os.WriteFile(cut, raw[:len(raw)*3/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runReplay(cut)
+	if code != 0 {
+		t.Fatalf("truncated log must audit its prefix cleanly (exit %d):\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "truncated or corrupt") {
+		t.Fatalf("stderr missing truncation notice:\n%s", errOut)
+	}
+}
+
+func TestReplayUsage(t *testing.T) {
+	if code, _, _ := runReplay(); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runReplay("a.jsonl", "b.jsonl"); code != 2 {
+		t.Errorf("two logs without -diff: exit %d, want 2", code)
+	}
+	if code, _, _ := runReplay("-diff", "only-one.jsonl"); code != 2 {
+		t.Errorf("-diff with one log: exit %d, want 2", code)
+	}
+	if code, _, _ := runReplay(filepath.Join(t.TempDir(), "missing.jsonl")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

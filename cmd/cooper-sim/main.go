@@ -23,6 +23,9 @@
 //	        (no experiment argument needed)
 //	-trace-out  with -trace, also export the span tree as Chrome
 //	        trace_event JSON for Perfetto / chrome://tracing
+//	-epochs     with -trace, scheduling epochs to run (fresh population each)
+//	-events-out with -trace, append the flight-recorder event stream to a
+//	        JSONL file, replayable and auditable with cooper-replay
 package main
 
 import (
@@ -49,6 +52,13 @@ func main() {
 	traceOut := flag.String("trace-out", "",
 		"with -trace, also export the span tree as Chrome trace_event JSON "+
 			"to this file (open in ui.perfetto.dev or chrome://tracing)")
+	epochs := flag.Int("epochs", 1,
+		"with -trace, scheduling epochs to run, each over a freshly "+
+			"sampled population")
+	eventsOut := flag.String("events-out", "",
+		"with -trace, append the flight-recorder event stream (epoch "+
+			"snapshots included) to this JSONL file — replayable and "+
+			"auditable with cooper-replay, parity with cooperd -events-out")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cooper-sim [flags] <experiment>\n\n"+
 			"experiments: %s\n\nflags:\n", strings.Join(simcli.Names(), " "))
@@ -58,7 +68,8 @@ func main() {
 
 	if *trace {
 		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick,
-			Workers: *workers, JSON: *jsonOut, TraceOut: *traceOut}
+			Workers: *workers, JSON: *jsonOut, TraceOut: *traceOut,
+			Epochs: *epochs, EventsOut: *eventsOut}
 		if *n == 1000 {
 			opts.N = 64 // tracing one epoch needs no paper-scale population
 		}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"cooper/internal/arch"
+	"cooper/internal/audit"
 	"cooper/internal/faults"
 	"cooper/internal/netproto"
 	"cooper/internal/policy"
@@ -347,6 +348,22 @@ func TestEventLogCompleteAndDeterministic(t *testing.T) {
 		byType[telemetry.EventRematchRound] < snap.Counter("epoch.degraded") {
 		t.Errorf("rematch_round events = %d, want >= epoch.degraded = %d",
 			byType[telemetry.EventRematchRound], snap.Counter("epoch.degraded"))
+	}
+
+	// The invariant auditor must pass the sink's recording end to end:
+	// every epoch's pairing conserves against its snapshot matrix, every
+	// agent is accounted for, every lifecycle transition is legal. (The
+	// interleaved fault/rejoin events carry Seqs of their own, so the
+	// stream stays gap-free; the auditor reads past them.)
+	rep := audit.Replay(sunk, audit.Options{})
+	for _, w := range rep.Warnings {
+		t.Logf("audit warning: %s", w)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("audit violation: %s", v)
+	}
+	if rep.Epochs != soakEpochs {
+		t.Errorf("audit replayed %d epochs, want %d", rep.Epochs, soakEpochs)
 	}
 
 	// Determinism: a second run of the identical plan yields the identical

@@ -39,6 +39,7 @@ import (
 	"syscall"
 
 	"cooper/internal/arch"
+	"cooper/internal/audit"
 	"cooper/internal/core"
 	"cooper/internal/faults"
 	"cooper/internal/netproto"
@@ -79,6 +80,14 @@ func main() {
 	eventsOut := flag.String("events-out", "",
 		"append the flight-recorder event stream to this JSONL file as it "+
 			"is recorded (every event, not just the ring's retained tail)")
+	auditOn := flag.Bool("audit", false,
+		"run the live invariant auditor on the event stream: violations are "+
+			"recorded as invariant_violated events, counted under "+
+			"audit.violations.*, and fail the exit status")
+	auditAlpha := flag.Float64("audit-alpha", -1,
+		"declare a stability contract α in each epoch snapshot: auditors "+
+			"(live or cooper-replay) flag any blocking pair where both agents "+
+			"gain more than α; negative declares no contract")
 	flag.Parse()
 
 	pol, err := policy.ByName(*policyName)
@@ -87,17 +96,14 @@ func main() {
 	}
 
 	tel := telemetry.New()
+	var sinkFile *os.File
 	if *eventsOut != "" {
 		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := tel.Events.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "cooperd: event sink:", err)
-			}
-			f.Close()
-		}()
+		sinkFile = f
+		defer f.Close()
 		tel.Events.SetSink(f)
 		fmt.Printf("cooperd: recording events to %s\n", *eventsOut)
 	}
@@ -147,17 +153,19 @@ func main() {
 
 	reg := tel.Registry()
 	srv := &netproto.Server{
-		Epoch:        *epoch,
-		Epochs:       *epochs,
-		Policy:       pol,
-		Catalog:      fw.Catalog(),
-		Penalties:    fw.PredictedPenalties(),
-		Seed:         *seed,
-		Metrics:      reg,
-		Events:       tel.Events,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		EpochTimeout: *epochTimeout,
+		Epoch:          *epoch,
+		Epochs:         *epochs,
+		Policy:         pol,
+		Catalog:        fw.Catalog(),
+		Penalties:      fw.PredictedPenalties(),
+		Seed:           *seed,
+		Metrics:        reg,
+		Events:         tel.Events,
+		StabilityAlpha: *auditAlpha,
+		AuditStability: *auditAlpha >= 0,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		EpochTimeout:   *epochTimeout,
 		OnEpoch: func(e int, sum netproto.Message) {
 			fmt.Printf("cooperd: epoch %d done: mean penalty %.4f, %d break-aways, %d participating\n",
 				e, sum.MeanPenalty, sum.BreakAways, sum.Participating)
@@ -167,6 +175,24 @@ func main() {
 		srv.Faults = faults.NewPlan(faults.Hostile(*chaosSeed), reg, nil)
 		srv.Faults.SetEvents(tel.Events)
 		fmt.Printf("cooperd: CHAOS MODE: injecting faults on every connection (seed %d)\n", *chaosSeed)
+	}
+
+	var auditor *audit.Auditor
+	if *auditOn {
+		// The live auditor rides the flight recorder's observer hook:
+		// every coordinator event flows through the invariant engine, and
+		// each violation loops back into the same stream (Observe filters
+		// the type, so this cannot recurse) plus the audit.violations
+		// counters cooper-top surfaces.
+		reg.Counter("audit.violations")
+		auditor = audit.New(audit.Options{OnViolation: func(v audit.Violation) {
+			reg.Counter("audit.violations").Inc()
+			reg.Counter("audit.violations." + v.Invariant).Inc()
+			tel.Events.Record(v.Event())
+			fmt.Fprintln(os.Stderr, "cooperd: audit:", v)
+		}})
+		tel.Events.SetObserver(auditor.Observe)
+		fmt.Println("cooperd: live invariant auditor armed")
 	}
 
 	if *metricsAddr != "" {
@@ -208,13 +234,39 @@ func main() {
 	if err := reg.WriteJSON(os.Stdout); err != nil {
 		fatal(err)
 	}
+
+	code := 0
+	if auditor != nil {
+		rep := auditor.Finish()
+		fmt.Printf("cooperd: audit: %d events, %d epochs, %d violations\n",
+			rep.Events, rep.Epochs, len(rep.Violations))
+		if !rep.OK() {
+			code = 1
+		}
+	}
+	if sinkFile != nil {
+		// The sink latches its first write error rather than failing the
+		// epoch loop; a silent exit 0 here would let CI trust a truncated
+		// log. Surface it and exit non-zero.
+		if err := tel.Events.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "cooperd: event sink %s failed mid-run: %v — the JSONL log is incomplete, exiting non-zero\n",
+				*eventsOut, err)
+			code = 1
+		}
+	}
+	if code != 0 {
+		fw.Close()
+		sinkFile.Close()
+		os.Exit(code)
+	}
 }
 
 // metricsMux builds the telemetry HTTP handler: /metrics serves the full
 // JSON snapshot (or Prometheus text when the Accept header asks for
 // text/plain), /metrics/prom the Prometheus exposition unconditionally,
 // /debug/vars the expvar-style flat object, /debug/events the flight
-// recorder's retained tail as JSON lines (?n= trims to the newest n),
+// recorder's retained tail as JSON lines (?n= trims to the newest n,
+// default 256, ?n=0 the whole retained tail),
 // /debug/trace the live span tree as Chrome trace_event JSON, and
 // /debug/pprof/ the standard runtime profiles.
 func metricsMux(tel *telemetry.Telemetry) *http.ServeMux {
@@ -249,7 +301,15 @@ func metricsMux(tel *telemetry.Telemetry) *http.ServeMux {
 		ring := tel.EventRing()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
-		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		// Default to the newest 256 events so a bare curl stays bounded
+		// even with a large ring; ?n=0 explicitly asks for the whole
+		// retained tail.
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
 		for _, e := range ring.Tail(n) {
 			if err := enc.Encode(e); err != nil {
 				return

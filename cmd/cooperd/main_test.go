@@ -296,3 +296,54 @@ func TestWantsText(t *testing.T) {
 		}
 	}
 }
+
+// TestDebugEventsBounded covers the /debug/events tail bound: a bare GET
+// returns at most 256 events no matter how large the ring, ?n= trims to
+// the newest n, and ?n=0 explicitly asks for the whole retained tail.
+func TestDebugEventsBounded(t *testing.T) {
+	tel := telemetry.New()
+	const total = 300
+	for i := 0; i < total; i++ {
+		tel.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
+			Epoch: i, Agent: -1, Partner: -1})
+	}
+	ts := httptest.NewServer(metricsMux(tel))
+	defer ts.Close()
+
+	fetch := func(path string) []telemetry.Event {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		events, err := telemetry.ReadEvents(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return events
+	}
+
+	got := fetch("/debug/events")
+	if len(got) != 256 {
+		t.Errorf("bare GET returned %d events, want the 256-newest default", len(got))
+	}
+	if got[len(got)-1].Seq != total-1 || got[0].Seq != total-256 {
+		t.Errorf("default tail spans seq %d..%d, want %d..%d",
+			got[0].Seq, got[len(got)-1].Seq, total-256, total-1)
+	}
+
+	got = fetch("/debug/events?n=10")
+	if len(got) != 10 || got[len(got)-1].Seq != total-1 {
+		t.Errorf("?n=10 returned %d events ending at seq %d", len(got), got[len(got)-1].Seq)
+	}
+
+	if got = fetch("/debug/events?n=0"); len(got) != total {
+		t.Errorf("?n=0 returned %d events, want the whole retained tail (%d)", len(got), total)
+	}
+
+	// Garbage stays on the bounded default rather than erroring.
+	if got = fetch("/debug/events?n=bogus"); len(got) != 256 {
+		t.Errorf("?n=bogus returned %d events, want the 256 default", len(got))
+	}
+}

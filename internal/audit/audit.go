@@ -1,0 +1,723 @@
+// Package audit checks Cooper's epoch invariants against the flight
+// recorder's typed event stream. The paper's central claim is
+// game-theoretic (stability measured as blocking pairs vs α, Figure 10),
+// and the epoch loop is exactly the code the roadmap's next refactors
+// rewrite — so the event log doubles as a correctness oracle: every
+// epoch_snapshot pins the inputs (roster, penalty matrix, seed, policy),
+// and the Auditor replays the matching arithmetic from the log alone.
+//
+// Invariants, in the order a violation names them:
+//
+//   - stability: when a snapshot (or the caller) declares a contract
+//     α >= 0, the final matching of every round admits no blocking pair
+//     in which both agents gain strictly more than α (recomputed via
+//     matching.AlphaBlockingPairs on the snapshot's penalty matrix).
+//   - conservation: each pair_matched Predicted penalty equals the
+//     snapshot matrix entry for the pair's jobs bit for bit, and the
+//     per-agent penalties, summed in roster order, reproduce the
+//     epoch_end mean exactly (epoch_end.Value for wire logs,
+//     epoch_end.Predicted for in-process logs).
+//   - coverage: every agent in the round's population is matched or
+//     explicitly unpaired, exactly once.
+//   - lifecycle: agents follow registered → matched* → reaped; no
+//     double registrations, no reaping unknown agents, no roster
+//     mutations mid-epoch, and the derived roster agrees with every
+//     snapshot's.
+//   - bracket: epoch_start/epoch_end alternate with matching epoch
+//     indices, and per-epoch events land inside their epoch.
+//   - snapshot: epoch_snapshot payloads parse, are structurally sound,
+//     and reproduce their own digests.
+//
+// The engine runs in two modes. Offline (Feed/Replay, cooper-replay) it
+// consumes a complete JSONL stream and also tracks Seq continuity — a
+// gap degrades to a warning (ring overflow and truncated logs are facts
+// of life, not bugs) and the roster resynchronizes at the next
+// epoch_snapshot, which is what makes a /debug/events tail auditable.
+// Live (Observe, cooperd -audit) it hangs off EventRing.SetObserver,
+// where Seq continuity is meaningless: fault-injection events recorded
+// by connection goroutines punch holes in the observed sequence, so
+// Observe filters those types and skips gap tracking entirely.
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cooper/internal/matching"
+	"cooper/internal/telemetry"
+)
+
+// Invariant names, as Violation.Invariant carries them and the
+// audit.violations.<name> counters count them.
+const (
+	InvStability    = "stability"
+	InvConservation = "conservation"
+	InvCoverage     = "coverage"
+	InvLifecycle    = "lifecycle"
+	InvBracket      = "bracket"
+	InvSnapshot     = "snapshot"
+)
+
+// Violation is one invariant failure, pinned to the event evidence that
+// proves it.
+type Violation struct {
+	// Invariant is one of the Inv* names.
+	Invariant string
+	// Epoch is the scheduling epoch the violation belongs to (-1 when
+	// not tied to one).
+	Epoch int
+	// SeqStart and SeqEnd bound the evidence: for a single-event
+	// violation they are equal; for a whole-round check (coverage,
+	// conservation, stability) they span epoch_start to the closing
+	// event.
+	SeqStart, SeqEnd int64
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+func (v Violation) String() string {
+	seq := fmt.Sprintf("seq %d", v.SeqStart)
+	if v.SeqEnd != v.SeqStart {
+		seq = fmt.Sprintf("seq %d..%d", v.SeqStart, v.SeqEnd)
+	}
+	return fmt.Sprintf("%s: epoch %d %s: %s", v.Invariant, v.Epoch, seq, v.Detail)
+}
+
+// Event converts the violation into its flight-recorder form, so a live
+// auditor's findings land in the same stream it audits (and Observe
+// ignores the type, closing the loop).
+func (v Violation) Event() telemetry.Event {
+	return telemetry.Event{
+		Type: telemetry.EventInvariantViolated, Epoch: v.Epoch,
+		Agent: -1, Partner: -1, Kind: v.Invariant,
+		Value: float64(v.SeqStart), Data: v.Detail,
+	}
+}
+
+// Report is the outcome of an audit pass.
+type Report struct {
+	// Events is how many events the auditor consumed, Epochs how many
+	// completed epochs it saw, Pairs how many pair_matched records.
+	Events int
+	Epochs int
+	Pairs  int
+	// BlockingPairs counts the blocking pairs observed at α = 0 across
+	// all audited rounds — informational (Figure 10's measurement), a
+	// violation only under a declared contract.
+	BlockingPairs int
+	// Violations are the invariant failures, in stream order.
+	Violations []Violation
+	// Warnings note conditions that degrade the audit without failing
+	// it: Seq gaps (ring overflow, truncated logs), epochs without
+	// snapshots, a log ending mid-epoch.
+	Warnings []string
+}
+
+// OK reports whether the pass found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Options configures an Auditor.
+type Options struct {
+	// Alpha, when ForceAlpha is set, imposes a stability contract on
+	// every audited round regardless of what the snapshots declare
+	// (cooper-replay -alpha). Without ForceAlpha the contract comes
+	// from each snapshot's Alpha field, negative meaning none.
+	Alpha      float64
+	ForceAlpha bool
+	// OnViolation, when non-nil, is invoked synchronously with each
+	// violation as it is found — the live path turns them into
+	// invariant_violated events and audit.violations counters.
+	OnViolation func(Violation)
+}
+
+// rosterEntry is one agent in session order.
+type rosterEntry struct {
+	id  int
+	job string
+}
+
+// pairRec is one recorded colocation within a round.
+type pairRec struct {
+	a, b int // wire IDs (or core indices), a = emitting side
+	pred float64
+	seq  int64
+}
+
+// segment is one assignment round's worth of state: the population the
+// assignments were pushed to, and what was pushed. A degraded epoch has
+// several segments, delimited by rematch_round events; only the last
+// one carries the epoch's accounting.
+type segment struct {
+	roster   []rosterEntry
+	pairs    []pairRec
+	partner  map[int]int  // both directions
+	unpaired map[int]bool // explicit solos
+	trusted  bool         // roster believed authoritative
+}
+
+// Auditor is the invariant engine. It is a state machine over the event
+// stream; feed it events in order via Feed (offline) or Observe (live),
+// then Finish. Safe for concurrent use.
+type Auditor struct {
+	mu   sync.Mutex
+	opts Options
+	rep  Report
+
+	started bool
+	lastSeq int64
+	// synced marks the derived roster authoritative: the stream was
+	// consumed gap-free from Seq 0, or a snapshot resynchronized it.
+	synced bool
+
+	roster []rosterEntry // wire session order, across epochs
+
+	inEpoch       bool
+	curEpoch      int
+	lastEpoch     int
+	haveLastEpoch bool
+	epochStartSeq int64
+	source        string // last snapshot's Source, "" before any
+
+	snap   *telemetry.EpochSnapshot // current epoch's, nil if none yet
+	jobIdx map[string]int           // catalog name -> matrix index
+
+	seg segment
+}
+
+// New returns an Auditor ready to consume a stream from its beginning.
+func New(opts Options) *Auditor {
+	return &Auditor{opts: opts, lastEpoch: -1}
+}
+
+// Feed consumes one event of an offline stream, tracking Seq
+// continuity: a gap (or a stream starting past Seq 0) is warned about
+// and desynchronizes the derived roster until the next snapshot.
+func (a *Auditor) Feed(e telemetry.Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.started {
+		a.started = true
+		if e.Seq == 0 {
+			a.synced = true
+		} else {
+			a.warnf("stream starts at seq %d, not 0 (ring tail?); roster resynchronizes at the next epoch_snapshot", e.Seq)
+		}
+	} else if e.Seq != a.lastSeq+1 {
+		a.warnf("seq gap %d -> %d (events.dropped overflow or truncated log); roster resynchronizes at the next epoch_snapshot", a.lastSeq, e.Seq)
+		a.synced = false
+		a.seg.trusted = false
+	}
+	a.lastSeq = e.Seq
+	a.feed(e)
+}
+
+// Observe consumes one live event from EventRing.SetObserver. Event
+// types recorded off the coordinator goroutine (fault injections,
+// rejoin schedules) and the auditor's own violation records are
+// filtered out, and no Seq continuity is tracked — the filtered types
+// make gaps routine.
+func (a *Auditor) Observe(e telemetry.Event) {
+	switch e.Type {
+	case telemetry.EventFaultInjected, telemetry.EventAgentRejoined,
+		telemetry.EventInvariantViolated:
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.started {
+		a.started = true
+		a.synced = true
+	}
+	a.lastSeq = e.Seq
+	a.feed(e)
+}
+
+// Finish flags a stream that ends mid-epoch and returns the report. The
+// auditor remains usable (a live dashboard can snapshot periodically),
+// but the mid-epoch warning repeats on each call while an epoch is
+// open.
+func (a *Auditor) Finish() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inEpoch {
+		a.warnf("stream ends inside epoch %d (truncated log or live tail); its checks were skipped", a.curEpoch)
+	}
+	rep := a.rep
+	rep.Violations = append([]Violation(nil), a.rep.Violations...)
+	rep.Warnings = append([]string(nil), a.rep.Warnings...)
+	return &rep
+}
+
+// Replay audits a complete event stream in one call.
+func Replay(events []telemetry.Event, opts Options) *Report {
+	a := New(opts)
+	for _, e := range events {
+		a.Feed(e)
+	}
+	return a.Finish()
+}
+
+func (a *Auditor) warnf(format string, args ...any) {
+	a.rep.Warnings = append(a.rep.Warnings, fmt.Sprintf(format, args...))
+}
+
+func (a *Auditor) violate(inv string, epoch int, seqStart, seqEnd int64, format string, args ...any) {
+	v := Violation{Invariant: inv, Epoch: epoch,
+		SeqStart: seqStart, SeqEnd: seqEnd, Detail: fmt.Sprintf(format, args...)}
+	a.rep.Violations = append(a.rep.Violations, v)
+	if a.opts.OnViolation != nil {
+		a.opts.OnViolation(v)
+	}
+}
+
+func (a *Auditor) rosterIndex(id int) int {
+	for i, r := range a.roster {
+		if r.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// feed dispatches one event. Caller holds a.mu.
+func (a *Auditor) feed(e telemetry.Event) {
+	a.rep.Events++
+	switch e.Type {
+	case telemetry.EventAgentRegistered:
+		a.onRegistered(e)
+	case telemetry.EventAgentReaped:
+		a.onReaped(e)
+	case telemetry.EventEpochStart:
+		a.onEpochStart(e)
+	case telemetry.EventEpochSnapshot:
+		a.onSnapshot(e)
+	case telemetry.EventRematchRound:
+		a.onRematch(e)
+	case telemetry.EventPairMatched:
+		a.onPair(e)
+	case telemetry.EventAgentUnpaired:
+		a.onUnpaired(e)
+	case telemetry.EventEpochEnd:
+		a.onEpochEnd(e)
+	}
+	// Everything else (cache_hit_rate, batch_scheduled, fault noise) is
+	// outside the epoch state machine.
+}
+
+func (a *Auditor) onRegistered(e telemetry.Event) {
+	if a.inEpoch {
+		a.violate(InvLifecycle, a.curEpoch, e.Seq, e.Seq,
+			"agent %d registered mid-epoch; admissions happen only at epoch boundaries", e.Agent)
+	}
+	if a.rosterIndex(e.Agent) >= 0 {
+		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
+			"agent %d registered twice without an intervening reap", e.Agent)
+		return
+	}
+	a.roster = append(a.roster, rosterEntry{id: e.Agent, job: e.Job})
+}
+
+func (a *Auditor) onReaped(e telemetry.Event) {
+	i := a.rosterIndex(e.Agent)
+	if i < 0 {
+		if a.synced {
+			a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
+				"agent %d reaped but never registered", e.Agent)
+		}
+		return
+	}
+	// Reaps land inside epochs only (write/read failures and
+	// post-summary cleanup). They shrink the roster for the *next*
+	// round; the current segment's population — assignments were
+	// already pushed — stays as captured.
+	if !a.inEpoch && a.synced {
+		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
+			"agent %d reaped outside any epoch", e.Agent)
+	}
+	a.roster = append(a.roster[:i], a.roster[i+1:]...)
+}
+
+func (a *Auditor) onEpochStart(e telemetry.Event) {
+	if a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
+			"epoch %d starts while epoch %d is still open", e.Epoch, a.curEpoch)
+	}
+	if a.haveLastEpoch && a.synced && e.Epoch != a.lastEpoch+1 {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
+			"epoch index %d follows completed epoch %d", e.Epoch, a.lastEpoch)
+	}
+	if a.synced && a.source == telemetry.SnapshotSourceWire &&
+		int(e.Value) != len(a.roster) {
+		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
+			"epoch_start population %d but derived roster has %d agents",
+			int(e.Value), len(a.roster))
+	}
+	a.inEpoch = true
+	a.curEpoch = e.Epoch
+	a.epochStartSeq = e.Seq
+	a.snap = nil
+	a.jobIdx = nil
+	a.resetSegment()
+}
+
+// resetSegment captures the current roster as a fresh round's
+// population.
+func (a *Auditor) resetSegment() {
+	a.seg = segment{
+		roster:   append([]rosterEntry(nil), a.roster...),
+		partner:  make(map[int]int),
+		unpaired: make(map[int]bool),
+		trusted:  a.synced,
+	}
+}
+
+func (a *Auditor) onSnapshot(e telemetry.Event) {
+	snap, err := e.SnapshotPayload()
+	if err != nil {
+		a.violate(InvSnapshot, e.Epoch, e.Seq, e.Seq, "unparseable payload: %v", err)
+		return
+	}
+	if !a.inEpoch || snap.Epoch != a.curEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
+			"epoch_snapshot for epoch %d outside its epoch", snap.Epoch)
+	}
+	bad := false
+	if len(snap.Agents) != len(snap.Jobs) {
+		a.violate(InvSnapshot, e.Epoch, e.Seq, e.Seq,
+			"%d agents but %d jobs", len(snap.Agents), len(snap.Jobs))
+		bad = true
+	}
+	if len(snap.Matrix) != len(snap.Catalog) {
+		a.violate(InvSnapshot, e.Epoch, e.Seq, e.Seq,
+			"matrix has %d rows for %d catalog jobs", len(snap.Matrix), len(snap.Catalog))
+		bad = true
+	}
+	for i, row := range snap.Matrix {
+		if len(row) != len(snap.Catalog) {
+			a.violate(InvSnapshot, e.Epoch, e.Seq, e.Seq,
+				"matrix row %d has %d entries for %d catalog jobs", i, len(row), len(snap.Catalog))
+			bad = true
+			break
+		}
+	}
+	if got := telemetry.PopulationDigest(snap.Agents, snap.Jobs); got != snap.PopDigest {
+		a.violate(InvSnapshot, e.Epoch, e.Seq, e.Seq,
+			"population digest %s does not reproduce recorded %s", got, snap.PopDigest)
+		bad = true
+	}
+	if got := telemetry.PenaltyMatrixDigest(snap.Catalog, snap.Matrix); got != snap.MatrixDigest {
+		a.violate(InvSnapshot, e.Epoch, e.Seq, e.Seq,
+			"matrix digest %s does not reproduce recorded %s", got, snap.MatrixDigest)
+		bad = true
+	}
+	if bad {
+		return
+	}
+	a.source = snap.Source
+	snapRoster := make([]rosterEntry, len(snap.Agents))
+	for i, id := range snap.Agents {
+		snapRoster[i] = rosterEntry{id: id, job: snap.Jobs[i]}
+	}
+	if snap.Source == telemetry.SnapshotSourceCore {
+		// In-process epochs are self-contained: agents are epoch-local
+		// indices with no lifecycle events, so the snapshot IS the
+		// roster.
+		a.roster = snapRoster
+	} else if a.synced {
+		if !rostersEqual(a.roster, snapRoster) {
+			a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
+				"snapshot roster %v disagrees with roster %v derived from lifecycle events",
+				rosterIDs(snapRoster), rosterIDs(a.roster))
+		}
+	} else {
+		// Mid-stream resync: adopt the snapshot's authoritative roster.
+		a.roster = snapRoster
+		a.synced = true
+	}
+	a.snap = snap
+	a.jobIdx = make(map[string]int, len(snap.Catalog))
+	for i, name := range snap.Catalog {
+		a.jobIdx[name] = i
+	}
+	a.resetSegment()
+}
+
+func rostersEqual(a, b []rosterEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rosterIDs(r []rosterEntry) []int {
+	ids := make([]int, len(r))
+	for i, e := range r {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+func (a *Auditor) onRematch(e telemetry.Event) {
+	if !a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq, "rematch_round outside any epoch")
+		return
+	}
+	// The superseded round still had assignments pushed to its whole
+	// population, so it must satisfy coverage and stability; only the
+	// accounting (which the epoch summary reports for the final round
+	// alone) is skipped.
+	a.checkSegment(e, false)
+	a.resetSegment()
+	if a.seg.trusted && int(e.Value) != len(a.roster) {
+		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
+			"rematch_round population %d but derived roster has %d agents",
+			int(e.Value), len(a.roster))
+	}
+}
+
+func (a *Auditor) onPair(e telemetry.Event) {
+	a.rep.Pairs++
+	if !a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
+			"pair_matched %d+%d outside any epoch", e.Agent, e.Partner)
+		return
+	}
+	if e.Agent == e.Partner {
+		a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq, "agent %d matched with itself", e.Agent)
+		return
+	}
+	for _, id := range [2]int{e.Agent, e.Partner} {
+		if p, dup := a.seg.partner[id]; dup {
+			a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq,
+				"agent %d matched twice in one round (with %d, then %d)", id, p, e.Agent+e.Partner-id)
+		}
+		if a.seg.unpaired[id] {
+			a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq,
+				"agent %d both unpaired and matched in one round", id)
+		}
+	}
+	a.seg.partner[e.Agent] = e.Partner
+	a.seg.partner[e.Partner] = e.Agent
+	a.seg.pairs = append(a.seg.pairs, pairRec{a: e.Agent, b: e.Partner, pred: e.Predicted, seq: e.Seq})
+}
+
+func (a *Auditor) onUnpaired(e telemetry.Event) {
+	if !a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
+			"agent_unpaired %d outside any epoch", e.Agent)
+		return
+	}
+	if _, dup := a.seg.partner[e.Agent]; dup || a.seg.unpaired[e.Agent] {
+		a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq,
+			"agent %d assigned twice in one round", e.Agent)
+		return
+	}
+	a.seg.unpaired[e.Agent] = true
+}
+
+func (a *Auditor) onEpochEnd(e telemetry.Event) {
+	if !a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq, "epoch_end without epoch_start")
+		return
+	}
+	if e.Epoch != a.curEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
+			"epoch_end for epoch %d closes epoch %d", e.Epoch, a.curEpoch)
+	}
+	a.checkSegment(e, true)
+	a.inEpoch = false
+	a.lastEpoch = a.curEpoch
+	a.haveLastEpoch = true
+	a.rep.Epochs++
+	if a.source == telemetry.SnapshotSourceCore {
+		// Core rosters are epoch-local; the next epoch brings its own.
+		a.roster = nil
+	}
+}
+
+// alpha resolves the stability contract for the current epoch: the
+// forced override, else the snapshot's declaration. Negative means no
+// contract.
+func (a *Auditor) alpha() float64 {
+	if a.opts.ForceAlpha {
+		return a.opts.Alpha
+	}
+	if a.snap != nil {
+		return a.snap.Alpha
+	}
+	return -1
+}
+
+// checkSegment runs the per-round invariants against the closing event
+// (a rematch_round for superseded rounds, the epoch_end for the final
+// one). Accounting runs only on the final round, which is the one the
+// epoch summary reports.
+func (a *Auditor) checkSegment(end telemetry.Event, final bool) {
+	seg := &a.seg
+	if !seg.trusted {
+		// Either no authoritative roster vouches for this population, or
+		// a Seq gap mid-round means assignments may simply be missing
+		// from the stream — flagging them as coverage violations would
+		// turn ring overflow into false alarms.
+		a.warnf("epoch %d round unchecked: no authoritative roster or events lost mid-round (seq %d..%d)",
+			a.curEpoch, a.epochStartSeq, end.Seq)
+		return
+	}
+	n := len(seg.roster)
+	idx := make(map[int]int, n)
+	for i, r := range seg.roster {
+		idx[r.id] = i
+	}
+
+	// Membership: assignments must name population agents.
+	for _, p := range seg.pairs {
+		for _, id := range [2]int{p.a, p.b} {
+			if _, ok := idx[id]; !ok {
+				a.violate(InvCoverage, a.curEpoch, p.seq, p.seq,
+					"pair_matched names agent %d, not in this round's population", id)
+			}
+		}
+	}
+	for id := range seg.unpaired {
+		if _, ok := idx[id]; !ok {
+			a.violate(InvCoverage, a.curEpoch, a.epochStartSeq, end.Seq,
+				"agent_unpaired names agent %d, not in this round's population", id)
+		}
+	}
+	// Coverage: every population agent assigned exactly once (double
+	// assignment was already flagged at record time).
+	var missing []int
+	for _, r := range seg.roster {
+		if _, ok := seg.partner[r.id]; !ok && !seg.unpaired[r.id] {
+			missing = append(missing, r.id)
+		}
+	}
+	if len(missing) > 0 {
+		a.violate(InvCoverage, a.curEpoch, a.epochStartSeq, end.Seq,
+			"agents %v neither matched nor explicitly unpaired this round", missing)
+	}
+
+	if a.snap == nil {
+		if final {
+			a.warnf("epoch %d has no epoch_snapshot (older log format?): penalty checks skipped", a.curEpoch)
+		}
+		return
+	}
+
+	// Reconstruct the index-space matching and the agent-level penalty
+	// matrix from the snapshot's job-level one. ExpandToAgents zeroes
+	// only the self-diagonal, which no real pair hits, so every
+	// agent-level penalty is an exact matrix lookup.
+	pen := func(i, j int) (float64, bool) {
+		ji, oki := a.jobIdx[seg.roster[i].job]
+		jj, okj := a.jobIdx[seg.roster[j].job]
+		if !oki || !okj {
+			return 0, false
+		}
+		return a.snap.Matrix[ji][jj], true
+	}
+	match := make(matching.Matching, n)
+	for i := range match {
+		match[i] = matching.Unmatched
+	}
+	for _, p := range seg.pairs {
+		i, oki := idx[p.a]
+		j, okj := idx[p.b]
+		if !oki || !okj {
+			continue // already flagged above
+		}
+		match[i], match[j] = j, i
+		want, ok := pen(i, j)
+		if !ok {
+			a.violate(InvSnapshot, a.curEpoch, p.seq, p.seq,
+				"pair %d+%d runs a job missing from the snapshot catalog", p.a, p.b)
+			continue
+		}
+		if math.Float64bits(p.pred) != math.Float64bits(want) {
+			a.violate(InvConservation, a.curEpoch, p.seq, p.seq,
+				"pair %d+%d predicted penalty %v, but the snapshot matrix says %v",
+				p.a, p.b, p.pred, want)
+		}
+	}
+
+	// Conservation: replay the epoch accounting — the sum runs in
+	// roster (session) order, exactly as the coordinator's loop does,
+	// so the float association matches and equality is bit-for-bit.
+	if final && n > 0 {
+		var sum float64
+		complete := true
+		for i := range seg.roster {
+			if match[i] == matching.Unmatched {
+				continue
+			}
+			v, ok := pen(i, match[i])
+			if !ok {
+				complete = false
+				break
+			}
+			sum += v
+		}
+		want := sum / float64(n)
+		got := end.Value
+		if a.snap.Source == telemetry.SnapshotSourceCore {
+			// In-process epochs report the oracle mean in Value (not
+			// recomputable from the log) and the matrix-derived mean in
+			// Predicted.
+			got = end.Predicted
+		}
+		if complete && math.Float64bits(got) != math.Float64bits(want) {
+			a.violate(InvConservation, a.curEpoch, a.epochStartSeq, end.Seq,
+				"epoch reports mean penalty %v, but the pair penalties sum to %v", got, want)
+		}
+	}
+
+	// Stability: recompute blocking pairs over the full agent-level
+	// matrix. At α = 0 the count is informational (Figure 10's
+	// measurement); under a declared contract any pair is a violation.
+	if n > 1 {
+		d := make([][]float64, n)
+		ok := true
+		for i := range d {
+			d[i] = make([]float64, n)
+			for j := range d[i] {
+				if i == j {
+					continue
+				}
+				v, found := pen(i, j)
+				if !found {
+					ok = false
+					break
+				}
+				d[i][j] = v
+			}
+		}
+		if ok {
+			a.rep.BlockingPairs += len(matching.AlphaBlockingPairs(match, d, 0))
+			if alpha := a.alpha(); alpha >= 0 {
+				for _, bp := range matching.AlphaBlockingPairs(match, d, alpha) {
+					i, j := bp[0], bp[1]
+					gainI := soloPen(d, match, i) - d[i][j]
+					gainJ := soloPen(d, match, j) - d[j][i]
+					a.violate(InvStability, a.curEpoch, a.epochStartSeq, end.Seq,
+						"agents %d and %d block the matching: both gain more than α=%v by defecting (%v and %v)",
+						seg.roster[i].id, seg.roster[j].id, alpha, gainI, gainJ)
+				}
+			}
+		}
+	}
+}
+
+// soloPen is agent i's penalty under its current assignment (0 when
+// unmatched, as solo agents run alone).
+func soloPen(d [][]float64, match matching.Matching, i int) float64 {
+	if match[i] == matching.Unmatched {
+		return 0
+	}
+	return d[i][match[i]]
+}

@@ -390,6 +390,30 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		Type: telemetry.EventEpochStart, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: float64(n),
 	})
+	if f.tel.EventRing() != nil {
+		// Pin the epoch's inputs so an -events-out log is self-contained
+		// for cooper-replay: in-process agents are their epoch-local
+		// indices, and the matrix is the job-level predicted penalties the
+		// policy actually saw. α is recorded as "no contract" — the
+		// framework counts blocking pairs as a result (Figure 10), it does
+		// not promise their absence.
+		agents := make([]int, n)
+		jobs := make([]string, n)
+		for i, job := range pop.Jobs {
+			agents[i] = i
+			jobs[i] = job.Name
+		}
+		catalog := make([]string, len(f.catalog))
+		for i, job := range f.catalog {
+			catalog[i] = job.Name
+		}
+		f.tel.Record(telemetry.EpochSnapshot{
+			Epoch: epochIdx, Source: telemetry.SnapshotSourceCore,
+			Policy: f.opts.Policy.Name(), Seed: f.opts.Seed, Alpha: -1,
+			Agents: agents, Jobs: jobs,
+			Catalog: catalog, Matrix: f.predicted,
+		}.Event())
+	}
 	predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
 	if err != nil {
 		return nil, err
@@ -450,11 +474,19 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		Recommendations:  recs,
 		BlockingPairs:    agent.BlockingPairsFromRecommendations(recs),
 	}
+	var meanPred float64
 	for i, j := range match {
 		if j != matching.Unmatched {
 			rep.PredictedPenalty[i] = predD[i][j]
+			meanPred += predD[i][j]
 		}
-		if j != matching.Unmatched && i < j {
+		switch {
+		case j == matching.Unmatched:
+			f.tel.Record(telemetry.Event{
+				Type: telemetry.EventAgentUnpaired, Epoch: epochIdx,
+				Agent: i, Partner: -1, Job: pop.Jobs[i].Name,
+			})
+		case i < j:
 			// One flight-recorder record per colocation, predicted next
 			// to oracle truth — the per-pair accuracy residual the
 			// paper's Figure 5 aggregates.
@@ -465,6 +497,7 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 			})
 		}
 	}
+	meanPred /= float64(n)
 	assess.SetAttr("breakaways", rep.BreakAwayCount())
 	assess.SetAttr("blocking_pairs", len(rep.BlockingPairs))
 	f.tel.End(assess)
@@ -510,9 +543,13 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		Type: telemetry.EventCacheHitRate, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: f.cache.HitRate(),
 	})
+	// Value is the oracle mean (what the dashboards chart); Predicted is
+	// the matrix-derived mean an offline auditor can recompute from the
+	// epoch snapshot alone, bit for bit.
 	f.tel.Record(telemetry.Event{
 		Type: telemetry.EventEpochEnd, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: rep.MeanTruePenalty(),
+		Predicted: meanPred,
 	})
 	return rep, nil
 }

@@ -29,6 +29,7 @@ import (
 	"testing"
 	"time"
 
+	"cooper/internal/audit"
 	"cooper/internal/faults"
 	"cooper/internal/policy"
 	"cooper/internal/telemetry"
@@ -254,9 +255,12 @@ func (h *chaosHarness) finishSoak() {
 	h.cond.Broadcast()
 }
 
-// runChaosSoak runs the full soak once and returns the registry and the
-// per-epoch summaries.
-func runChaosSoak(t *testing.T, seed int64) (*telemetry.Registry, []Message, *chaosHarness) {
+// runChaosSoak runs the full soak once and returns the registry, the
+// per-epoch summaries, the harness, and the coordinator's flight
+// recording (faults are client-side here, so the ring holds only
+// Serve-goroutine events — a gap-free stream the invariant auditor can
+// hold to the full suite).
+func runChaosSoak(t *testing.T, seed int64) (*telemetry.Registry, []Message, *chaosHarness, *telemetry.EventRing) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	cfg := chaosConfig(seed)
@@ -269,6 +273,7 @@ func runChaosSoak(t *testing.T, seed int64) (*telemetry.Registry, []Message, *ch
 	srv.Epochs = chaosEpochs
 	srv.Metrics = reg
 	srv.Seed = 7
+	srv.Events = telemetry.NewEventRing(telemetry.DefaultEventRingSize)
 	srv.ReadTimeout = 75 * time.Millisecond
 	srv.WriteTimeout = 75 * time.Millisecond
 	// Generous on purpose: the epoch deadline must never bind, or which
@@ -319,7 +324,7 @@ func runChaosSoak(t *testing.T, seed int64) (*telemetry.Registry, []Message, *ch
 	if wedged {
 		t.Fatalf("chaos soak wedged: Serve did not finish %d epochs in 120s", chaosEpochs)
 	}
-	return reg, summaries, h
+	return reg, summaries, h, srv.Events
 }
 
 func TestChaosSoakCompletesAndIsDeterministic(t *testing.T) {
@@ -328,7 +333,7 @@ func TestChaosSoakCompletesAndIsDeterministic(t *testing.T) {
 	}
 	const seed = 20260806
 
-	reg1, summaries, h := runChaosSoak(t, seed)
+	reg1, summaries, h, ring := runChaosSoak(t, seed)
 	if len(summaries) != chaosEpochs {
 		t.Fatalf("completed %d epochs, want %d", len(summaries), chaosEpochs)
 	}
@@ -362,10 +367,29 @@ func TestChaosSoakCompletesAndIsDeterministic(t *testing.T) {
 		t.Errorf("epoch.degraded = %d, want >= 2", got)
 	}
 
+	// The hostile soak must leave a clean flight recording: the invariant
+	// auditor replays the coordinator's event stream and holds it to the
+	// full suite — conservation, coverage, lifecycle, bracketing. Zero
+	// violations gates the soak; a drop/dup/stall plan that corrupted the
+	// coordinator's accounting would surface here.
+	rep := audit.Replay(ring.Events(), audit.Options{})
+	for _, w := range rep.Warnings {
+		t.Logf("audit warning: %s", w)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("audit violation: %s", v)
+	}
+	if rep.Epochs != chaosEpochs {
+		t.Errorf("audit replayed %d epochs, want %d", rep.Epochs, chaosEpochs)
+	}
+	if ring.Dropped() != 0 {
+		t.Errorf("flight recorder overflowed (%d dropped): the audit above was not gap-free", ring.Dropped())
+	}
+
 	// Second run of the identical plan: the fault telemetry must match
 	// counter for counter. (net.stale and net.retry may legitimately vary
 	// with write-vs-deadline races; the injected faults may not.)
-	reg2, summaries2, h2 := runChaosSoak(t, seed)
+	reg2, summaries2, h2, _ := runChaosSoak(t, seed)
 	if len(summaries2) != chaosEpochs {
 		t.Fatalf("rerun completed %d epochs, want %d", len(summaries2), chaosEpochs)
 	}

@@ -152,11 +152,25 @@ type Server struct {
 	Metrics *telemetry.Registry
 	// Events, when non-nil, receives the typed flight-recorder stream:
 	// agent_registered at admission, agent_reaped, rematch_round,
-	// epoch_start/epoch_end, and pair_matched for every assignment push.
-	// All emission happens on the Serve goroutine, so two runs with the
-	// same seed and fault plan produce the same sequence (timestamps
-	// aside). Nil disables recording.
+	// epoch_start/epoch_end, one epoch_snapshot per epoch pinning the
+	// roster and penalty matrix (what makes the log self-contained for
+	// cooper-replay), and pair_matched or agent_unpaired for every
+	// assignment push. All emission happens on the Serve goroutine, so
+	// two runs with the same seed and fault plan produce the same
+	// sequence (timestamps aside). Nil disables recording.
 	Events *telemetry.EventRing
+	// StabilityAlpha is the stability contract recorded in each epoch
+	// snapshot when AuditStability is set: auditors flag any blocking
+	// pair in which both agents would gain strictly more than α by
+	// defecting. Zero is a meaningful (maximally strict) contract, hence
+	// the separate enable bit.
+	StabilityAlpha float64
+	// AuditStability opts the run into the stability contract above.
+	// When false, snapshots record a negative α and auditors report
+	// blocking pairs without failing — the right default, since the
+	// baseline policies (GR, CO, TH) promise no stability and the
+	// marriage policies are stable only within their random partition.
+	AuditStability bool
 	// OnEpoch, when non-nil, is invoked after each epoch with its index
 	// (0-based) and the summary broadcast to the agents.
 	OnEpoch func(epoch int, summary Message)
@@ -574,6 +588,32 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 	}()
 	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
 		Epoch: epoch, Agent: -1, Partner: -1, Value: float64(len(s.sessions))})
+	if s.Events != nil {
+		// Pin this epoch's inputs so the log alone suffices to recompute
+		// matchings and penalties offline. The roster is the epoch-start
+		// population in session order; auditors derive re-match-round
+		// rosters by applying the agent_reaped events that follow.
+		agents := make([]int, len(s.sessions))
+		jobs := make([]string, len(s.sessions))
+		for i, sess := range s.sessions {
+			agents[i] = sess.id
+			jobs[i] = sess.job.Name
+		}
+		catalog := make([]string, len(s.Catalog))
+		for i, job := range s.Catalog {
+			catalog[i] = job.Name
+		}
+		alpha := -1.0
+		if s.AuditStability {
+			alpha = s.StabilityAlpha
+		}
+		s.Events.Record(telemetry.EpochSnapshot{
+			Epoch: epoch, Source: telemetry.SnapshotSourceWire,
+			Policy: s.Policy.Name(), Seed: s.Seed, Alpha: alpha,
+			Agents: agents, Jobs: jobs,
+			Catalog: catalog, Matrix: s.Penalties,
+		}.Event())
+	}
 
 	round := 0
 	for {
@@ -629,6 +669,12 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 						Epoch: epoch, Agent: sess.id, Partner: partner.id,
 						Job: sess.job.Name, Predicted: d[i][match[i]]})
 				}
+			} else {
+				// An explicit solo record (odd population, Threshold
+				// policy): the auditor's coverage invariant needs to tell
+				// "deliberately unpaired" apart from "forgotten".
+				s.Events.Record(telemetry.Event{Type: telemetry.EventAgentUnpaired,
+					Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 			}
 			if err := s.send(sess, msg); err != nil {
 				dead = append(dead, sess)

@@ -34,6 +34,14 @@ type Options struct {
 	// trace_event JSON to this path, openable in Perfetto
 	// (ui.perfetto.dev) or chrome://tracing.
 	TraceOut string
+	// Epochs is how many scheduling epochs Trace runs, each over a
+	// freshly sampled population (0 means 1). With EventsOut this yields
+	// a multi-epoch replayable log.
+	Epochs int
+	// EventsOut, when set, makes Trace append the flight-recorder event
+	// stream — epoch snapshots included — to this JSONL file as it is
+	// recorded: the cooper-replay input, parity with cooperd -events-out.
+	EventsOut string
 }
 
 // Names lists the runnable experiments in presentation order.

@@ -25,6 +25,14 @@ func Trace(w io.Writer, opts Options) error {
 		opts.N = 64
 	}
 	tel := telemetry.New()
+	if opts.EventsOut != "" {
+		f, err := os.OpenFile(opts.EventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tel.Events.SetSink(f)
+	}
 	fw, err := core.New(core.Options{
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
@@ -33,11 +41,27 @@ func Trace(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	pop := fw.SamplePopulation(opts.N, stats.Uniform{})
-	if _, err := fw.RunEpoch(pop); err != nil {
-		return err
+	epochs := opts.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		pop := fw.SamplePopulation(opts.N, stats.Uniform{})
+		if _, err := fw.RunEpoch(pop); err != nil {
+			return err
+		}
 	}
 	tel.Trace.Finish()
+
+	if opts.EventsOut != "" {
+		// The sink latches its first write error instead of failing the
+		// epoch loop; surface it here so a truncated log cannot pass for a
+		// complete one.
+		if err := tel.Events.Err(); err != nil {
+			return fmt.Errorf("event sink %s: %w (the JSONL log is incomplete)", opts.EventsOut, err)
+		}
+		fmt.Fprintf(w, "event log appended to %s (audit with cooper-replay)\n\n", opts.EventsOut)
+	}
 
 	if opts.TraceOut != "" {
 		f, err := os.Create(opts.TraceOut)

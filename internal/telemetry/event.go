@@ -16,7 +16,10 @@ type EventType string
 const (
 	// EventEpochStart opens a scheduling epoch (Value = population size).
 	EventEpochStart EventType = "epoch_start"
-	// EventEpochEnd closes a scheduling epoch (Value = mean penalty).
+	// EventEpochEnd closes a scheduling epoch (Value = mean penalty; for
+	// in-process epochs Value is the oracle mean and Predicted the
+	// matrix-derived mean, which auditors recompute from the epoch
+	// snapshot).
 	EventEpochEnd EventType = "epoch_end"
 	// EventPairMatched records one colocation assignment: Agent with
 	// Partner, Predicted (and, where the oracle is available, True)
@@ -43,6 +46,25 @@ const (
 	// EventBatchScheduled records one coordinator batch: Value = mean
 	// queueing delay in seconds, Queued = jobs still waiting afterwards.
 	EventBatchScheduled EventType = "batch_scheduled"
+	// EventEpochSnapshot pins the inputs of one epoch — seed, policy,
+	// stability contract, the roster in session order, and the job-level
+	// penalty matrix with its digests — as a JSON payload in Data (see
+	// EpochSnapshot). It makes an event log self-contained: internal/audit
+	// and cooper-replay can recompute matchings, penalties, and blocking
+	// pairs from the log alone, and resynchronize mid-stream from a ring
+	// tail.
+	EventEpochSnapshot EventType = "epoch_snapshot"
+	// EventAgentUnpaired records an explicitly solo assignment: the agent
+	// was admitted to the round but matched with no partner (odd
+	// population, Threshold policy, degraded re-match). Emitting it —
+	// rather than emitting nothing — is what lets the auditor's coverage
+	// invariant distinguish "deliberately solo" from "dropped on the
+	// floor".
+	EventAgentUnpaired EventType = "agent_unpaired"
+	// EventInvariantViolated records a live audit failure: Kind is the
+	// invariant (stability, conservation, coverage, lifecycle, bracket,
+	// snapshot), Data the human-readable detail.
+	EventInvariantViolated EventType = "invariant_violated"
 )
 
 // Event is one flight-recorder record: something that happened at a
@@ -82,6 +104,13 @@ type Event struct {
 	// Value is the type-specific payload (population size, mean penalty,
 	// hit rate, ...).
 	Value float64 `json:"value,omitempty"`
+
+	// Data carries a structured payload as a JSON string for event types
+	// that need more than the scalar fields: epoch_snapshot stores an
+	// EpochSnapshot here, invariant_violated its detail message. A string
+	// (not a nested object) so Event stays comparable — determinism tests
+	// and cooper-replay -diff compare events with ==.
+	Data string `json:"data,omitempty"`
 }
 
 // Canon returns the event with its wall-clock stamp zeroed — the
@@ -103,16 +132,17 @@ const DefaultEventRingSize = 4096
 // (the ring bounds memory, not the sink). A nil *EventRing is a valid
 // no-op recorder, like every other telemetry sink.
 type EventRing struct {
-	mu      sync.Mutex
-	buf     []Event
-	start   int // index of the oldest retained event
-	n       int // retained count
-	seq     int64
-	dropped int64
-	dropCtr *Counter // mirrors dropped into a registry (events.dropped)
-	sink    *json.Encoder
-	sinkErr error
-	now     func() time.Time
+	mu       sync.Mutex
+	buf      []Event
+	start    int // index of the oldest retained event
+	n        int // retained count
+	seq      int64
+	dropped  int64
+	dropCtr  *Counter // mirrors dropped into a registry (events.dropped)
+	sink     *json.Encoder
+	sinkErr  error
+	now      func() time.Time
+	observer func(Event)
 }
 
 // NewEventRing returns a ring retaining at most size events (size <= 0
@@ -153,6 +183,22 @@ func (r *EventRing) SetSink(w io.Writer) {
 	r.mu.Unlock()
 }
 
+// SetObserver registers fn to be called with every subsequent record,
+// after it has been stamped and appended. The callback runs outside the
+// ring's lock on the recording goroutine, so it may itself Record (a
+// live auditor turning a violation into an event) without deadlocking;
+// the flip side is that records from different goroutines may reach the
+// observer out of sequence order, so observers needing a total order
+// must sort by Seq or ignore cross-goroutine event types. nil clears.
+func (r *EventRing) SetObserver(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observer = fn
+	r.mu.Unlock()
+}
+
 // Err returns the first sink write error, if any.
 func (r *EventRing) Err() error {
 	if r == nil {
@@ -190,7 +236,11 @@ func (r *EventRing) Record(e Event) {
 			r.sink = nil
 		}
 	}
+	observer := r.observer
 	r.mu.Unlock()
+	if observer != nil {
+		observer(e)
+	}
 }
 
 // Events returns the retained tail, oldest first. The slice is a copy.

@@ -166,6 +166,28 @@ func (m *Model) Frame(now time.Time, snap *telemetry.Snapshot, events []telemetr
 		sb.WriteString(histogramBar(h, 30))
 	}
 
+	if v, ok := snap.Counters["audit.violations"]; ok {
+		// The live auditor (cooperd -audit) pre-creates the counter, so
+		// its presence means auditing is on; zero renders as a clean bill.
+		fmt.Fprintf(&sb, "\naudit violations %d", v)
+		if byInv := snap.CountersWithPrefix("audit.violations."); len(byInv) > 0 {
+			names := make([]string, 0, len(byInv))
+			for name := range byInv {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			sb.WriteString(" (")
+			for i, name := range names {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%s %d", strings.TrimPrefix(name, "audit.violations."), byInv[name])
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
+	}
+
 	if faults := snap.CountersWithPrefix("fault.injected."); len(faults) > 0 {
 		names := make([]string, 0, len(faults))
 		for name := range faults {
@@ -247,6 +269,21 @@ func FormatEvent(e telemetry.Event) string {
 	}
 	if e.Value != 0 {
 		fmt.Fprintf(&b, " value=%.4g", e.Value)
+	}
+	// Structured payloads render as summaries, not raw JSON: a snapshot's
+	// penalty matrix would swamp the dashboard.
+	switch e.Type {
+	case telemetry.EventEpochSnapshot:
+		if s, err := e.SnapshotPayload(); err == nil {
+			fmt.Fprintf(&b, " policy=%s seed=%d pop=%s matrix=%s", s.Policy, s.Seed, s.PopDigest, s.MatrixDigest)
+			if s.Alpha >= 0 {
+				fmt.Fprintf(&b, " alpha=%g", s.Alpha)
+			}
+		}
+	case telemetry.EventInvariantViolated:
+		if e.Data != "" {
+			fmt.Fprintf(&b, " detail=%q", e.Data)
+		}
 	}
 	return b.String()
 }
