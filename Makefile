@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-compare snapshot clean
+.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-compare bench-shard snapshot clean
 
 all: build
 
@@ -50,9 +50,9 @@ audit:
 
 # ci is the full verification gate: static checks, a clean build, the
 # test suite under the race detector, the chaos suite, the flight-log
-# audit round-trip, and a one-iteration benchmark smoke run so
-# benchmarks cannot bit-rot silently.
-ci: lint build race chaos audit bench-smoke
+# audit round-trip, a one-iteration benchmark smoke run so benchmarks
+# cannot bit-rot silently, and the sharded-market smoke gate.
+ci: lint build race chaos audit bench-smoke bench-shard
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
@@ -73,6 +73,15 @@ bench-parallel:
 # n=400 speedup drops below 2x.
 bench-recommend:
 	@$(GO) run ./cmd/bench-compare -recommend-only -recommend-out BENCH_recommend.json
+
+# bench-shard is the sharded-market smoke gate: shards=1 must reproduce
+# the unsharded epoch report byte for byte, and at 5000 agents on a 4+
+# core host the 8-shard market must clear an epoch faster than the
+# all-pairs one. The full agents-vs-epoch-time sweep behind the
+# committed BENCH_shard.json is `go run ./cmd/cooper-loadgen -out ...`.
+bench-shard:
+	@$(GO) run ./cmd/cooper-loadgen -verify
+	@$(GO) run ./cmd/cooper-loadgen -gate
 
 # bench-compare fails if the parallel pipeline regresses below its serial
 # counterpart (beyond a 15% noise allowance). On a single-core host

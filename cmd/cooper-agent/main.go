@@ -14,6 +14,7 @@ import (
 
 	"cooper/internal/faults"
 	"cooper/internal/netproto"
+	"cooper/internal/simcli"
 )
 
 func main() {
@@ -21,28 +22,20 @@ func main() {
 	job := flag.String("job", "", "catalog job to run (e.g. dedup, correlation)")
 	alpha := flag.Float64("alpha", 0.02, "minimum gain before recommending break-away")
 	epochs := flag.Int("epochs", 1, "scheduling rounds to participate in (match the coordinator's -epochs)")
-	dialTimeout := flag.Duration("dial-timeout", 0,
-		"connect (and registration reply) deadline per attempt; 0 means the "+
-			"default (10s), negative disables")
-	retries := flag.Int("retries", 0,
-		"additional dial attempts after a retryable failure, with capped "+
-			"exponential backoff; registration rejections never retry")
-	epochTimeout := flag.Duration("epoch-timeout", 0,
-		"per-message read deadline while waiting on the coordinator; 0 means "+
-			"the default (2m), negative disables")
-	chaosSeed := flag.Int64("chaos-seed", 0,
-		"testing only: arm deterministic fault injection on this agent's "+
-			"connection with the hostile profile seeded here; 0 disables")
+	cf := simcli.NewCommonFlags(flag.CommandLine).
+		ClientTimeouts().
+		Chaos("this agent's connection")
 	flag.Parse()
+	chaosSeed := cf.ChaosSeed
 	if *job == "" {
 		fmt.Fprintln(os.Stderr, "cooper-agent: -job is required")
 		os.Exit(2)
 	}
 
 	opts := netproto.DialOptions{
-		Timeout:     *dialTimeout,
-		Retries:     *retries,
-		ReadTimeout: *epochTimeout,
+		Timeout:     *cf.DialTimeout,
+		Retries:     *cf.Retries,
+		ReadTimeout: *cf.EpochTimeout,
 	}
 	if *chaosSeed != 0 {
 		plan := faults.NewPlan(faults.Hostile(*chaosSeed), nil, nil)

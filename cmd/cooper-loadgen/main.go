@@ -1,0 +1,325 @@
+// Command cooper-loadgen drives the sharded colocation market at scale:
+// it sweeps population sizes against shard counts on the in-process
+// framework (oracle penalties, no profiling campaign), times each
+// epoch, and emits the agents-vs-epoch-time curve as JSON — the
+// committed BENCH_shard.json snapshot.
+//
+// Usage:
+//
+//	cooper-loadgen -n 5000,20000,100000 -shards 1,8,64,256 -out BENCH_shard.json
+//	cooper-loadgen -gate      # CI smoke gate: sharded must beat all-pairs
+//	cooper-loadgen -verify    # shards=1 must reproduce the unsharded report
+//
+// The all-pairs market expands the penalty matrix to agents (n² floats)
+// and exchanges messages between all agent pairs, so unsharded rows are
+// only generated up to -max-allpairs agents; likewise shard counts that
+// would need oversized per-shard sub-matrices are skipped, and every
+// skip is logged — a missing row means "didn't fit", never "forgot".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cooper/internal/core"
+	"cooper/internal/policy"
+	"cooper/internal/simcli"
+	"cooper/internal/stats"
+)
+
+func main() {
+	cfg := loadConfig{}
+	flag.StringVar(&cfg.popList, "n", "5000,20000,100000",
+		"comma-separated population sizes to sweep")
+	flag.StringVar(&cfg.shardList, "shards", "1,8,64,256",
+		"comma-separated shard counts to sweep (1 = the all-pairs market)")
+	flag.StringVar(&cfg.policyName, "policy", "SMR",
+		"colocation policy (GR, CO, SMP, SMR, SR)")
+	flag.IntVar(&cfg.epochs, "epochs", 2,
+		"epochs per configuration; the row records the fastest")
+	flag.IntVar(&cfg.refineBudget, "refine-budget", 0,
+		"cross-shard refinement rounds; 0 means the default (4), negative disables")
+	flag.StringVar(&cfg.out, "out", "",
+		"write the JSON benchmark rows to this file instead of stdout")
+	flag.IntVar(&cfg.maxAllPairs, "max-allpairs", 10000,
+		"largest population the unsharded all-pairs market is attempted at "+
+			"(its agent-level matrix is n² floats)")
+	flag.BoolVar(&cfg.gate, "gate", false,
+		"CI smoke gate: one 5000-agent epoch, 8 shards vs all-pairs; on 4+ "+
+			"cores the sharded market must be faster")
+	flag.BoolVar(&cfg.verify, "verify", false,
+		"determinism check: a shards=1 framework must reproduce the "+
+			"unsharded epoch report byte for byte")
+	cf := simcli.NewCommonFlags(flag.CommandLine).SeedWorkers()
+	flag.Parse()
+	cfg.seed, cfg.workers = *cf.Seed, *cf.Workers
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cooper-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the parsed command line.
+type loadConfig struct {
+	popList, shardList string
+	policyName         string
+	epochs             int
+	refineBudget       int
+	out                string
+	maxAllPairs        int
+	gate, verify       bool
+	seed               int64
+	workers            int
+}
+
+// row is one (population, shards) measurement in BENCH_shard.json.
+type row struct {
+	Agents           int     `json:"agents"`
+	Shards           int     `json:"shards"`
+	Workers          int     `json:"workers"`
+	Epochs           int     `json:"epochs"`
+	EpochMS          float64 `json:"epoch_ms"` // fastest epoch
+	MeanPenalty      float64 `json:"mean_penalty"`
+	RefinementRounds int     `json:"refine_rounds"`
+	RefinementTrades int     `json:"refine_trades"`
+}
+
+// bench is the emitted document.
+type bench struct {
+	Policy  string `json:"policy"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"` // 0 = GOMAXPROCS at run time
+	CPUs    int    `json:"cpus"`
+	Rows    []row  `json:"rows"`
+}
+
+func run(cfg loadConfig, stdout io.Writer) error {
+	pol, err := policy.ByName(cfg.policyName)
+	if err != nil {
+		return err
+	}
+	if cfg.verify {
+		return verifyShardOne(cfg, pol, stdout)
+	}
+	if cfg.gate {
+		return gate(cfg, pol, stdout)
+	}
+
+	pops, err := parseInts(cfg.popList)
+	if err != nil {
+		return fmt.Errorf("-n: %w", err)
+	}
+	shards, err := parseInts(cfg.shardList)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+
+	doc := bench{Policy: pol.Name(), Seed: cfg.seed, Workers: cfg.workers,
+		CPUs: runtime.NumCPU()}
+	for _, n := range pops {
+		for _, s := range shards {
+			if reason := skipReason(cfg, n, s); reason != "" {
+				fmt.Fprintf(stdout, "skip n=%d shards=%d: %s\n", n, s, reason)
+				continue
+			}
+			r, err := measure(cfg, pol, n, s)
+			if err != nil {
+				return fmt.Errorf("n=%d shards=%d: %w", n, s, err)
+			}
+			fmt.Fprintf(stdout, "n=%d shards=%d: %.1f ms/epoch, mean penalty %.4f, %d refinement trades\n",
+				n, s, r.EpochMS, r.MeanPenalty, r.RefinementTrades)
+			doc.Rows = append(doc.Rows, r)
+		}
+	}
+
+	out := stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if cfg.out != "" {
+		fmt.Fprintf(stdout, "wrote %d rows to %s\n", len(doc.Rows), cfg.out)
+	}
+	return nil
+}
+
+// skipReason explains why a configuration is not attempted: the
+// all-pairs n² expansion past -max-allpairs, or per-shard sub-matrices
+// whose concurrent working set would dwarf the machine. Logged, never
+// silent.
+func skipReason(cfg loadConfig, n, shards int) string {
+	if shards <= 1 {
+		if n > cfg.maxAllPairs {
+			return fmt.Sprintf("all-pairs market needs an n²=%d-entry agent matrix (cap %d agents; raise -max-allpairs to force)",
+				n*n, cfg.maxAllPairs)
+		}
+		return ""
+	}
+	if shards > n {
+		return "more shards than agents"
+	}
+	// Per-shard sub-matrix: (n/shards)² float64s, up to `workers` of them
+	// resident at once during the parallel clear.
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > shards {
+		workers = shards
+	}
+	per := n / shards
+	const budget = 2 << 30 // 2 GiB concurrent sub-matrix budget
+	if mem := int64(per) * int64(per) * 8 * int64(workers); mem > budget {
+		return fmt.Sprintf("per-shard matrices would hold ~%d MiB concurrently (budget 2048 MiB); use more shards",
+			mem>>20)
+	}
+	return ""
+}
+
+// framework builds an oracle-mode framework for one configuration.
+func framework(cfg loadConfig, pol policy.Policy, shards int) (*core.Framework, error) {
+	return core.NewFramework(core.Config{
+		Seed: cfg.seed,
+		Market: core.MarketConfig{
+			Policy:           pol,
+			Shards:           shards,
+			RefinementBudget: cfg.refineBudget,
+		},
+		Pipeline: core.PipelineConfig{
+			Oracle:  true,
+			Workers: cfg.workers,
+		},
+	})
+}
+
+// measure times cfg.epochs epochs of one configuration over the same
+// seeded population and reports the fastest.
+func measure(cfg loadConfig, pol policy.Policy, n, shards int) (row, error) {
+	fw, err := framework(cfg, pol, shards)
+	if err != nil {
+		return row{}, err
+	}
+	defer fw.Close()
+	pop := fw.SamplePopulation(n, stats.Uniform{})
+
+	epochs := cfg.epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	r := row{Agents: n, Shards: shards, Workers: cfg.workers, Epochs: epochs}
+	for e := 0; e < epochs; e++ {
+		start := time.Now()
+		rep, err := fw.RunEpoch(pop)
+		if err != nil {
+			return row{}, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if e == 0 || ms < r.EpochMS {
+			r.EpochMS = ms
+		}
+		r.MeanPenalty = rep.MeanTruePenalty()
+		r.RefinementRounds = rep.RefinementRounds
+		r.RefinementTrades = rep.RefinementTrades
+	}
+	return r, nil
+}
+
+// gate is the CI smoke check: at 5000 agents on 4+ cores the sharded
+// market must clear an epoch faster than the all-pairs one (on fewer
+// cores completing both cleanly is enough — serial sharding only saves
+// memory, not time).
+func gate(cfg loadConfig, pol policy.Policy, stdout io.Writer) error {
+	const n, shards = 5000, 8
+	single, err := measure(cfg, pol, n, 1)
+	if err != nil {
+		return fmt.Errorf("all-pairs: %w", err)
+	}
+	sharded, err := measure(cfg, pol, n, shards)
+	if err != nil {
+		return fmt.Errorf("sharded: %w", err)
+	}
+	speedup := single.EpochMS / sharded.EpochMS
+	fmt.Fprintf(stdout, "gate: n=%d all-pairs %.1f ms, %d shards %.1f ms (%.2fx, %d cpus)\n",
+		n, single.EpochMS, shards, sharded.EpochMS, speedup, runtime.NumCPU())
+	if runtime.NumCPU() >= 4 && sharded.EpochMS >= single.EpochMS {
+		return fmt.Errorf("sharded epoch (%.1f ms) not faster than all-pairs (%.1f ms) on %d cores",
+			sharded.EpochMS, single.EpochMS, runtime.NumCPU())
+	}
+	fmt.Fprintln(stdout, "gate: ok")
+	return nil
+}
+
+// verifyShardOne pins the compatibility contract: Shards=1 must route
+// through the identical unsharded path — same reports, bit for bit.
+func verifyShardOne(cfg loadConfig, pol policy.Policy, stdout io.Writer) error {
+	const n = 500
+	unsharded, err := framework(cfg, pol, 0)
+	if err != nil {
+		return err
+	}
+	defer unsharded.Close()
+	one, err := framework(cfg, pol, 1)
+	if err != nil {
+		return err
+	}
+	defer one.Close()
+
+	popA := unsharded.SamplePopulation(n, stats.Uniform{})
+	popB := one.SamplePopulation(n, stats.Uniform{})
+	if !reflect.DeepEqual(popA, popB) {
+		return fmt.Errorf("shards=1 framework sampled a different population")
+	}
+	repA, err := unsharded.RunEpoch(popA)
+	if err != nil {
+		return err
+	}
+	repB, err := one.RunEpoch(popB)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		return fmt.Errorf("shards=1 epoch report differs from the unsharded one")
+	}
+	fmt.Fprintf(stdout, "verify: ok — shards=1 reproduces the unsharded %d-agent report byte for byte\n", n)
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("%d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -41,11 +41,7 @@ import (
 func main() {
 	n := flag.Int("n", 1000, "population size (agents per epoch)")
 	pops := flag.Int("pops", 0, "number of populations (0 = per-figure paper default)")
-	seed := flag.Int64("seed", 1, "RNG seed")
 	quick := flag.Bool("quick", false, "scale experiments down for a fast run")
-	workers := flag.Int("workers", 0,
-		"worker pool bound for pipeline fan-outs (0 = GOMAXPROCS, 1 = serial; "+
-			"results are identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	trace := flag.Bool("trace", false,
 		"run one instrumented pipeline pass and print its telemetry")
@@ -55,21 +51,19 @@ func main() {
 	epochs := flag.Int("epochs", 1,
 		"with -trace, scheduling epochs to run, each over a freshly "+
 			"sampled population")
-	eventsOut := flag.String("events-out", "",
-		"with -trace, append the flight-recorder event stream (epoch "+
-			"snapshots included) to this JSONL file — replayable and "+
-			"auditable with cooper-replay, parity with cooperd -events-out")
+	cf := simcli.NewCommonFlags(flag.CommandLine).SeedWorkers().Events("with -trace, ")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cooper-sim [flags] <experiment>\n\n"+
 			"experiments: %s\n\nflags:\n", strings.Join(simcli.Names(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	seed, workers := cf.Seed, cf.Workers
 
 	if *trace {
 		opts := simcli.Options{N: *n, Pops: *pops, Seed: *seed, Quick: *quick,
 			Workers: *workers, JSON: *jsonOut, TraceOut: *traceOut,
-			Epochs: *epochs, EventsOut: *eventsOut}
+			Epochs: *epochs, EventsOut: *cf.EventsOut}
 		if *n == 1000 {
 			opts.N = 64 // tracing one epoch needs no paper-scale population
 		}

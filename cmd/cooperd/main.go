@@ -46,6 +46,7 @@ import (
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/recommend"
+	"cooper/internal/simcli"
 	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
@@ -55,40 +56,23 @@ func main() {
 	epoch := flag.Int("epoch", 4, "agents per scheduling epoch")
 	epochs := flag.Int("epochs", 1, "scheduling rounds before exiting")
 	policyName := flag.String("policy", "SMR", "colocation policy (GR, CO, SMP, SMR, SR)")
-	seed := flag.Int64("seed", 1, "RNG seed")
-	workers := flag.Int("workers", 0,
-		"worker pool bound for the pipeline's fan-out phases; "+
-			"0 means GOMAXPROCS, 1 forces the serial path")
 	metricsAddr := flag.String("metrics", "",
 		"serve telemetry over HTTP on this address (e.g. 127.0.0.1:7078); "+
 			"empty disables the endpoint")
 	profiles := flag.String("profiles", "",
 		"measurement database from cooper-profile; penalties then come from "+
 			"profiled data completed by the predictor instead of the oracle")
-	readTimeout := flag.Duration("read-timeout", 0,
-		"per-message read deadline for agent connections; 0 means the "+
-			"default (30s), negative disables")
-	writeTimeout := flag.Duration("write-timeout", 0,
-		"per-message write deadline for agent connections; 0 means the "+
-			"default (10s), negative disables")
-	epochTimeout := flag.Duration("epoch-timeout", 0,
-		"wall-clock bound per scheduling epoch; laggards past it are reaped "+
-			"and the epoch completes degraded; 0 disables")
-	chaosSeed := flag.Int64("chaos-seed", 0,
-		"testing only: arm deterministic fault injection on every agent "+
-			"connection with the hostile profile seeded here; 0 disables")
-	eventsOut := flag.String("events-out", "",
-		"append the flight-recorder event stream to this JSONL file as it "+
-			"is recorded (every event, not just the ring's retained tail)")
-	auditOn := flag.Bool("audit", false,
-		"run the live invariant auditor on the event stream: violations are "+
-			"recorded as invariant_violated events, counted under "+
-			"audit.violations.*, and fail the exit status")
-	auditAlpha := flag.Float64("audit-alpha", -1,
-		"declare a stability contract α in each epoch snapshot: auditors "+
-			"(live or cooper-replay) flag any blocking pair where both agents "+
-			"gain more than α; negative declares no contract")
+	cf := simcli.NewCommonFlags(flag.CommandLine).
+		SeedWorkers().
+		Events("").
+		Chaos("every agent connection").
+		ServerTimeouts().
+		Audit().
+		Market()
 	flag.Parse()
+	seed, workers := cf.Seed, cf.Workers
+	eventsOut, chaosSeed := cf.EventsOut, cf.ChaosSeed
+	auditOn, auditAlpha := cf.AuditOn, cf.AuditAlpha
 
 	pol, err := policy.ByName(*policyName)
 	if err != nil {
@@ -107,12 +91,18 @@ func main() {
 		tel.Events.SetSink(f)
 		fmt.Printf("cooperd: recording events to %s\n", *eventsOut)
 	}
-	opts := core.Options{
-		Policy:    pol,
-		Oracle:    true,
-		Seed:      *seed,
-		Workers:   *workers,
-		Telemetry: tel,
+	cfg := core.Config{
+		Seed: *seed,
+		Market: core.MarketConfig{
+			Policy:           pol,
+			Shards:           *cf.Shards,
+			RefinementBudget: *cf.RefineBudget,
+		},
+		Pipeline: core.PipelineConfig{
+			Oracle:  true,
+			Workers: *workers,
+		},
+		Observe: core.ObserveConfig{Telemetry: tel},
 	}
 	if *profiles != "" {
 		// Complete the profiled sparse matrix out of band and hand the
@@ -140,12 +130,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opts.Oracle = false
-		opts.Penalties = penalties
+		cfg.Pipeline.Oracle = false
+		cfg.Pipeline.Penalties = penalties
 		fmt.Printf("cooperd: predicted penalties from %d profiled records\n", db.Len())
 	}
 
-	fw, err := core.New(opts)
+	fw, err := core.NewFramework(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -153,19 +143,22 @@ func main() {
 
 	reg := tel.Registry()
 	srv := &netproto.Server{
-		Epoch:          *epoch,
-		Epochs:         *epochs,
-		Policy:         pol,
-		Catalog:        fw.Catalog(),
-		Penalties:      fw.PredictedPenalties(),
-		Seed:           *seed,
-		Metrics:        reg,
-		Events:         tel.Events,
-		StabilityAlpha: *auditAlpha,
-		AuditStability: *auditAlpha >= 0,
-		ReadTimeout:    *readTimeout,
-		WriteTimeout:   *writeTimeout,
-		EpochTimeout:   *epochTimeout,
+		Epoch:            *epoch,
+		Epochs:           *epochs,
+		Policy:           pol,
+		Catalog:          fw.Catalog(),
+		Penalties:        fw.PredictedPenalties(),
+		Seed:             *seed,
+		Shards:           *cf.Shards,
+		RefinementBudget: *cf.RefineBudget,
+		Workers:          *workers,
+		Metrics:          reg,
+		Events:           tel.Events,
+		StabilityAlpha:   *auditAlpha,
+		AuditStability:   *auditAlpha >= 0,
+		ReadTimeout:      *cf.ReadTimeout,
+		WriteTimeout:     *cf.WriteTimeout,
+		EpochTimeout:     *cf.EpochTimeout,
 		OnEpoch: func(e int, sum netproto.Message) {
 			fmt.Printf("cooperd: epoch %d done: mean penalty %.4f, %d break-aways, %d participating\n",
 				e, sum.MeanPenalty, sum.BreakAways, sum.Participating)

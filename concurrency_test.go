@@ -44,7 +44,7 @@ func sixPolicies() map[string]Policy {
 // bytewise.
 func epochJSON(t *testing.T, opts Options, agents int) []byte {
 	t.Helper()
-	f, err := New(opts)
+	f, err := NewWithOptions(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestWorkerCountDeterminismOracle(t *testing.T) {
 // so by the third epoch the hit rate must exceed 90%.
 func TestPairCacheAccounting(t *testing.T) {
 	tel := NewTelemetry()
-	f, err := New(Options{Oracle: true, Seed: 5, Telemetry: tel})
+	f, err := NewWithOptions(Options{Oracle: true, Seed: 5, Telemetry: tel})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestPairCacheAccounting(t *testing.T) {
 // TestFrameworkClose checks the drain semantics: Close is idempotent,
 // and epochs after Close are rejected with ErrClosed.
 func TestFrameworkClose(t *testing.T) {
-	f, err := New(Options{Oracle: true, Seed: 11})
+	f, err := NewWithOptions(Options{Oracle: true, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +181,11 @@ func TestCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 
-	if _, err := NewContext(ctx, Options{Seed: 1, Sim: shortSim}); !errors.Is(err, ErrCanceled) {
+	if _, err := NewWithOptionsContext(ctx, Options{Seed: 1, Sim: shortSim}); !errors.Is(err, ErrCanceled) {
 		t.Errorf("NewContext with canceled ctx = %v, want ErrCanceled", err)
 	}
 
-	f, err := New(Options{Oracle: true, Seed: 2})
+	f, err := NewWithOptions(Options{Oracle: true, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestCancellation(t *testing.T) {
 // stats.Sampler — including a caller-defined one — feeds
 // SamplePopulation.
 func TestSamplePopulationMix(t *testing.T) {
-	f, err := New(Options{Oracle: true, Seed: 7})
+	f, err := NewWithOptions(Options{Oracle: true, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestErrNoStableMatchingFacade(t *testing.T) {
 // Ensure the report's population survives a JSON round trip (the
 // determinism tests depend on marshaling being total).
 func TestEpochReportMarshals(t *testing.T) {
-	f, err := New(Options{Oracle: true, Seed: 13})
+	f, err := NewWithOptions(Options{Oracle: true, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,13 +11,27 @@
 //
 // # Quick start
 //
-//	f, err := cooper.New(cooper.Options{Policy: cooper.SMR(), Seed: 42})
+//	f, err := cooper.New(cooper.WithPolicy(cooper.SMR()), cooper.WithSeed(42))
 //	if err != nil { ... }
 //	pop := f.SamplePopulation(1000, cooper.Uniform())
 //	report, err := f.RunEpoch(pop)
 //
 // The report carries the colocation assignment, per-agent penalties,
 // agents' break-away recommendations, and the cluster dispatch summary.
+// Configuration is functional options over the grouped Config
+// (Market/Pipeline/Observe); the legacy flat Options struct remains
+// available through NewWithOptions.
+//
+// # Scale
+//
+// At populations beyond a few thousand agents, shard the market:
+//
+//	f, err := cooper.New(cooper.WithOracle(), cooper.WithShards(64))
+//
+// Agents are consistent-hashed into shards, each shard is matched in
+// parallel, and a bounded cross-shard refinement pass trades blocking
+// pairs across shard boundaries. Reports stay byte-identical at any
+// worker count for a fixed shard count.
 //
 // # Concurrency and cancellation
 //
@@ -77,8 +91,12 @@ import (
 
 // Core framework types.
 type (
-	// Options configures a Framework; the zero value reproduces the
-	// paper's setup (SMR policy, 25% profiling, 10 CMPs).
+	// Options is the legacy flat configuration struct.
+	//
+	// Deprecated: use the functional options (WithPolicy, WithShards,
+	// ...) with New, which assemble the grouped Config. Options remains
+	// supported through NewWithOptions and builds identical frameworks;
+	// it has no market-sharding knobs.
 	Options = core.Options
 	// Framework is a ready-to-run Cooper instance.
 	Framework = core.Framework
@@ -127,6 +145,11 @@ var (
 	// ErrNoStableMatching reports that Irving's stable-roommates algorithm
 	// found no perfectly stable assignment (an odd preference cycle).
 	ErrNoStableMatching = matching.ErrNoStableMatching
+	// ErrBadPreferences reports structurally invalid preference lists
+	// passed to StableRoommates — ragged or short lists, out-of-range
+	// entries, self-rankings, duplicates. Distinct from
+	// ErrNoStableMatching: the input never described a valid instance.
+	ErrBadPreferences = matching.ErrBadPreferences
 	// ErrCanceled reports that a context-aware pipeline run (NewContext,
 	// RunEpochContext, Driver.RunContext) was aborted by its context.
 	ErrCanceled = core.ErrCanceled
@@ -136,14 +159,35 @@ var (
 )
 
 // New builds a Framework: it calibrates the 20-job catalog on the
-// machine, runs the offline profiling campaign, and trains the preference
-// predictor. See Options for the knobs.
-func New(opts Options) (*Framework, error) { return core.New(opts) }
+// machine, runs the offline profiling campaign, and trains the
+// preference predictor. Configure it with functional options:
+//
+//	cooper.New(cooper.WithPolicy(cooper.SR()), cooper.WithShards(16))
+//
+// With no options it reproduces the paper's setup (SMR policy, 25%
+// profiling, 10 CMPs, unsharded market).
+func New(opts ...Option) (*Framework, error) {
+	return core.NewFramework(buildConfig(opts))
+}
 
 // NewContext is New with cancellation: the profiling campaign, predictor
 // training, and oracle computation honor ctx, returning an error that
 // wraps ErrCanceled if it fires mid-build.
-func NewContext(ctx context.Context, opts Options) (*Framework, error) {
+func NewContext(ctx context.Context, opts ...Option) (*Framework, error) {
+	return core.NewFrameworkContext(ctx, buildConfig(opts))
+}
+
+// NewWithOptions builds a Framework from the legacy flat Options struct.
+//
+// Deprecated: use New with functional options. NewWithOptions remains
+// supported indefinitely and builds the identical framework (a facade
+// test pins the equivalence).
+func NewWithOptions(opts Options) (*Framework, error) { return core.New(opts) }
+
+// NewWithOptionsContext is NewWithOptions with cancellation.
+//
+// Deprecated: use NewContext with functional options.
+func NewWithOptionsContext(ctx context.Context, opts Options) (*Framework, error) {
 	return core.NewContext(ctx, opts)
 }
 
@@ -247,8 +291,9 @@ func StableMarriage(proposerPrefs, receiverPrefs [][]int) ([]int, error) {
 }
 
 // StableRoommates runs Irving's stable-roommates algorithm; it returns
-// matching.ErrNoStableMatching when no perfectly stable assignment
-// exists.
+// an error wrapping ErrNoStableMatching when no perfectly stable
+// assignment exists, and one wrapping ErrBadPreferences when the lists
+// are ragged, short, or otherwise malformed.
 func StableRoommates(prefs [][]int) (Matching, error) {
 	return matching.StableRoommates(prefs)
 }

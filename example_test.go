@@ -11,7 +11,7 @@ import (
 // outcome. (Oracle mode skips profiling for deterministic doc output;
 // production use omits it.)
 func ExampleNew() {
-	f, err := cooper.New(cooper.Options{Policy: cooper.SMR(), Oracle: true, Seed: 1})
+	f, err := cooper.New(cooper.WithPolicy(cooper.SMR()), cooper.WithOracle(), cooper.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}

@@ -15,12 +15,12 @@ import (
 )
 
 func main() {
-	f, err := cooper.New(cooper.Options{
-		Policy:   cooper.SMR(),
-		Machines: 10, // the paper's five dual-socket nodes
-		Oracle:   true,
-		Seed:     7,
-	})
+	f, err := cooper.New(
+		cooper.WithPolicy(cooper.SMR()),
+		cooper.WithMachines(10), // the paper's five dual-socket nodes
+		cooper.WithOracle(),
+		cooper.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,10 +15,10 @@ import (
 func main() {
 	// A framework profiles 25% of the colocation space on the simulated
 	// Xeon-class CMP and trains the preference predictor.
-	f, err := cooper.New(cooper.Options{
-		Policy: cooper.SMR(),
-		Seed:   42,
-	})
+	f, err := cooper.New(
+		cooper.WithPolicy(cooper.SMR()),
+		cooper.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

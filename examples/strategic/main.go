@@ -27,12 +27,12 @@ func main() {
 	for _, pol := range []cooper.Policy{cooper.Greedy(), cooper.Complementary(), cooper.SMR()} {
 		fmt.Printf("%-8s", pol.Name())
 		for _, alpha := range alphas {
-			f, err := cooper.New(cooper.Options{
-				Policy: pol,
-				Oracle: true,
-				Alpha:  alpha,
-				Seed:   11, // same seed: same population for every policy
-			})
+			f, err := cooper.New(
+				cooper.WithPolicy(pol),
+				cooper.WithOracle(),
+				cooper.WithAlpha(alpha),
+				cooper.WithSeed(11), // same seed: same population for every policy
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -48,7 +48,7 @@ func main() {
 
 	// Zoom in: under Greedy, who is most dissatisfied, and with whom
 	// would they rather share a machine?
-	f, err := cooper.New(cooper.Options{Policy: cooper.Greedy(), Oracle: true, Seed: 11})
+	f, err := cooper.New(cooper.WithPolicy(cooper.Greedy()), cooper.WithOracle(), cooper.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,13 @@
 //     indices, and per-epoch events land inside their epoch.
 //   - snapshot: epoch_snapshot payloads parse, are structurally sound,
 //     and reproduce their own digests.
+//   - shard: when a round clears sharded, its shard_matched events
+//     partition the population — every agent in exactly one shard, no
+//     shard naming agents outside the round, and a snapshot that
+//     declares shards is backed by shard events.
+//   - refinement: refinement_round trade lists parse, match the
+//     event's declared count, pair distinct agents across shard
+//     boundaries, and stay disjoint within a round.
 //
 // The engine runs in two modes. Offline (Feed/Replay, cooper-replay) it
 // consumes a complete JSONL stream and also tracks Seq continuity — a
@@ -40,8 +47,10 @@
 package audit
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"cooper/internal/matching"
@@ -57,6 +66,8 @@ const (
 	InvLifecycle    = "lifecycle"
 	InvBracket      = "bracket"
 	InvSnapshot     = "snapshot"
+	InvShard        = "shard"
+	InvRefinement   = "refinement"
 )
 
 // Violation is one invariant failure, pinned to the event evidence that
@@ -153,7 +164,12 @@ type segment struct {
 	pairs    []pairRec
 	partner  map[int]int  // both directions
 	unpaired map[int]bool // explicit solos
-	trusted  bool         // roster believed authoritative
+	// shardOf maps agent id -> shard, built from shard_matched events;
+	// shardEvents counts them, so zero distinguishes "unsharded round"
+	// from "sharded round with empty shards".
+	shardOf     map[int]int
+	shardEvents int
+	trusted     bool // roster believed authoritative
 }
 
 // Auditor is the invariant engine. It is a state machine over the event
@@ -294,6 +310,10 @@ func (a *Auditor) feed(e telemetry.Event) {
 		a.onSnapshot(e)
 	case telemetry.EventRematchRound:
 		a.onRematch(e)
+	case telemetry.EventShardMatched:
+		a.onShardMatched(e)
+	case telemetry.EventRefinementRound:
+		a.onRefinement(e)
 	case telemetry.EventPairMatched:
 		a.onPair(e)
 	case telemetry.EventAgentUnpaired:
@@ -368,6 +388,7 @@ func (a *Auditor) resetSegment() {
 		roster:   append([]rosterEntry(nil), a.roster...),
 		partner:  make(map[int]int),
 		unpaired: make(map[int]bool),
+		shardOf:  make(map[int]int),
 		trusted:  a.synced,
 	}
 }
@@ -478,6 +499,88 @@ func (a *Auditor) onRematch(e telemetry.Event) {
 		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
 			"rematch_round population %d but derived roster has %d agents",
 			int(e.Value), len(a.roster))
+	}
+}
+
+// onShardMatched records one shard's membership. The payload is the
+// member list (event-log agent IDs, session order); exactly-once
+// placement is enforced here, full coverage at segment close.
+func (a *Auditor) onShardMatched(e telemetry.Event) {
+	if !a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq, "shard_matched outside any epoch")
+		return
+	}
+	a.seg.shardEvents++
+	var members []int
+	if err := json.Unmarshal([]byte(e.Data), &members); err != nil {
+		a.violate(InvShard, e.Epoch, e.Seq, e.Seq,
+			"shard %d payload unparseable: %v", e.Round, err)
+		return
+	}
+	if int(e.Value) != len(members) {
+		a.violate(InvShard, e.Epoch, e.Seq, e.Seq,
+			"shard %d declares %d agents but lists %d", e.Round, int(e.Value), len(members))
+	}
+	for _, id := range members {
+		if s, dup := a.seg.shardOf[id]; dup {
+			a.violate(InvShard, e.Epoch, e.Seq, e.Seq,
+				"agent %d placed in shard %d after shard %d; shards must partition the population",
+				id, e.Round, s)
+			continue
+		}
+		a.seg.shardOf[id] = e.Round
+	}
+}
+
+// onRefinement checks one cross-shard refinement round: the trade list
+// parses, matches the event's declared count, pairs distinct agents
+// from different shards, and stays disjoint within the round (the
+// market applies trades greedily on non-overlapping agents, which is
+// what keeps the event's summed gain exact).
+func (a *Auditor) onRefinement(e telemetry.Event) {
+	if !a.inEpoch {
+		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq, "refinement_round outside any epoch")
+		return
+	}
+	var trades [][2]int
+	if err := json.Unmarshal([]byte(e.Data), &trades); err != nil {
+		a.violate(InvRefinement, e.Epoch, e.Seq, e.Seq,
+			"round %d payload unparseable: %v", e.Round, err)
+		return
+	}
+	if int(e.Value) != len(trades) {
+		a.violate(InvRefinement, e.Epoch, e.Seq, e.Seq,
+			"round %d declares %d trades but lists %d", e.Round, int(e.Value), len(trades))
+	}
+	seen := make(map[int]bool, 2*len(trades))
+	for _, tr := range trades {
+		i, j := tr[0], tr[1]
+		if i == j {
+			a.violate(InvRefinement, e.Epoch, e.Seq, e.Seq,
+				"round %d trades agent %d with itself", e.Round, i)
+			continue
+		}
+		if seen[i] || seen[j] {
+			a.violate(InvRefinement, e.Epoch, e.Seq, e.Seq,
+				"round %d trades overlap on pair %d+%d; trades within a round must be disjoint",
+				e.Round, i, j)
+		}
+		seen[i], seen[j] = true, true
+		si, oki := a.seg.shardOf[i]
+		sj, okj := a.seg.shardOf[j]
+		if oki && okj && si == sj {
+			a.violate(InvRefinement, e.Epoch, e.Seq, e.Seq,
+				"round %d trades %d+%d inside shard %d; refinement only crosses shard boundaries",
+				e.Round, i, j, si)
+		}
+		if a.seg.trusted {
+			for _, id := range [2]int{i, j} {
+				if _, ok := a.seg.shardOf[id]; !ok {
+					a.violate(InvRefinement, e.Epoch, e.Seq, e.Seq,
+						"round %d trades agent %d, which no shard_matched event placed", e.Round, id)
+				}
+			}
+		}
 	}
 }
 
@@ -601,6 +704,38 @@ func (a *Auditor) checkSegment(end telemetry.Event, final bool) {
 	if len(missing) > 0 {
 		a.violate(InvCoverage, a.curEpoch, a.epochStartSeq, end.Seq,
 			"agents %v neither matched nor explicitly unpaired this round", missing)
+	}
+
+	// Shard coverage: a sharded round's shard_matched events partition
+	// the population — every agent in exactly one shard (the exactly-once
+	// half was enforced at record time), no shard naming outsiders. A
+	// snapshot that declares shards with no shard events to back it is
+	// itself a violation (the market was supposed to run sharded).
+	if seg.shardEvents > 0 {
+		var unsharded []int
+		for _, r := range seg.roster {
+			if _, ok := seg.shardOf[r.id]; !ok {
+				unsharded = append(unsharded, r.id)
+			}
+		}
+		if len(unsharded) > 0 {
+			a.violate(InvShard, a.curEpoch, a.epochStartSeq, end.Seq,
+				"agents %v in no shard this round", unsharded)
+		}
+		outsiders := make([]int, 0, len(seg.shardOf))
+		for id := range seg.shardOf {
+			if _, ok := idx[id]; !ok {
+				outsiders = append(outsiders, id)
+			}
+		}
+		if len(outsiders) > 0 {
+			sort.Ints(outsiders)
+			a.violate(InvShard, a.curEpoch, a.epochStartSeq, end.Seq,
+				"shard_matched names agents %v, not in this round's population", outsiders)
+		}
+	} else if a.snap != nil && a.snap.Shards > 1 {
+		a.violate(InvShard, a.curEpoch, a.epochStartSeq, end.Seq,
+			"snapshot declares %d shards but the round recorded no shard_matched events", a.snap.Shards)
 	}
 
 	if a.snap == nil {

@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -456,4 +457,160 @@ func TestViolationString(t *testing.T) {
 	if got := v.String(); got != "coverage: epoch 3 seq 10: x" {
 		t.Fatalf("String() = %q", got)
 	}
+}
+
+// --- sharded-market invariants ---
+
+// snapshotSharded is snapshot with a declared shard count.
+func (l *wireLog) snapshotSharded(epoch, shards int, ids []int) {
+	jobs := make([]string, len(ids))
+	for i, id := range ids {
+		jobs[i] = jobOf(id)
+	}
+	s := telemetry.EpochSnapshot{
+		Epoch: epoch, Source: telemetry.SnapshotSourceWire,
+		Policy: "GR", Seed: 1, Alpha: -1, Shards: shards,
+		Agents: ids, Jobs: jobs, Catalog: testCatalog, Matrix: testMatrix,
+	}
+	l.add(s.Event())
+}
+
+func (l *wireLog) shard(epoch, s int, members []int) {
+	data, _ := json.Marshal(members)
+	l.add(telemetry.Event{Type: telemetry.EventShardMatched, Epoch: epoch,
+		Agent: -1, Partner: -1, Round: s,
+		Value: float64(len(members)), Data: string(data)})
+}
+
+func (l *wireLog) refinement(epoch, round int, trades [][2]int) {
+	data, _ := json.Marshal(trades)
+	l.add(telemetry.Event{Type: telemetry.EventRefinementRound, Epoch: epoch,
+		Agent: -1, Partner: -1, Round: round,
+		Value: float64(len(trades)), Predicted: 0.1, Data: string(data)})
+}
+
+// shardedEpoch is one healthy sharded epoch: two shards {0,2} and
+// {1,3}, one refinement round trading 0 with 1 (cross-shard), and the
+// post-refinement pairing (0,1),(2,3).
+func shardedEpoch() *wireLog {
+	l := &wireLog{}
+	l.register(0, 0, 1, 2, 3)
+	ids := []int{0, 1, 2, 3}
+	l.add(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0,
+		Agent: -1, Partner: -1, Value: 4})
+	l.snapshotSharded(0, 2, ids)
+	l.shard(0, 0, []int{0, 2})
+	l.shard(0, 1, []int{1, 3})
+	l.refinement(0, 1, [][2]int{{0, 1}})
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 3)
+	mean := (pen(0, 1) + pen(1, 0) + pen(2, 3) + pen(3, 2)) / 4
+	l.add(telemetry.Event{Type: telemetry.EventEpochEnd, Epoch: 0,
+		Agent: -1, Partner: -1, Value: mean})
+	return l
+}
+
+func TestShardedCleanLogPasses(t *testing.T) {
+	rep := replayOK(t, shardedEpoch().events)
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", rep.Warnings)
+	}
+	if rep.Epochs != 1 || rep.Pairs != 2 {
+		t.Fatalf("epochs=%d pairs=%d, want 1/2", rep.Epochs, rep.Pairs)
+	}
+}
+
+func TestShardCoverage(t *testing.T) {
+	// An agent no shard claims.
+	l := shardedEpoch()
+	l.events = nil
+	l.seq = 0
+	l.register(0, 0, 1, 2, 3)
+	l.add(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0,
+		Agent: -1, Partner: -1, Value: 4})
+	l.snapshotSharded(0, 2, []int{0, 1, 2, 3})
+	l.shard(0, 0, []int{0, 2})
+	l.shard(0, 1, []int{1}) // 3 dropped
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 3)
+	mean := (pen(0, 1) + pen(1, 0) + pen(2, 3) + pen(3, 2)) / 4
+	l.add(telemetry.Event{Type: telemetry.EventEpochEnd, Epoch: 0,
+		Agent: -1, Partner: -1, Value: mean})
+	wantViolation(t, Replay(l.events, Options{}), InvShard, "in no shard")
+
+	// The same agent in two shards.
+	l2 := shardedEpoch()
+	for i, e := range l2.events {
+		if e.Type == telemetry.EventShardMatched && e.Round == 1 {
+			data, _ := json.Marshal([]int{1, 3, 0}) // 0 already in shard 0
+			l2.events[i].Data = string(data)
+			l2.events[i].Value = 3
+		}
+	}
+	wantViolation(t, Replay(l2.events, Options{}), InvShard, "must partition")
+
+	// A shard naming an agent outside the round's population.
+	l3 := shardedEpoch()
+	for i, e := range l3.events {
+		if e.Type == telemetry.EventShardMatched && e.Round == 1 {
+			data, _ := json.Marshal([]int{1, 3, 9})
+			l3.events[i].Data = string(data)
+			l3.events[i].Value = 3
+		}
+	}
+	wantViolation(t, Replay(l3.events, Options{}), InvShard, "not in this round's population")
+
+	// A snapshot that declares shards with no shard events behind it.
+	l4 := shardedEpoch()
+	var kept []telemetry.Event
+	for _, e := range l4.events {
+		if e.Type != telemetry.EventShardMatched && e.Type != telemetry.EventRefinementRound {
+			kept = append(kept, e)
+		}
+	}
+	for i := range kept {
+		kept[i].Seq = int64(i)
+	}
+	wantViolation(t, Replay(kept, Options{}), InvShard, "no shard_matched events")
+}
+
+func TestRefinementInvariant(t *testing.T) {
+	mutate := func(alter func(*telemetry.Event)) []telemetry.Event {
+		l := shardedEpoch()
+		for i := range l.events {
+			if l.events[i].Type == telemetry.EventRefinementRound {
+				alter(&l.events[i])
+			}
+		}
+		return l.events
+	}
+	set := func(e *telemetry.Event, trades [][2]int) {
+		data, _ := json.Marshal(trades)
+		e.Data = string(data)
+		e.Value = float64(len(trades))
+	}
+
+	// A trade inside one shard.
+	rep := Replay(mutate(func(e *telemetry.Event) { set(e, [][2]int{{0, 2}}) }), Options{})
+	wantViolation(t, rep, InvRefinement, "only crosses shard boundaries")
+
+	// Overlapping trades within one round.
+	rep = Replay(mutate(func(e *telemetry.Event) { set(e, [][2]int{{0, 1}, {2, 1}}) }), Options{})
+	wantViolation(t, rep, InvRefinement, "must be disjoint")
+
+	// A self-trade.
+	rep = Replay(mutate(func(e *telemetry.Event) { set(e, [][2]int{{1, 1}}) }), Options{})
+	wantViolation(t, rep, InvRefinement, "with itself")
+
+	// A declared count that disagrees with the list.
+	rep = Replay(mutate(func(e *telemetry.Event) { e.Value = 7 }), Options{})
+	wantViolation(t, rep, InvRefinement, "declares 7 trades")
+
+	// A trade naming an agent no shard placed.
+	rep = Replay(mutate(func(e *telemetry.Event) { set(e, [][2]int{{0, 9}}) }), Options{})
+	wantViolation(t, rep, InvRefinement, "no shard_matched event placed")
+
+	// An unparseable payload.
+	rep = Replay(mutate(func(e *telemetry.Event) { e.Data = "{" }), Options{})
+	wantViolation(t, rep, InvRefinement, "unparseable")
 }

@@ -24,6 +24,7 @@ import (
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
 	"cooper/internal/recommend"
+	"cooper/internal/shard"
 	"cooper/internal/stats"
 	"cooper/internal/telemetry"
 	"cooper/internal/workload"
@@ -38,7 +39,14 @@ var ErrCanceled = errors.New("cooper: pipeline canceled")
 // epochs. Test with errors.Is(err, ErrClosed).
 var ErrClosed = errors.New("cooper: framework closed")
 
-// Options configures a Framework.
+// Options is the legacy flat configuration surface.
+//
+// Deprecated: Options predates the grouped Config
+// (Market/Pipeline/Observe) and has no market-sharding knobs. New code
+// should build frameworks with NewFramework(Config) — or, through the
+// facade, cooper.New with functional options. Options remains supported
+// indefinitely: New converts it via Options.Config and the two construct
+// identical frameworks.
 type Options struct {
 	// Machine is the CMP model shared by every node. Zero value means
 	// arch.DefaultCMP().
@@ -95,35 +103,11 @@ type Options struct {
 	EpochTimeout time.Duration
 }
 
-func (o Options) withDefaults() Options {
-	if o.Machine.Cores == 0 {
-		o.Machine = arch.DefaultCMP()
-	}
-	if o.Machines == 0 {
-		o.Machines = 10
-	}
-	if o.Policy == nil {
-		o.Policy = policy.StableMarriageRandom{}
-	}
-	if o.SampleFraction == 0 {
-		o.SampleFraction = 0.25
-	}
-	if o.Predictor == (recommend.Predictor{}) {
-		o.Predictor = recommend.Default()
-	}
-	if o.Sim == (arch.SimConfig{}) {
-		// Profiling runs long enough to average out phase behaviour, as
-		// the paper's minutes-long profiled executions do.
-		o.Sim = arch.SimConfig{DurationS: 30, StepS: 1, PhaseNoise: 0.05, PhaseCorr: 0.6}
-	}
-	return o
-}
-
 // Framework is a ready-to-run Cooper instance: calibrated catalog,
 // profiling database, completed preference model, worker pool, pair
 // cache, and cluster.
 type Framework struct {
-	opts    Options
+	cfg     Config
 	catalog []workload.Job
 	db      *profiler.Database
 	cluster *cluster.Cluster
@@ -142,24 +126,41 @@ type Framework struct {
 	epochSeq atomic.Int64   // 0-based epoch index stamped on flight-recorder events
 }
 
-// New builds a Framework: it calibrates the catalog, runs the offline
-// profiling campaign, and trains the preference predictor.
+// New builds a Framework from the legacy flat Options.
+//
+// Deprecated: use NewFramework (or the facade's functional options).
+// New remains supported and builds the identical framework.
 func New(opts Options) (*Framework, error) {
-	return NewContext(context.Background(), opts)
+	return NewFrameworkContext(context.Background(), opts.Config())
 }
 
-// NewContext is New with cancellation: the profiling campaign, predictor
-// training, and oracle computation honor ctx, so a canceled build
-// returns ErrCanceled instead of running minutes of simulation.
+// NewContext is New with cancellation.
+//
+// Deprecated: use NewFrameworkContext.
 func NewContext(ctx context.Context, opts Options) (*Framework, error) {
-	opts = opts.withDefaults()
-	if err := opts.Machine.Validate(); err != nil {
+	return NewFrameworkContext(ctx, opts.Config())
+}
+
+// NewFramework builds a Framework from the grouped Config: it calibrates
+// the catalog, runs the offline profiling campaign, and trains the
+// preference predictor.
+func NewFramework(cfg Config) (*Framework, error) {
+	return NewFrameworkContext(context.Background(), cfg)
+}
+
+// NewFrameworkContext is NewFramework with cancellation: the profiling
+// campaign, predictor training, and oracle computation honor ctx, so a
+// canceled build returns ErrCanceled instead of running minutes of
+// simulation.
+func NewFrameworkContext(ctx context.Context, cfg Config) (*Framework, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Machine.Validate(); err != nil {
 		return nil, err
 	}
-	catalog := opts.Catalog
+	catalog := cfg.Catalog
 	if catalog == nil {
 		var err error
-		catalog, err = workload.Catalog(opts.Machine)
+		catalog, err = workload.Catalog(cfg.Machine)
 		if err != nil {
 			return nil, err
 		}
@@ -168,48 +169,48 @@ func NewContext(ctx context.Context, opts Options) (*Framework, error) {
 		return nil, fmt.Errorf("core: empty catalog")
 	}
 	f := &Framework{
-		opts:    opts,
+		cfg:     cfg,
 		catalog: catalog,
 		db:      profiler.NewDatabase(),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		tel:     opts.Telemetry,
-		pool:    parallel.NewPool(opts.Workers),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		tel:     cfg.Observe.Telemetry,
+		pool:    parallel.NewPool(cfg.Pipeline.Workers),
 	}
-	f.cache = arch.NewPairCache(opts.Machine, f.tel.Registry())
+	f.cache = arch.NewPairCache(cfg.Machine, f.tel.Registry())
 	if f.tel != nil {
 		// Route the model layers' package-level sinks into this registry.
 		arch.SetMetrics(f.tel.Registry())
 		cachesim.SetMetrics(f.tel.Registry())
 	}
 	var err error
-	f.cluster, err = cluster.New(opts.Machines, opts.Machine)
+	f.cluster, err = cluster.New(cfg.Machines, cfg.Machine)
 	if err != nil {
 		return nil, err
 	}
 	f.cluster.SetPairCache(f.cache)
 
-	f.truth, err = profiler.DensePenaltiesContext(ctx, opts.Machine, catalog,
+	f.truth, err = profiler.DensePenaltiesContext(ctx, cfg.Machine, catalog,
 		f.pool.Workers(), f.cache)
 	if err != nil {
 		return nil, wrapCanceled(ctx, err)
 	}
-	if opts.Oracle {
+	if cfg.Pipeline.Oracle {
 		f.predicted = f.truth
 		return f, nil
 	}
-	if opts.Penalties != nil {
-		if err := validatePenalties(opts.Penalties, len(catalog)); err != nil {
+	if cfg.Pipeline.Penalties != nil {
+		if err := validatePenalties(cfg.Pipeline.Penalties, len(catalog)); err != nil {
 			return nil, err
 		}
-		f.predicted = opts.Penalties
+		f.predicted = cfg.Pipeline.Penalties
 		return f, nil
 	}
 
-	prof := profiler.New(opts.Machine, f.db, opts.Seed+1)
-	prof.Sim = opts.Sim
+	prof := profiler.New(cfg.Machine, f.db, cfg.Seed+1)
+	prof.Sim = cfg.Sim
 	prof.Tel = f.tel
 	prof.Workers = f.pool.Workers()
-	if err := prof.CampaignContext(ctx, catalog, opts.SampleFraction); err != nil {
+	if err := prof.CampaignContext(ctx, catalog, cfg.Pipeline.SampleFraction); err != nil {
 		return nil, wrapCanceled(ctx, err)
 	}
 	sparse, err := profiler.PenaltyMatrix(f.db, catalog)
@@ -221,7 +222,7 @@ func NewContext(ctx context.Context, opts Options) (*Framework, error) {
 	predict.SetAttr("sparsity", profiler.Sparsity(sparse))
 	preRecomputed := reg.Counter("predict.sim_pairs_recomputed").Value()
 	preSkipped := reg.Counter("predict.sim_pairs_skipped").Value()
-	pred := opts.Predictor
+	pred := cfg.Pipeline.Predictor
 	pred.Metrics = reg
 	pred.Workers = f.pool.Workers()
 	f.predicted, f.iters, err = pred.CompleteContext(ctx, sparse)
@@ -246,6 +247,15 @@ func validatePenalties(d [][]float64, n int) error {
 		}
 	}
 	return nil
+}
+
+// reportedShards normalizes a shard-count knob for snapshots: only a
+// sharded market (> 1) is worth recording, and old logs carry zero.
+func reportedShards(shards int) int {
+	if shards > 1 {
+		return shards
+	}
+	return 0
 }
 
 // wrapCanceled tags an error with ErrCanceled when ctx was canceled, so
@@ -334,6 +344,12 @@ func (f *Framework) SamplePopulation(n int, mix stats.Sampler) workload.Populati
 type EpochReport struct {
 	Population workload.Population
 	Match      matching.Matching
+	// Shards is the shard count the epoch's market was cleared with
+	// (zero for the single unsharded market), and RefinementRounds /
+	// RefinementTrades summarize the cross-shard refinement pass.
+	Shards           int
+	RefinementRounds int
+	RefinementTrades int
 	// PredictedPenalty and TruePenalty are per-agent disutilities under
 	// the assignment, as predicted by agents and as the oracle knows
 	// them.
@@ -370,9 +386,9 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 	f.mu.Unlock()
 	defer f.inflight.Done()
 
-	if f.opts.EpochTimeout > 0 {
+	if f.cfg.Pipeline.EpochTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, f.opts.EpochTimeout)
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.Pipeline.EpochTimeout)
 		defer cancel()
 	}
 
@@ -409,58 +425,108 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		}
 		f.tel.Record(telemetry.EpochSnapshot{
 			Epoch: epochIdx, Source: telemetry.SnapshotSourceCore,
-			Policy: f.opts.Policy.Name(), Seed: f.opts.Seed, Alpha: -1,
+			Policy: f.cfg.Market.Policy.Name(), Seed: f.cfg.Seed, Alpha: -1,
+			Shards: reportedShards(f.cfg.Market.Shards),
 			Agents: agents, Jobs: jobs,
 			Catalog: catalog, Matrix: f.predicted,
 		}.Event())
 	}
-	predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
-	if err != nil {
-		return nil, err
-	}
-	bw := make([]float64, n)
-	for i, j := range pop.Jobs {
-		bw[i] = j.BandwidthGBps
-	}
-
 	if err := ctx.Err(); err != nil {
 		return nil, wrapCanceled(ctx, err)
 	}
+
 	reg := f.tel.Registry()
-	matchSpan := f.tel.Phase(epoch, "match")
-	preProposals := reg.Counter("match.proposals").Value()
-	preRotations := reg.Counter("match.rotations").Value()
-	match, err := f.opts.Policy.Assign(predD, policy.Context{
-		BandwidthGBps: bw,
-		Rand:          f.rng,
-		Metrics:       reg,
-	})
-	if err != nil {
-		return nil, err
+	var (
+		match  matching.Matching
+		recs   []agent.Recommendation
+		predAt func(i, j int) float64
+		mres   *shard.Result
+	)
+	if f.cfg.Market.Shards > 1 {
+		// Sharded market: the job-level matrix is never expanded to the
+		// n×n agent matrix — shards look penalties up through their jobs,
+		// so memory scales with shard size, not population size.
+		names := make([]string, n)
+		for i, job := range pop.Jobs {
+			names[i] = job.Name
+		}
+		jobIdx, err := shard.JobIndices(f.catalog, names)
+		if err != nil {
+			return nil, err
+		}
+		matchSpan := f.tel.Phase(epoch, "match")
+		mk := &shard.Market{
+			Shards:           f.cfg.Market.Shards,
+			RefinementBudget: f.cfg.Market.RefinementBudget,
+			Policy:           f.cfg.Market.Policy,
+			Alpha:            f.cfg.Market.Alpha,
+			Workers:          f.pool.Workers(),
+			Seed:             f.rng.Int63(),
+			Epoch:            epochIdx,
+			Tel:              f.tel,
+			Span:             matchSpan,
+		}
+		mres, err = mk.Clear(ctx, pop.Jobs, jobIdx, f.predicted)
+		if err != nil {
+			return nil, wrapCanceled(ctx, err)
+		}
+		matchSpan.SetAttr("policy", f.cfg.Market.Policy.Name())
+		matchSpan.SetAttr("shards", f.cfg.Market.Shards)
+		matchSpan.SetAttr("refinement_rounds", mres.RefinementRounds)
+		matchSpan.SetAttr("refinement_trades", mres.RefinementTrades)
+		f.tel.End(matchSpan)
+		match, recs = mres.Match, mres.Recommendations
+		predAt = func(i, j int) float64 { return f.predicted[jobIdx[i]][jobIdx[j]] }
+	} else {
+		predD, err := profiler.ExpandToAgents(f.predicted, f.catalog, pop)
+		if err != nil {
+			return nil, err
+		}
+		bw := make([]float64, n)
+		for i, j := range pop.Jobs {
+			bw[i] = j.BandwidthGBps
+		}
+
+		matchSpan := f.tel.Phase(epoch, "match")
+		preProposals := reg.Counter("match.proposals").Value()
+		preRotations := reg.Counter("match.rotations").Value()
+		match, err = f.cfg.Market.Policy.Assign(predD, policy.Context{
+			BandwidthGBps: bw,
+			Rand:          f.rng,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		matchSpan.SetAttr("policy", f.cfg.Market.Policy.Name())
+		matchSpan.SetAttr("proposals", reg.Counter("match.proposals").Value()-preProposals)
+		matchSpan.SetAttr("rotations", reg.Counter("match.rotations").Value()-preRotations)
+		f.tel.End(matchSpan)
+
+		if err := ctx.Err(); err != nil {
+			return nil, wrapCanceled(ctx, err)
+		}
+		agents := make([]*agent.Agent, n)
+		for i := range agents {
+			agents[i] = agent.New(i, pop.Jobs[i].Name, predD[i])
+		}
+		recs, err = agent.Exchange(agents, match, f.cfg.Market.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		predAt = func(i, j int) float64 { return predD[i][j] }
 	}
-	matchSpan.SetAttr("policy", f.opts.Policy.Name())
-	matchSpan.SetAttr("proposals", reg.Counter("match.proposals").Value()-preProposals)
-	matchSpan.SetAttr("rotations", reg.Counter("match.rotations").Value()-preRotations)
-	f.tel.End(matchSpan)
 
 	if err := ctx.Err(); err != nil {
 		return nil, wrapCanceled(ctx, err)
 	}
 	assess := f.tel.Phase(epoch, "assess")
-	agents := make([]*agent.Agent, n)
-	for i := range agents {
-		agents[i] = agent.New(i, pop.Jobs[i].Name, predD[i])
-	}
-	recs, err := agent.Exchange(agents, match, f.opts.Alpha)
-	if err != nil {
-		return nil, err
-	}
 
 	// True penalties come from simulating each matched pair on its own
 	// CMP, fanned out across the worker pool and memoized through the
 	// pair cache. The solve is deterministic, so this equals the oracle
 	// matrix lookup bit for bit at any worker count.
-	trueP, err := policy.TruePenalties(ctx, f.opts.Machine, pop.Jobs, match,
+	trueP, err := policy.TruePenalties(ctx, f.cfg.Machine, pop.Jobs, match,
 		f.pool.Workers(), f.cache)
 	if err != nil {
 		return nil, wrapCanceled(ctx, err)
@@ -474,11 +540,16 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		Recommendations:  recs,
 		BlockingPairs:    agent.BlockingPairsFromRecommendations(recs),
 	}
+	if mres != nil {
+		rep.Shards = f.cfg.Market.Shards
+		rep.RefinementRounds = mres.RefinementRounds
+		rep.RefinementTrades = mres.RefinementTrades
+	}
 	var meanPred float64
 	for i, j := range match {
 		if j != matching.Unmatched {
-			rep.PredictedPenalty[i] = predD[i][j]
-			meanPred += predD[i][j]
+			rep.PredictedPenalty[i] = predAt(i, j)
+			meanPred += predAt(i, j)
 		}
 		switch {
 		case j == matching.Unmatched:
@@ -493,7 +564,7 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 			f.tel.Record(telemetry.Event{
 				Type: telemetry.EventPairMatched, Epoch: epochIdx,
 				Agent: i, Partner: j, Job: pop.Jobs[i].Name,
-				Predicted: predD[i][j], True: trueP[i],
+				Predicted: predAt(i, j), True: trueP[i],
 			})
 		}
 	}

@@ -9,6 +9,44 @@ import (
 // stable roommate assignment exists for the instance.
 var ErrNoStableMatching = errors.New("matching: no stable roommate assignment exists")
 
+// ErrBadPreferences reports structurally invalid preference input:
+// ragged or short lists, out-of-range entries, self-rankings, or
+// duplicates. Test with errors.Is(err, ErrBadPreferences). It is
+// distinct from ErrNoStableMatching — the input never described a valid
+// instance, so no matching question was asked.
+var ErrBadPreferences = errors.New("matching: bad preference lists")
+
+// validateRoomPrefs checks a roommates preference table before any
+// working storage is allocated, so malformed input — however large —
+// costs one scan, not an O(n²) table build.
+func validateRoomPrefs(prefs [][]int) error {
+	n := len(prefs)
+	if n < 2 {
+		return fmt.Errorf("%w: roommates needs at least 2 agents, got %d", ErrBadPreferences, n)
+	}
+	seen := make([]bool, n)
+	for i, list := range prefs {
+		if len(list) != n-1 {
+			return fmt.Errorf("%w: agent %d ranks %d others, want %d",
+				ErrBadPreferences, i, len(list), n-1)
+		}
+		for k := range seen {
+			seen[k] = false
+		}
+		for _, j := range list {
+			if j < 0 || j >= n || j == i {
+				return fmt.Errorf("%w: agent %d has invalid preference %d",
+					ErrBadPreferences, i, j)
+			}
+			if seen[j] {
+				return fmt.Errorf("%w: agent %d ranks %d twice", ErrBadPreferences, i, j)
+			}
+			seen[j] = true
+		}
+	}
+	return nil
+}
+
 // NoStableError wraps ErrNoStableMatching with the agent whose preference
 // list emptied — the witness the adapted policy removes before retrying.
 type NoStableError struct {
@@ -36,11 +74,14 @@ type roomTable struct {
 	rotations int // phase-2 rotations eliminated
 }
 
+// newRoomTable validates prefs and builds the reduction table. The
+// validation pass runs first, before the O(n²) rank and active tables
+// exist, so bad input never pays the allocation.
 func newRoomTable(prefs [][]int) (*roomTable, error) {
-	n := len(prefs)
-	if n < 2 {
-		return nil, fmt.Errorf("matching: roommates needs at least 2 agents, got %d", n)
+	if err := validateRoomPrefs(prefs); err != nil {
+		return nil, err
 	}
+	n := len(prefs)
 	t := &roomTable{
 		n:      n,
 		prefs:  prefs,
@@ -51,21 +92,9 @@ func newRoomTable(prefs [][]int) (*roomTable, error) {
 		hi:     make([]int, n),
 	}
 	for i, list := range prefs {
-		if len(list) != n-1 {
-			return nil, fmt.Errorf("matching: agent %d ranks %d others, want %d",
-				i, len(list), n-1)
-		}
 		t.rank[i] = make([]int, n)
 		t.rank[i][i] = n
-		seen := make([]bool, n)
 		for pos, j := range list {
-			if j < 0 || j >= n || j == i {
-				return nil, fmt.Errorf("matching: agent %d has invalid preference %d", i, j)
-			}
-			if seen[j] {
-				return nil, fmt.Errorf("matching: agent %d ranks %d twice", i, j)
-			}
-			seen[j] = true
 			t.rank[i][j] = pos
 		}
 		t.active[i] = make([]bool, n-1)
@@ -312,7 +341,9 @@ func RoommateBlockingPairs(match Matching, prefs [][]int) [][2]int {
 			rank[i][j] = n
 		}
 		for pos, j := range list {
-			rank[i][j] = pos
+			if j >= 0 && j < n {
+				rank[i][j] = pos
+			}
 		}
 	}
 	prefers := func(i, j int) bool {

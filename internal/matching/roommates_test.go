@@ -123,6 +123,43 @@ func TestStableRoommatesValidation(t *testing.T) {
 	}
 }
 
+func TestStableRoommatesBadPreferencesTyped(t *testing.T) {
+	cases := map[string][][]int{
+		"empty":       {},
+		"single":      {{}},
+		"ragged":      {{1, 2, 3}, {0}, {0, 1, 3}, {0, 1, 2}},
+		"emptyLists":  {{}, {}},
+		"outOfRange":  {{1, 9, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}},
+		"selfRanking": {{0}, {0}},
+		"duplicate":   {{1, 1, 1}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}},
+	}
+	for name, prefs := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := StableRoommates(prefs)
+			if err == nil {
+				t.Fatal("malformed prefs accepted")
+			}
+			if !errors.Is(err, ErrBadPreferences) {
+				t.Fatalf("err = %v, want ErrBadPreferences", err)
+			}
+			if errors.Is(err, ErrNoStableMatching) {
+				t.Fatalf("bad input misreported as no-stable-matching: %v", err)
+			}
+		})
+	}
+	// A valid instance must not trip the validator.
+	if _, err := StableRoommates([][]int{{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}}); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestRoommateBlockingPairsRaggedPrefs(t *testing.T) {
+	// Out-of-range and short lists must not panic the ordinal checker.
+	match := Matching{1, 0, 3, 2}
+	prefs := [][]int{{1, 7}, {0}, {-1, 3, 0}, {2}}
+	_ = RoommateBlockingPairs(match, prefs)
+}
+
 func TestStableRoommatesAgainstBruteForce(t *testing.T) {
 	r := rand.New(rand.NewSource(21))
 	stable, unstable := 0, 0

@@ -26,6 +26,7 @@ package netproto
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"cooper/internal/matching"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
+	"cooper/internal/shard"
 	"cooper/internal/stats"
 	"cooper/internal/telemetry"
 	"cooper/internal/workload"
@@ -104,6 +106,9 @@ type Message struct {
 	PartnerID        int     `json:"partner_id"` // -1 when running solo
 	PartnerJob       string  `json:"partner_job,omitempty"`
 	PredictedPenalty float64 `json:"predicted_penalty,omitempty"`
+	// Shard is the market shard that matched this agent when the
+	// coordinator clears sharded (Server.Shards > 1); omitted otherwise.
+	Shard int `json:"shard,omitempty"`
 
 	// Seq is the assignment round within the connection's lifetime: the
 	// coordinator stamps each assignment push with a monotonically
@@ -146,6 +151,19 @@ type Server struct {
 	Penalties [][]float64
 	// Seed drives the policy's randomness.
 	Seed int64
+	// Shards, when > 1, clears each epoch through the sharded colocation
+	// market: registered agents are consistent-hashed into shards, every
+	// shard is matched in parallel over its own sub-matrix, and a bounded
+	// cross-shard refinement pass reconciles the boundaries. Zero or one
+	// keeps the single all-pairs market.
+	Shards int
+	// RefinementBudget caps cross-shard refinement rounds when sharded:
+	// zero means shard.DefaultRefinementBudget, negative disables the
+	// pass entirely.
+	RefinementBudget int
+	// Workers bounds the sharded market's per-shard fan-out (<= 0 means
+	// GOMAXPROCS). Matchings are bit-identical at any worker count.
+	Workers int
 	// Metrics, when non-nil, receives wire and epoch counters
 	// (net.connections, net.msg_in.*, net.msg_out.*, net.epoch_latency_s,
 	// net.reaped, net.stale, epoch.*). Nil disables recording.
@@ -607,10 +625,14 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 		if s.AuditStability {
 			alpha = s.StabilityAlpha
 		}
+		shards := 0
+		if s.Shards > 1 {
+			shards = s.Shards
+		}
 		s.Events.Record(telemetry.EpochSnapshot{
 			Epoch: epoch, Source: telemetry.SnapshotSourceWire,
 			Policy: s.Policy.Name(), Seed: s.Seed, Alpha: alpha,
-			Agents: agents, Jobs: jobs,
+			Shards: shards, Agents: agents, Jobs: jobs,
 			Catalog: catalog, Matrix: s.Penalties,
 		}.Event())
 	}
@@ -634,21 +656,66 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 		for i, sess := range s.sessions {
 			pop.Jobs[i] = sess.job
 		}
-		d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
-		if err != nil {
-			return Message{}, err
-		}
-		bw := make([]float64, len(pop.Jobs))
-		for i, j := range pop.Jobs {
-			bw[i] = j.BandwidthGBps
-		}
-		match, err := s.Policy.Assign(d, policy.Context{
-			BandwidthGBps: bw,
-			Rand:          s.rng,
-			Metrics:       s.Metrics,
-		})
-		if err != nil {
-			return Message{}, err
+		var (
+			match   matching.Matching
+			shardOf []int
+			pen     func(i, j int) float64
+		)
+		if s.Shards > 1 {
+			// Sharded market: match per shard in parallel, refine across
+			// boundaries, and look penalties up through the job-level
+			// matrix — the n×n agent expansion is never materialized, so
+			// the wire coordinator scales to populations the all-pairs
+			// path cannot hold in memory.
+			names := make([]string, len(s.sessions))
+			ids := make([]int, len(s.sessions))
+			for i, sess := range s.sessions {
+				names[i] = sess.job.Name
+				ids[i] = sess.id
+			}
+			jobIdx, err := shard.JobIndices(s.Catalog, names)
+			if err != nil {
+				return Message{}, err
+			}
+			alpha := 0.0
+			if s.AuditStability {
+				alpha = s.StabilityAlpha
+			}
+			mk := &shard.Market{
+				Shards:           s.Shards,
+				RefinementBudget: s.RefinementBudget,
+				Policy:           s.Policy,
+				Alpha:            alpha,
+				Workers:          s.Workers,
+				Seed:             s.rng.Int63(),
+				Epoch:            epoch,
+				IDs:              ids,
+				Tel:              &telemetry.Telemetry{Metrics: s.Metrics, Events: s.Events},
+			}
+			res, err := mk.Clear(context.Background(), pop.Jobs, jobIdx, s.Penalties)
+			if err != nil {
+				return Message{}, err
+			}
+			match, shardOf = res.Match, res.ShardOf
+			pen = func(i, j int) float64 { return s.Penalties[jobIdx[i]][jobIdx[j]] }
+		} else {
+			d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
+			if err != nil {
+				return Message{}, err
+			}
+			bw := make([]float64, len(pop.Jobs))
+			for i, j := range pop.Jobs {
+				bw[i] = j.BandwidthGBps
+			}
+			match, err = s.Policy.Assign(d, policy.Context{
+				BandwidthGBps: bw,
+				Rand:          s.rng,
+				Metrics:       s.Metrics,
+			})
+			if err != nil {
+				return Message{}, err
+			}
+			pen = func(i, j int) float64 { return d[i][j] }
 		}
 
 		// Push assignments. Partner identity goes out as the partner's
@@ -659,15 +726,18 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 		var dead []*session
 		for i, sess := range s.sessions {
 			msg := Message{Type: "assignment", Seq: s.seq, PartnerID: -1}
+			if shardOf != nil {
+				msg.Shard = shardOf[i]
+			}
 			if match[i] != matching.Unmatched {
 				partner := s.sessions[match[i]]
 				msg.PartnerID = partner.id
 				msg.PartnerJob = partner.job.Name
-				msg.PredictedPenalty = d[i][match[i]]
+				msg.PredictedPenalty = pen(i, match[i])
 				if i < match[i] {
 					s.Events.Record(telemetry.Event{Type: telemetry.EventPairMatched,
 						Epoch: epoch, Agent: sess.id, Partner: partner.id,
-						Job: sess.job.Name, Predicted: d[i][match[i]]})
+						Job: sess.job.Name, Predicted: pen(i, match[i])})
 				}
 			} else {
 				// An explicit solo record (odd population, Threshold
@@ -707,7 +777,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 				breakAways++
 			}
 			if match[i] != matching.Unmatched {
-				meanPenalty += d[i][match[i]]
+				meanPenalty += pen(i, match[i])
 			}
 		}
 		if len(dead) > 0 {
@@ -746,7 +816,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 			h := s.Metrics.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
 			for i := range live {
 				if match[i] != matching.Unmatched {
-					h.Observe(d[i][match[i]])
+					h.Observe(pen(i, match[i]))
 				} else {
 					h.Observe(0)
 				}

@@ -861,3 +861,110 @@ func TestShutdownDrainsInFlightEpoch(t *testing.T) {
 		t.Errorf("Serve = %v, want ErrServerClosed after drain", err)
 	}
 }
+
+// A sharded coordinator (Shards > 1) clears the epoch through the shard
+// market: assignments stay symmetric in wire-ID space, every agent lands
+// in exactly one shard_matched event, each assignment push names its
+// shard, and the epoch snapshot pins the shard count for auditors.
+func TestShardedEpochOverWire(t *testing.T) {
+	const agents = 12
+	srv, catalog := testServer(t, agents, policy.StableRoommate{})
+	srv.Shards = 4
+	srv.Events = telemetry.NewEventRing(4096)
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	assignments := make([]Message, agents)
+	ids := make([]int, agents)
+	errs := make([]error, agents)
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, catalog[i%len(catalog)].Name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			ids[i] = c.AgentID
+			assignments[i], _, errs[i] = c.RunEpoch()
+		}(i)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+
+	// Symmetric matching in wire-ID space; paired agents share a shard
+	// only when refinement did not cross a boundary, so check symmetry,
+	// not shard equality.
+	partner := make(map[int]int, agents)
+	for i, a := range assignments {
+		partner[ids[i]] = a.PartnerID
+	}
+	paired := 0
+	for id, p := range partner {
+		if p < 0 {
+			continue
+		}
+		paired++
+		if back, ok := partner[p]; !ok || back != id {
+			t.Errorf("agent %d paired with %d, but %d paired with %d", id, p, p, back)
+		}
+	}
+	// Each shard pairs internally, so at most one solo per odd-size shard.
+	if paired < agents-4 {
+		t.Errorf("only %d of %d agents paired", paired, agents)
+	}
+
+	// Flight recorder: the snapshot records the shard count and the
+	// shard_matched events cover every wire agent exactly once.
+	seen := map[int]int{}
+	shardEvents := 0
+	for _, e := range srv.Events.Events() {
+		switch e.Type {
+		case telemetry.EventEpochSnapshot:
+			snap, err := e.SnapshotPayload()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			if snap.Shards != 4 {
+				t.Errorf("snapshot shards = %d, want 4", snap.Shards)
+			}
+		case telemetry.EventShardMatched:
+			shardEvents++
+			var members []int
+			if err := json.Unmarshal([]byte(e.Data), &members); err != nil {
+				t.Fatalf("shard_matched data %q: %v", e.Data, err)
+			}
+			if int(e.Value) != len(members) {
+				t.Errorf("shard %d event value %v != %d members", e.Round, e.Value, len(members))
+			}
+			for _, id := range members {
+				seen[id]++
+			}
+		}
+	}
+	if shardEvents == 0 {
+		t.Fatal("no shard_matched events recorded")
+	}
+	if len(seen) != agents {
+		t.Errorf("shard events cover %d agents, want %d", len(seen), agents)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("agent %d appears in %d shards", id, n)
+		}
+	}
+}

@@ -1,0 +1,521 @@
+// Package shard implements Cooper's sharded colocation market: the
+// CARMA-style decomposition that takes the epoch pipeline from one
+// all-pairs O(n²) market to many independent sub-markets cleared in
+// parallel, plus a bounded cross-shard refinement pass that reconciles
+// the boundaries.
+//
+// Agents are placed on shards by consistent hashing over (job class,
+// bandwidth bucket, agent position): the class and bucket give colocated
+// demand a stable home, the position spreads same-class agents so no
+// shard degenerates into one job. Each shard then runs the configured
+// colocation policy over its own sub-matrix with a private RNG stream
+// derived via parallel.SplitSeed, so the merged matching is bit-identical
+// at any worker count. Finally, refinement trades blocking pairs across
+// shard boundaries: each round picks the most dissatisfied agents,
+// finds cross-shard pairs in which both sides gain more than alpha, and
+// greedily applies disjoint trades best-gain-first until no such pair
+// remains or the round budget is exhausted.
+//
+// Crucially, nothing in this package materializes the n×n agent-level
+// penalty matrix. Penalties are looked up through the job-level matrix
+// (the agent-level penalty of a pair is the matrix entry for their jobs),
+// so memory scales with shard size, not population size.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"cooper/internal/agent"
+	"cooper/internal/matching"
+	"cooper/internal/parallel"
+	"cooper/internal/policy"
+	"cooper/internal/stats"
+	"cooper/internal/telemetry"
+	"cooper/internal/workload"
+)
+
+// Defaults for the refinement pass.
+const (
+	// DefaultRefinementBudget is the maximum number of cross-shard
+	// refinement rounds when Market.RefinementBudget is zero.
+	DefaultRefinementBudget = 4
+	// DefaultRefinementCandidates bounds how many of the most dissatisfied
+	// agents each refinement round considers for cross-shard trades. The
+	// bound is what keeps refinement sub-quadratic: a round inspects at
+	// most candidates² pairs regardless of population size.
+	DefaultRefinementCandidates = 128
+
+	// virtualNodes is the number of ring points per shard. Enough that
+	// shard loads stay within a few percent of each other, small enough
+	// that building the ring stays negligible next to matching.
+	virtualNodes = 64
+
+	// bandwidthBucketGBps is the granularity of the bandwidth component of
+	// the hash key: agents within the same 4 GB/s band share a bucket.
+	bandwidthBucketGBps = 4.0
+)
+
+// Ring is a consistent-hash ring mapping agent keys onto shards. The
+// assignment of a key depends only on the shard count, never on the
+// population, so an agent keeps its shard as others come and go.
+type Ring struct {
+	shards int
+	hashes []uint64
+	owner  []int
+}
+
+// NewRing builds a ring with virtualNodes points per shard. shards < 1 is
+// treated as 1.
+func NewRing(shards int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Ring{
+		shards: shards,
+		hashes: make([]uint64, 0, shards*virtualNodes),
+		owner:  make([]int, 0, shards*virtualNodes),
+	}
+	type point struct {
+		h     uint64
+		shard int
+	}
+	points := make([]point, 0, shards*virtualNodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			points = append(points, point{hash64(fmt.Sprintf("shard-%d-vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].h != points[b].h {
+			return points[a].h < points[b].h
+		}
+		// A 64-bit collision between vnode labels is effectively
+		// impossible, but break it deterministically anyway.
+		return points[a].shard < points[b].shard
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.shard)
+	}
+	return r
+}
+
+// Shards returns the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard owning key: the first ring point at or after
+// the key's hash, wrapping around.
+func (r *Ring) Shard(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// Key builds the consistent-hash key for agent i running job: the job
+// class and bandwidth bucket anchor the key, the position spreads
+// same-class agents across shards.
+func Key(job string, bandwidthGBps float64, i int) string {
+	bucket := int(bandwidthGBps / bandwidthBucketGBps)
+	return fmt.Sprintf("%s|%d|%d", job, bucket, i)
+}
+
+// Partition assigns every agent of the population to a shard. It returns
+// shardOf (agent index → shard) and the member lists per shard, each in
+// ascending agent order.
+func (r *Ring) Partition(jobs []workload.Job) (shardOf []int, groups [][]int) {
+	shardOf = make([]int, len(jobs))
+	groups = make([][]int, r.shards)
+	for i, j := range jobs {
+		s := r.Shard(Key(j.Name, j.BandwidthGBps, i))
+		shardOf[i] = s
+		groups[s] = append(groups[s], i)
+	}
+	return shardOf, groups
+}
+
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// JobIndices maps each job name to its row in the catalog, the index
+// space of the job-level penalty matrix.
+func JobIndices(catalog []workload.Job, jobs []string) ([]int, error) {
+	byName := make(map[string]int, len(catalog))
+	for i, j := range catalog {
+		byName[j.Name] = i
+	}
+	idx := make([]int, len(jobs))
+	for i, name := range jobs {
+		j, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("shard: job %q not in catalog", name)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// Market clears one epoch's colocation market across shards.
+type Market struct {
+	// Shards is the shard count; < 1 means 1.
+	Shards int
+	// RefinementBudget caps cross-shard refinement rounds: 0 means
+	// DefaultRefinementBudget, negative disables refinement.
+	RefinementBudget int
+	// RefinementCandidates bounds the per-round trade candidate set
+	// (0 means DefaultRefinementCandidates).
+	RefinementCandidates int
+	// Policy clears each shard. Required.
+	Policy policy.Policy
+	// Alpha is the minimum mutual gain for refinement trades and blocking
+	// partners, the paper's Figure 10 criterion.
+	Alpha float64
+	// Workers bounds the per-shard fan-out (<= 0 means GOMAXPROCS). Any
+	// value yields bit-identical results.
+	Workers int
+	// Seed derives the per-shard RNG streams via parallel.SplitSeed.
+	Seed int64
+	// Epoch stamps the flight-recorder events.
+	Epoch int
+	// IDs maps agent indices to the event-log ID space (wire AgentIDs for
+	// netproto, nil for the identity mapping of in-process epochs).
+	IDs []int
+	// Tel receives per-shard spans and shard_matched/refinement_round
+	// events. Nil disables observability.
+	Tel *telemetry.Telemetry
+	// Span, when non-nil, parents the per-shard spans.
+	Span *telemetry.Span
+}
+
+// Result is the outcome of clearing a sharded market.
+type Result struct {
+	// Match is the merged global matching.
+	Match matching.Matching
+	// ShardOf maps each agent index to its shard.
+	ShardOf []int
+	// Groups lists each shard's members in ascending agent order.
+	Groups [][]int
+	// Recommendations are the agents' strategic assessments against the
+	// refined matching, computed shard-locally (each agent exchanges
+	// messages within its shard, as a decentralized deployment would).
+	Recommendations []agent.Recommendation
+	// RefinementRounds and RefinementTrades summarize the cross-shard
+	// refinement pass.
+	RefinementRounds int
+	RefinementTrades int
+}
+
+// Clear partitions the population, clears every shard in parallel under
+// the configured policy, applies bounded cross-shard refinement, and
+// computes shard-local recommendations against the final matching.
+// jobs[i] is agent i's job, jobIdx[i] its row in the job-level penalty
+// matrix. The matrix is never expanded to agents.
+func (m *Market) Clear(ctx context.Context, jobs []workload.Job, jobIdx []int, matrix [][]float64) (*Result, error) {
+	n := len(jobs)
+	if m.Policy == nil {
+		return nil, fmt.Errorf("shard: market needs a policy")
+	}
+	if len(jobIdx) != n {
+		return nil, fmt.Errorf("shard: %d job indices for %d agents", len(jobIdx), n)
+	}
+	for i, j := range jobIdx {
+		if j < 0 || j >= len(matrix) {
+			return nil, fmt.Errorf("shard: agent %d job index %d outside %d-job matrix", i, j, len(matrix))
+		}
+		if len(matrix[j]) != len(matrix) {
+			return nil, fmt.Errorf("shard: matrix row %d has %d entries, want %d", j, len(matrix[j]), len(matrix))
+		}
+	}
+	if m.IDs != nil && len(m.IDs) != n {
+		return nil, fmt.Errorf("shard: %d event IDs for %d agents", len(m.IDs), n)
+	}
+
+	ring := NewRing(m.Shards)
+	shardOf, groups := ring.Partition(jobs)
+	shards := ring.Shards()
+	pen := func(i, j int) float64 { return matrix[jobIdx[i]][jobIdx[j]] }
+
+	// Clear every shard concurrently. Each shard sees only its own
+	// sub-matrix and a private SplitSeed RNG stream; results land in
+	// per-shard slots, so the merge below is independent of scheduling.
+	local := make([]matching.Matching, shards)
+	err := parallel.ForEach(ctx, m.Workers, shards, func(s int) error {
+		g := groups[s]
+		if len(g) == 0 {
+			return nil
+		}
+		sp := m.Tel.Phase(m.Span, "shard")
+		sp.SetAttr("shard", s)
+		sp.SetAttr("agents", len(g))
+		defer m.Tel.End(sp)
+
+		sub := make([][]float64, len(g))
+		backing := make([]float64, len(g)*len(g))
+		bw := make([]float64, len(g))
+		for a, i := range g {
+			row := backing[a*len(g) : (a+1)*len(g)]
+			for b, j := range g {
+				if i == j {
+					row[b] = 0
+				} else {
+					row[b] = pen(i, j)
+				}
+			}
+			sub[a] = row
+			bw[a] = jobs[i].BandwidthGBps
+		}
+		lm, err := m.Policy.Assign(sub, policy.Context{
+			BandwidthGBps: bw,
+			Rand:          stats.NewRand(parallel.SplitSeed(m.Seed, int64(s))),
+			Metrics:       m.Tel.Registry(),
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d (%d agents): %w", s, len(g), err)
+		}
+		local[s] = lm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge shard-local matchings into the global index space and emit
+	// one shard_matched event per shard — in shard order, on the calling
+	// goroutine, after the fan-out joined, so the event sequence is
+	// invariant to worker count.
+	match := make(matching.Matching, n)
+	for i := range match {
+		match[i] = matching.Unmatched
+	}
+	for s, g := range groups {
+		for a, b := range local[s] {
+			if b != matching.Unmatched {
+				match[g[a]] = g[b]
+			}
+		}
+	}
+	for s, g := range groups {
+		members := make([]int, len(g))
+		for a, i := range g {
+			members[a] = m.id(i)
+		}
+		data, _ := json.Marshal(members)
+		m.Tel.Record(telemetry.Event{
+			Type: telemetry.EventShardMatched, Epoch: m.Epoch,
+			Agent: -1, Partner: -1, Round: s,
+			Value: float64(len(g)), Data: string(data),
+		})
+	}
+
+	res := &Result{Match: match, ShardOf: shardOf, Groups: groups}
+	m.refine(res, pen)
+
+	// Recommendations against the final matching, one shard at a time in
+	// parallel, each agent's result written to its own slot.
+	recs := make([]agent.Recommendation, n)
+	err = parallel.ForEach(ctx, m.Workers, shards, func(s int) error {
+		for _, i := range groups[s] {
+			recs[i] = m.recommend(i, groups[s], match, pen)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Recommendations = recs
+	return res, nil
+}
+
+func (m *Market) id(i int) int {
+	if m.IDs == nil {
+		return i
+	}
+	return m.IDs[i]
+}
+
+// current returns agent i's predicted penalty under match (solo agents
+// run alone at zero penalty, the paper's convention).
+func current(i int, match matching.Matching, pen func(i, j int) float64) float64 {
+	if match[i] == matching.Unmatched {
+		return 0
+	}
+	return pen(i, match[i])
+}
+
+// recommend is the shard-local equivalent of the agents' message-exchange
+// protocol: agent i's blocking partners are shard co-members that i
+// prefers over its current partner by more than alpha and that prefer i
+// back by more than alpha, ordered best-first with index tie-breaks.
+func (m *Market) recommend(i int, group []int, match matching.Matching, pen func(i, j int) float64) agent.Recommendation {
+	curI := current(i, match, pen)
+	var blocking []int
+	for _, j := range group {
+		if j == i || j == match[i] {
+			continue
+		}
+		if curI-pen(i, j) > m.Alpha && current(j, match, pen)-pen(j, i) > m.Alpha {
+			blocking = append(blocking, j)
+		}
+	}
+	rec := agent.Recommendation{AgentID: i, Action: agent.Participate}
+	if len(blocking) > 0 {
+		sort.Slice(blocking, func(x, y int) bool {
+			px, py := pen(i, blocking[x]), pen(i, blocking[y])
+			if px != py {
+				return px < py
+			}
+			return blocking[x] < blocking[y]
+		})
+		rec.Action = agent.BreakAway
+		rec.BlockingPartners = blocking
+		rec.ExpectedGain = curI - pen(i, blocking[0])
+	}
+	return rec
+}
+
+// trade is one cross-shard rewiring candidate: pair i with j, both
+// gaining more than alpha over their current assignments.
+type trade struct {
+	i, j int
+	gain float64
+}
+
+// refine runs the bounded cross-shard refinement loop on res.Match,
+// recording one refinement_round event per applied round.
+func (m *Market) refine(res *Result, pen func(i, j int) float64) {
+	budget := m.RefinementBudget
+	if budget == 0 {
+		budget = DefaultRefinementBudget
+	}
+	if budget < 0 || len(res.Groups) < 2 {
+		return
+	}
+	cands := m.RefinementCandidates
+	if cands <= 0 {
+		cands = DefaultRefinementCandidates
+	}
+	for round := 1; round <= budget; round++ {
+		trades, gain := m.refineOnce(res, pen, cands)
+		if len(trades) == 0 {
+			break
+		}
+		res.RefinementRounds = round
+		res.RefinementTrades += len(trades)
+		pairs := make([][2]int, len(trades))
+		for k, t := range trades {
+			pairs[k] = [2]int{m.id(t.i), m.id(t.j)}
+		}
+		data, _ := json.Marshal(pairs)
+		m.Tel.Record(telemetry.Event{
+			Type: telemetry.EventRefinementRound, Epoch: m.Epoch,
+			Agent: -1, Partner: -1, Round: round,
+			Value: float64(len(trades)), Predicted: gain,
+			Data: string(data),
+		})
+	}
+}
+
+// refineOnce selects and applies one round of disjoint cross-shard
+// trades, best combined gain first, and returns the trades applied.
+func (m *Market) refineOnce(res *Result, pen func(i, j int) float64, cands int) ([]trade, float64) {
+	match := res.Match
+	// The most dissatisfied agents: highest current predicted penalty
+	// first, index tie-break. Solo agents carry zero penalty and only
+	// surface once everyone dissatisfied is considered.
+	order := make([]int, len(match))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := current(order[a], match, pen), current(order[b], match, pen)
+		if pa != pb {
+			return pa > pb
+		}
+		return order[a] < order[b]
+	})
+	if len(order) > cands {
+		order = order[:cands]
+	}
+
+	// Every cross-shard pair of candidates in which both sides gain more
+	// than alpha is a candidate trade.
+	var proposals []trade
+	for x := 0; x < len(order); x++ {
+		for y := x + 1; y < len(order); y++ {
+			i, j := order[x], order[y]
+			if res.ShardOf[i] == res.ShardOf[j] || match[i] == j {
+				continue
+			}
+			gi := current(i, match, pen) - pen(i, j)
+			gj := current(j, match, pen) - pen(j, i)
+			if gi > m.Alpha && gj > m.Alpha {
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				proposals = append(proposals, trade{i: a, j: b, gain: gi + gj})
+			}
+		}
+	}
+	sort.Slice(proposals, func(a, b int) bool {
+		if proposals[a].gain != proposals[b].gain {
+			return proposals[a].gain > proposals[b].gain
+		}
+		if proposals[a].i != proposals[b].i {
+			return proposals[a].i < proposals[b].i
+		}
+		return proposals[a].j < proposals[b].j
+	})
+
+	// Greedily apply disjoint trades. A trade touches i, j, and their
+	// abandoned partners, so all four are locked; the precomputed gains
+	// stay exact because no applied trade overlaps another.
+	used := make(map[int]bool)
+	var applied []trade
+	var total float64
+	for _, t := range proposals {
+		pi, pj := match[t.i], match[t.j]
+		if used[t.i] || used[t.j] {
+			continue
+		}
+		if pi != matching.Unmatched && used[pi] {
+			continue
+		}
+		if pj != matching.Unmatched && used[pj] {
+			continue
+		}
+		match[t.i], match[t.j] = t.j, t.i
+		// Abandoned partners pair with each other when both exist — the
+		// trade conserves colocation count — and run solo otherwise.
+		switch {
+		case pi != matching.Unmatched && pj != matching.Unmatched:
+			match[pi], match[pj] = pj, pi
+		case pi != matching.Unmatched:
+			match[pi] = matching.Unmatched
+		case pj != matching.Unmatched:
+			match[pj] = matching.Unmatched
+		}
+		used[t.i], used[t.j] = true, true
+		if pi != matching.Unmatched {
+			used[pi] = true
+		}
+		if pj != matching.Unmatched {
+			used[pj] = true
+		}
+		applied = append(applied, t)
+		total += t.gain
+	}
+	return applied, total
+}

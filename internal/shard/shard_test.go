@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cooper/internal/matching"
+	"cooper/internal/policy"
+	"cooper/internal/telemetry"
+	"cooper/internal/workload"
+)
+
+// testJobs builds a synthetic population cycling over the given names.
+func testJobs(n int, names ...string) ([]workload.Job, []int) {
+	jobs := make([]workload.Job, n)
+	idx := make([]int, n)
+	for i := range jobs {
+		k := i % len(names)
+		jobs[i] = workload.Job{Name: names[k], BandwidthGBps: float64(k+1) * 3}
+		idx[i] = k
+	}
+	return jobs, idx
+}
+
+// testMatrix is a deterministic job-level penalty matrix over k jobs.
+func testMatrix(k int) [][]float64 {
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = make([]float64, k)
+		for j := range m[i] {
+			m[i][j] = 0.05 + 0.1*float64(i) + 0.03*float64(j)
+		}
+	}
+	return m
+}
+
+func TestRingPartitionCoverage(t *testing.T) {
+	jobs, _ := testJobs(500, "a", "b", "c", "d")
+	for _, shards := range []int{1, 3, 8} {
+		ring := NewRing(shards)
+		shardOf, groups := ring.Partition(jobs)
+		seen := make(map[int]int)
+		for s, g := range groups {
+			for _, i := range g {
+				seen[i]++
+				if shardOf[i] != s {
+					t.Fatalf("shards=%d: agent %d in group %d but shardOf=%d", shards, i, s, shardOf[i])
+				}
+			}
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("shards=%d: %d agents covered, want %d", shards, len(seen), len(jobs))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("shards=%d: agent %d appears %d times", shards, i, c)
+			}
+		}
+	}
+}
+
+func TestRingStableAssignment(t *testing.T) {
+	// The same key maps to the same shard on independently built rings.
+	a, b := NewRing(16), NewRing(16)
+	for i := 0; i < 100; i++ {
+		k := Key("job", float64(i), i)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("key %q unstable: %d vs %d", k, a.Shard(k), b.Shard(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	jobs, _ := testJobs(4000, "a", "b", "c", "d", "e")
+	_, groups := NewRing(8).Partition(jobs)
+	for s, g := range groups {
+		if len(g) < 100 {
+			t.Errorf("shard %d has only %d of 4000 agents", s, len(g))
+		}
+	}
+}
+
+func TestClearDeterministicAcrossWorkers(t *testing.T) {
+	jobs, idx := testJobs(120, "a", "b", "c", "d", "e", "f")
+	matrix := testMatrix(6)
+	var base *Result
+	for _, workers := range []int{1, 4, 8} {
+		m := &Market{
+			Shards: 4, Policy: policy.StableMarriageRandom{},
+			Workers: workers, Seed: 17,
+		}
+		res, err := m.Clear(context.Background(), jobs, idx, matrix)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("workers=%d: result differs from workers=1", workers)
+		}
+	}
+}
+
+func TestClearEventsAndCoverage(t *testing.T) {
+	jobs, idx := testJobs(90, "a", "b", "c")
+	matrix := testMatrix(3)
+	tel := telemetry.New()
+	m := &Market{
+		Shards: 4, Policy: policy.StableMarriageRandom{},
+		Seed: 5, Epoch: 2, Tel: tel,
+	}
+	res, err := m.Clear(context.Background(), jobs, idx, matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching must be a valid involution over the population.
+	for i, j := range res.Match {
+		if j == matching.Unmatched {
+			continue
+		}
+		if res.Match[j] != i {
+			t.Fatalf("match not symmetric at %d: %d -> %d -> %d", i, j, j, res.Match[j])
+		}
+	}
+	var shardEvents int
+	covered := make(map[int]bool)
+	for _, e := range tel.Events.Events() {
+		switch e.Type {
+		case telemetry.EventShardMatched:
+			shardEvents++
+			if e.Epoch != 2 {
+				t.Errorf("shard_matched epoch = %d, want 2", e.Epoch)
+			}
+			var members []int
+			if err := json.Unmarshal([]byte(e.Data), &members); err != nil {
+				t.Fatalf("shard_matched data: %v", err)
+			}
+			if len(members) != int(e.Value) {
+				t.Errorf("shard %d: %d members but Value=%v", e.Round, len(members), e.Value)
+			}
+			for _, a := range members {
+				if covered[a] {
+					t.Errorf("agent %d in two shards", a)
+				}
+				covered[a] = true
+			}
+		case telemetry.EventRefinementRound:
+			var pairs [][2]int
+			if err := json.Unmarshal([]byte(e.Data), &pairs); err != nil {
+				t.Fatalf("refinement_round data: %v", err)
+			}
+			if len(pairs) != int(e.Value) {
+				t.Errorf("round %d: %d trades but Value=%v", e.Round, len(pairs), e.Value)
+			}
+		}
+	}
+	if shardEvents != 4 {
+		t.Fatalf("shard_matched events = %d, want 4", shardEvents)
+	}
+	if len(covered) != len(jobs) {
+		t.Fatalf("shard events cover %d agents, want %d", len(covered), len(jobs))
+	}
+}
+
+func TestClearUsesWireIDs(t *testing.T) {
+	jobs, idx := testJobs(20, "a", "b")
+	matrix := testMatrix(2)
+	ids := make([]int, len(jobs))
+	for i := range ids {
+		ids[i] = 1000 + i
+	}
+	tel := telemetry.New()
+	m := &Market{Shards: 2, Policy: policy.Greedy{}, Seed: 1, IDs: ids, Tel: tel}
+	if _, err := m.Clear(context.Background(), jobs, idx, matrix); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tel.Events.Events() {
+		if e.Type != telemetry.EventShardMatched {
+			continue
+		}
+		var members []int
+		if err := json.Unmarshal([]byte(e.Data), &members); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range members {
+			if a < 1000 {
+				t.Fatalf("shard event carries index %d, want wire ID", a)
+			}
+		}
+	}
+}
+
+func TestRefineTradesBlockingPair(t *testing.T) {
+	// Four agents, two shards. Agents 0 and 2 sit in different shards,
+	// each matched expensively within its shard; pairing them is much
+	// better for both, so refinement must trade.
+	pen := func(i, j int) float64 {
+		cost := [][]float64{
+			{0, 0.9, 0.1, 0.8},
+			{0.9, 0, 0.8, 0.7},
+			{0.1, 0.8, 0, 0.9},
+			{0.8, 0.7, 0.9, 0},
+		}
+		return cost[i][j]
+	}
+	res := &Result{
+		Match:   matching.Matching{1, 0, 3, 2},
+		ShardOf: []int{0, 0, 1, 1},
+		Groups:  [][]int{{0, 1}, {2, 3}},
+	}
+	m := &Market{Shards: 2}
+	m.refine(res, pen)
+	if res.RefinementTrades == 0 {
+		t.Fatal("no refinement trades applied")
+	}
+	if res.Match[0] != 2 || res.Match[2] != 0 {
+		t.Fatalf("expected 0-2 pairing, got match %v", res.Match)
+	}
+	// The abandoned partners 1 and 3 pair with each other.
+	if res.Match[1] != 3 || res.Match[3] != 1 {
+		t.Fatalf("abandoned partners not paired: %v", res.Match)
+	}
+}
+
+func TestRefineRespectsAlpha(t *testing.T) {
+	pen := func(i, j int) float64 {
+		cost := [][]float64{
+			{0, 0.5, 0.45, 0.6},
+			{0.5, 0, 0.6, 0.6},
+			{0.45, 0.6, 0, 0.5},
+			{0.6, 0.6, 0.5, 0},
+		}
+		return cost[i][j]
+	}
+	res := &Result{
+		Match:   matching.Matching{1, 0, 3, 2},
+		ShardOf: []int{0, 0, 1, 1},
+		Groups:  [][]int{{0, 1}, {2, 3}},
+	}
+	// Gain for the 0-2 trade is 0.05 per side; alpha 0.1 forbids it.
+	m := &Market{Shards: 2, Alpha: 0.1}
+	m.refine(res, pen)
+	if res.RefinementTrades != 0 {
+		t.Fatalf("trade applied despite alpha: %v", res.Match)
+	}
+}
+
+func TestRefineBudgetDisablesPass(t *testing.T) {
+	pen := func(i, j int) float64 {
+		cost := [][]float64{
+			{0, 0.9, 0.1, 0.8},
+			{0.9, 0, 0.8, 0.7},
+			{0.1, 0.8, 0, 0.9},
+			{0.8, 0.7, 0, 0},
+		}
+		return cost[i][j]
+	}
+	res := &Result{
+		Match:   matching.Matching{1, 0, 3, 2},
+		ShardOf: []int{0, 0, 1, 1},
+		Groups:  [][]int{{0, 1}, {2, 3}},
+	}
+	m := &Market{Shards: 2, RefinementBudget: -1}
+	m.refine(res, pen)
+	if res.RefinementTrades != 0 {
+		t.Fatal("refinement ran with negative budget")
+	}
+}
+
+func TestJobIndices(t *testing.T) {
+	catalog := []workload.Job{{Name: "a"}, {Name: "b"}}
+	idx, err := JobIndices(catalog, []string{"b", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx, []int{1, 0, 1}) {
+		t.Fatalf("idx = %v", idx)
+	}
+	if _, err := JobIndices(catalog, []string{"nope"}); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestClearValidation(t *testing.T) {
+	jobs, idx := testJobs(4, "a")
+	m := &Market{Shards: 2, Policy: policy.Greedy{}}
+	if _, err := m.Clear(context.Background(), jobs, idx[:2], testMatrix(1)); err == nil {
+		t.Error("short jobIdx accepted")
+	}
+	if _, err := m.Clear(context.Background(), jobs, []int{0, 0, 0, 5}, testMatrix(1)); err == nil {
+		t.Error("out-of-range job index accepted")
+	}
+	m.Policy = nil
+	if _, err := m.Clear(context.Background(), jobs, idx, testMatrix(1)); err == nil {
+		t.Error("nil policy accepted")
+	}
+}

@@ -54,6 +54,10 @@ type EpochSnapshot struct {
 	Jobs []string `json:"jobs"`
 	// Catalog names the rows/columns of Matrix.
 	Catalog []string `json:"catalog"`
+	// Shards is the shard count the epoch's market was cleared with; zero
+	// or one means the single unsharded market (the field predates the
+	// sharded market in old logs, so zero is the compatible default).
+	Shards int `json:"shards,omitempty"`
 	// Matrix is the job-level predicted penalty matrix: Matrix[i][j] is
 	// catalog job i's penalty when colocated with catalog job j. The
 	// agent-level penalty of a pair is the matrix entry for their jobs

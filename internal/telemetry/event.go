@@ -63,8 +63,20 @@ const (
 	EventAgentUnpaired EventType = "agent_unpaired"
 	// EventInvariantViolated records a live audit failure: Kind is the
 	// invariant (stability, conservation, coverage, lifecycle, bracket,
-	// snapshot), Data the human-readable detail.
+	// snapshot, shard, refinement), Data the human-readable detail.
 	EventInvariantViolated EventType = "invariant_violated"
+	// EventShardMatched records one cleared market shard: Round is the
+	// shard index, Value the shard's population size, and Data a JSON
+	// array of the member agent IDs (session order). One event per shard,
+	// emitted in shard order after the parallel per-shard matching joins,
+	// so the sequence is invariant to worker count.
+	EventShardMatched EventType = "shard_matched"
+	// EventRefinementRound records one bounded cross-shard refinement
+	// round: Round is the 1-based round number, Value the number of trades
+	// applied, Predicted the summed predicted-penalty improvement across
+	// both sides of every trade, and Data a JSON array of [agent, partner]
+	// pairs that were newly paired across shard boundaries.
+	EventRefinementRound EventType = "refinement_round"
 )
 
 // Event is one flight-recorder record: something that happened at a

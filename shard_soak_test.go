@@ -1,0 +1,122 @@
+package cooper
+
+// Determinism soak for the sharded colocation market. The sharding
+// contract has three legs: worker count is never a semantics knob (for
+// a fixed shard count the epoch report is byte-identical at any
+// Workers value), Shards: 1 routes through the identical unsharded
+// path, and a sharded run's flight-recorder stream survives the full
+// invariant audit — shard coverage, refinement trades, conservation —
+// with zero violations. `make race` runs all of this under the race
+// detector, so the per-shard parallel clear is also exercised for
+// data races.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"cooper/internal/audit"
+)
+
+const soakSeed = 21
+
+// shardedEpochJSON runs one oracle epoch at the given shard and worker
+// counts and returns the report serialized for bytewise comparison.
+func shardedEpochJSON(t *testing.T, agents, shards, workers int) []byte {
+	t.Helper()
+	f, err := New(
+		WithOracle(),
+		WithSeed(soakSeed),
+		WithShards(shards),
+		WithWorkers(workers),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.RunEpoch(f.SamplePopulation(agents, Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestShardedWorkerCountDeterminism pins the tentpole guarantee: for
+// every shard count, Workers: 1 and Workers: 8 produce byte-identical
+// epoch reports. Shard results land in pre-assigned slots and each
+// shard draws from its own split RNG stream, so the worker pool only
+// changes wall-clock time.
+func TestShardedWorkerCountDeterminism(t *testing.T) {
+	const agents = 240
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			serial := shardedEpochJSON(t, agents, shards, 1)
+			parallel := shardedEpochJSON(t, agents, shards, 8)
+			if string(serial) != string(parallel) {
+				t.Fatalf("shards=%d: epoch reports diverge between Workers:1 and Workers:8\nserial:   %.200s\nparallel: %.200s",
+					shards, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestShardOneMatchesUnsharded pins the compatibility leg: Shards: 1
+// must take the classic unsharded code path, reproducing its report
+// byte for byte. (Differing shard counts legitimately produce different
+// matchings; only the 0 ↔ 1 boundary is an identity.)
+func TestShardOneMatchesUnsharded(t *testing.T) {
+	const agents = 240
+	unsharded := shardedEpochJSON(t, agents, 0, 1)
+	one := shardedEpochJSON(t, agents, 1, 1)
+	if string(unsharded) != string(one) {
+		t.Fatalf("Shards:1 report differs from the unsharded pipeline\nunsharded: %.200s\nshards=1:  %.200s",
+			unsharded, one)
+	}
+}
+
+// TestShardedRunPassesAudit replays a sharded epoch's flight-recorder
+// stream through the invariant auditor: the shard_matched events must
+// partition the population exactly once, refinement trades must be
+// cross-shard and disjoint, and pair conservation must hold — zero
+// violations, for several shard counts and both worker extremes.
+func TestShardedRunPassesAudit(t *testing.T) {
+	const agents = 240
+	for _, shards := range []int{4, 16} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards%d/workers%d", shards, workers), func(t *testing.T) {
+				tel := NewTelemetry()
+				f, err := New(
+					WithOracle(),
+					WithSeed(soakSeed),
+					WithShards(shards),
+					WithWorkers(workers),
+					WithTelemetry(tel),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.RunEpoch(f.SamplePopulation(agents, Uniform())); err != nil {
+					t.Fatal(err)
+				}
+
+				rep := audit.Replay(tel.Events.Events(), audit.Options{})
+				if rep.Epochs != 1 {
+					t.Fatalf("auditor saw %d completed epochs, want 1", rep.Epochs)
+				}
+				if !rep.OK() {
+					for _, v := range rep.Violations {
+						t.Errorf("audit violation [%s] epoch %d: %s", v.Invariant, v.Epoch, v.Detail)
+					}
+				}
+				if dropped := tel.Events.Dropped(); dropped != 0 {
+					t.Fatalf("event ring dropped %d events; audit coverage incomplete", dropped)
+				}
+			})
+		}
+	}
+}
