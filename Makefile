@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-compare bench-shard snapshot clean
+.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-approx bench-compare bench-shard snapshot clean
 
 all: build
 
@@ -51,8 +51,9 @@ audit:
 # ci is the full verification gate: static checks, a clean build, the
 # test suite under the race detector, the chaos suite, the flight-log
 # audit round-trip, a one-iteration benchmark smoke run so benchmarks
-# cannot bit-rot silently, and the sharded-market smoke gate.
-ci: lint build race chaos audit bench-smoke bench-shard
+# cannot bit-rot silently, the approximate-kernel recall/speedup gate,
+# and the sharded-market smoke gate.
+ci: lint build race chaos audit bench-smoke bench-approx bench-shard
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
@@ -68,11 +69,21 @@ bench-parallel:
 	$(GO) test -bench 'ProfilingCampaign|EpochPipeline' -benchtime=1s -run xxx .
 
 # bench-recommend benchmarks the flat prediction kernel against the
-# retained reference kernel (single thread, n = 20/100/400) and refreshes
-# the committed snapshot BENCH_recommend.json. Fails if the flat kernel's
-# n=400 speedup drops below 2x.
+# retained reference kernel (single thread, n = 20/100/400), the
+# LSH-bucketed approximate kernel against the flat one (n = 2000/5000),
+# and refreshes the committed snapshot BENCH_recommend.json. Fails if the
+# flat kernel's n=400 speedup drops below 2x or the approximate gate
+# (below) fails.
 bench-recommend:
 	@$(GO) run ./cmd/bench-compare -recommend-only -recommend-out BENCH_recommend.json
+
+# bench-approx is the approximate-kernel acceptance gate: top-10 recall
+# against the exact kernel must stay at or above 0.95 at n=400, and the
+# approximate kernel must clear at least a 5x speedup over the exact
+# flat kernel at n=2000. Skips the n=5000 approx-only measurement leg so
+# the gate stays CI-sized.
+bench-approx:
+	@$(GO) run ./cmd/bench-compare -approx-only
 
 # bench-shard is the sharded-market smoke gate: shards=1 must reproduce
 # the unsharded epoch report byte for byte, and at 5000 agents on a 4+

@@ -2,8 +2,11 @@
 // counterpart: it benchmarks the profiling campaign and the epoch
 // pipeline at Workers:1 and Workers:8 and exits non-zero if the parallel
 // legs regress. It also gates the flat prediction kernel against the
-// retained naive reference kernel (-recommend-only runs just that leg;
-// -recommend-out snapshots it to BENCH_recommend.json).
+// retained naive reference kernel, and the LSH-bucketed approximate
+// kernel against the exact flat kernel — top-K recall at n=400 plus a
+// speedup floor at n=2000 (-recommend-only runs the kernel gates,
+// -approx-only just the approximate one; -recommend-out snapshots the
+// kernel legs to BENCH_recommend.json).
 //
 // The parallel gate is core-count aware. Parallelism cannot beat the
 // serial path on a single-core host, so at GOMAXPROCS=1 the gate only
@@ -44,13 +47,41 @@ const overheadAllowance = 1.15
 // dominate there).
 const kernelSpeedupFloor = 2.0
 
+// approxSpeedupFloor is what the LSH-bucketed approximate kernel must
+// deliver over the exact flat kernel at n=2000, single thread, and
+// approxRecallFloor how much of the exact kernel's per-row top-10
+// lowest-penalty neighbors it must recover at n=400 (the bounded
+// equivalence contract — same floor the package's recall-gate test
+// pins across matrix shapes).
+const (
+	approxSpeedupFloor = 5.0
+	approxRecallFloor  = 0.95
+	approxRecallN      = 400
+	approxRecallTopK   = 10
+	approxBenchN       = 2000
+	approxOnlyN        = 5000
+)
+
 func main() {
 	recommendOnly := flag.Bool("recommend-only", false,
-		"run only the prediction-kernel gate")
+		"run only the prediction-kernel gate (exact and approximate legs)")
+	approxOnly := flag.Bool("approx-only", false,
+		"run only the approximate-kernel gate (top-K recall at n=400, "+
+			"speedup floor over exact at n=2000)")
 	recommendOut := flag.String("recommend-out", "",
 		"write the kernel benchmark snapshot to this JSON file")
 	flag.Parse()
 
+	if *approxOnly {
+		// The CI gate: floors only, no n=5000 snapshot leg (that row is
+		// refreshed by -recommend-only with -recommend-out, and gates
+		// nothing).
+		if ok, _, _ := approxGate(false); !ok {
+			os.Exit(1)
+		}
+		fmt.Println("bench-compare: PASS")
+		return
+	}
 	if *recommendOnly {
 		if !recommendGate(*recommendOut) {
 			os.Exit(1)
@@ -137,22 +168,97 @@ func sparseMatrix(n int) [][]float64 {
 	return recommend.MaskPairs(dense, 0.25, r)
 }
 
-// recommendGate benchmarks the flat prediction kernel against the
-// retained reference kernel at Workers:1 across the snapshot sizes,
-// optionally writes BENCH_recommend.json, and fails unless the n=400
-// speedup clears kernelSpeedupFloor. Both legs run single-threaded, so
-// the comparison measures representation, not parallelism, and the floor
-// is host-independent.
-func recommendGate(outPath string) bool {
-	bench := func(p recommend.Predictor, m [][]float64) func(b *testing.B) {
-		return func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, _, err := p.Complete(m); err != nil {
-					b.Fatal(err)
-				}
+// benchComplete benchmarks one Complete pass of p over m.
+func benchComplete(p recommend.Predictor, m [][]float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Complete(m); err != nil {
+				b.Fatal(err)
 			}
 		}
 	}
+}
+
+// approxGate gates the LSH-bucketed approximate kernel against the
+// exact flat kernel, both single-threaded so the floors are
+// host-independent: the approximate leg must recover approxRecallFloor
+// of the exact per-row top-K lowest-penalty neighbors at n=400 and
+// clear approxSpeedupFloor at n=2000. With snapshotLegs, the n=5000
+// approximate-only row is also benchmarked — the exact all-pairs scan
+// is deliberately skipped there (it is the quadratic cost the
+// approximation exists to avoid), and the skip is logged and recorded
+// in the snapshot's skips list. The returned rows and speedup/recall
+// entries feed the BENCH_recommend.json snapshot.
+func approxGate(snapshotLegs bool) (bool, []kernelBench, map[string]float64) {
+	ok := true
+	exact := recommend.Default()
+	exact.Workers = 1
+	appr := exact
+	appr.Approx = recommend.DefaultApprox()
+	kernel := appr.KernelName()
+
+	// Recall leg: the bounded equivalence contract on the benchmark's
+	// own matrix shape.
+	m := sparseMatrix(approxRecallN)
+	exactOut, _, err := exact.Complete(m)
+	if err != nil {
+		fatal(err)
+	}
+	approxOut, _, err := appr.Complete(m)
+	if err != nil {
+		fatal(err)
+	}
+	recall := recommend.TopKRecall(exactOut, approxOut, approxRecallTopK)
+	fmt.Printf("bench-compare: approx  n=%-4d      top-%d recall %.4f (floor %.2f)\n",
+		approxRecallN, approxRecallTopK, recall, approxRecallFloor)
+	if recall < approxRecallFloor {
+		fmt.Printf("bench-compare: FAIL: approx top-%d recall %.4f at n=%d below the %.2f floor\n",
+			approxRecallTopK, recall, approxRecallN, approxRecallFloor)
+		ok = false
+	}
+
+	// Speed legs: exact vs approximate at n=2000, approximate alone at
+	// n=5000.
+	m2 := sparseMatrix(approxBenchN)
+	fr := testing.Benchmark(benchComplete(exact, m2))
+	ar := testing.Benchmark(benchComplete(appr, m2))
+	speedup := float64(fr.NsPerOp()) / float64(ar.NsPerOp())
+	fmt.Printf("bench-compare: approx  n=%-4d      exact %12d ns/op, approx %12d ns/op, speedup %.2fx\n",
+		approxBenchN, fr.NsPerOp(), ar.NsPerOp(), speedup)
+	if speedup < approxSpeedupFloor {
+		fmt.Printf("bench-compare: FAIL: approx speedup %.2fx at n=%d below the %.1fx floor\n",
+			speedup, approxBenchN, approxSpeedupFloor)
+		ok = false
+	}
+	rows := []kernelBench{
+		{fmt.Sprintf("BenchmarkCompleteFlat/n=%d", approxBenchN), "flat", approxBenchN, fr.N, fr.NsPerOp()},
+		{fmt.Sprintf("BenchmarkCompleteApprox/n=%d", approxBenchN), kernel, approxBenchN, ar.N, ar.NsPerOp()},
+	}
+	if snapshotLegs {
+		fmt.Printf("bench-compare: approx  n=%-4d      exact leg skipped (the quadratic all-pairs scan "+
+			"is what the approximation avoids); approx leg only\n", approxOnlyN)
+		m5 := sparseMatrix(approxOnlyN)
+		a5 := testing.Benchmark(benchComplete(appr, m5))
+		fmt.Printf("bench-compare: approx  n=%-4d      approx %12d ns/op\n", approxOnlyN, a5.NsPerOp())
+		rows = append(rows,
+			kernelBench{fmt.Sprintf("BenchmarkCompleteApprox/n=%d", approxOnlyN), kernel, approxOnlyN, a5.N, a5.NsPerOp()})
+	}
+	extras := map[string]float64{
+		fmt.Sprintf("approx_n%d", approxBenchN):         float64(int(speedup*100)) / 100,
+		fmt.Sprintf("approx_recall_n%d", approxRecallN): float64(int(recall*1e4)) / 1e4,
+	}
+	return ok, rows, extras
+}
+
+// recommendGate benchmarks the flat prediction kernel against the
+// retained naive reference kernel at Workers:1 across the snapshot
+// sizes, runs the approximate-kernel gate, optionally writes
+// BENCH_recommend.json, and fails unless the n=400 flat speedup clears
+// kernelSpeedupFloor and the approximate legs clear their floors. All
+// legs run single-threaded, so the comparison measures representation,
+// not parallelism, and the floors are host-independent.
+func recommendGate(outPath string) bool {
+	bench := benchComplete
 
 	sizes := []int{20, 100, 400}
 	var benches []kernelBench
@@ -179,13 +285,28 @@ func recommendGate(outPath string) bool {
 		}
 	}
 
+	aok, arows, aextras := approxGate(true)
+	ok = aok && ok
+	benches = append(benches, arows...)
+	for k, v := range aextras {
+		speedups[k] = v
+	}
+
 	if outPath != "" {
 		snapshot := map[string]any{
-			"description": "Naive reference vs flat prediction kernel (matrix completion, " +
-				"25% observed pairs, Workers:1 both legs). The flat kernel's win is " +
-				"representational — bitset-masked word scans, incremental similarity " +
-				"invalidation, allocation-free top-K — so the speedup is core-count " +
+			"description": "Naive reference vs flat prediction kernel, plus the flat kernel vs " +
+				"its LSH-bucketed approximate path (matrix completion, 25% observed pairs, " +
+				"Workers:1 all legs). The flat kernel's win is representational — " +
+				"bitset-masked word scans, incremental similarity invalidation, " +
+				"allocation-free top-K — and the approximate leg's win is sublinear " +
+				"candidate generation (SimHash banding), so the speedups are core-count " +
 				"independent; rerun `make bench-recommend` to refresh this snapshot.",
+			"skips": []string{fmt.Sprintf(
+				"BenchmarkCompleteReference/n=%d, n=%d and BenchmarkCompleteFlat/n=%d: "+
+					"exact legs at n=%d (and the reference kernel beyond n=400) are the "+
+					"quadratic costs the approximate kernel avoids; only the approximate "+
+					"leg is benchmarked there",
+				approxBenchN, approxOnlyN, approxOnlyN, approxOnlyN)},
 			"host": map[string]any{
 				"goos":       runtime.GOOS,
 				"goarch":     runtime.GOARCH,

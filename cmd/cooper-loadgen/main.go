@@ -1,8 +1,7 @@
 // Command cooper-loadgen drives the sharded colocation market at scale:
 // it sweeps population sizes against shard counts on the in-process
-// framework (oracle penalties, no profiling campaign), times each
-// epoch, and emits the agents-vs-epoch-time curve as JSON — the
-// committed BENCH_shard.json snapshot.
+// framework, times each epoch, and emits the agents-vs-epoch-time curve
+// as JSON — the committed BENCH_shard.json snapshot.
 //
 // Usage:
 //
@@ -10,11 +9,21 @@
 //	cooper-loadgen -gate      # CI smoke gate: sharded must beat all-pairs
 //	cooper-loadgen -verify    # shards=1 must reproduce the unsharded report
 //
+// -kernel picks how each leg's penalty matrix is produced: "oracle"
+// (analytic, no profiling — the default), "exact" (profiling campaign
+// completed by the exact flat kernel), or "approx" (the LSH-bucketed
+// approximate kernel). Every leg logs and records the kernel that
+// produced its matrix.
+//
 // The all-pairs market expands the penalty matrix to agents (n² floats)
-// and exchanges messages between all agent pairs, so unsharded rows are
-// only generated up to -max-allpairs agents; likewise shard counts that
-// would need oversized per-shard sub-matrices are skipped, and every
-// skip is logged — a missing row means "didn't fit", never "forgot".
+// and exchanges messages between all agent pairs. Unsharded legs past
+// -max-allpairs used to be skipped outright; now they are routed
+// through the approximate kernel — prediction is sublinear there, so
+// the only remaining bound is the agent-level expansion itself, which
+// an explicit memory budget gates. Legs whose expansion (or per-shard
+// sub-matrices) would not fit are still skipped, and every skip is
+// logged and recorded in the snapshot's skips list — a missing row
+// means "didn't fit", never "forgot".
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 
 	"cooper/internal/core"
 	"cooper/internal/policy"
+	"cooper/internal/recommend"
 	"cooper/internal/simcli"
 	"cooper/internal/stats"
 )
@@ -50,8 +60,13 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "",
 		"write the JSON benchmark rows to this file instead of stdout")
 	flag.IntVar(&cfg.maxAllPairs, "max-allpairs", 10000,
-		"largest population the unsharded all-pairs market is attempted at "+
-			"(its agent-level matrix is n² floats)")
+		"largest population the unsharded all-pairs market runs with the "+
+			"selected kernel; bigger legs are routed through the approximate "+
+			"kernel and gated only by the agent-matrix memory budget")
+	flag.StringVar(&cfg.kernel, "kernel", "oracle",
+		"how each leg's penalty matrix is produced: oracle (analytic, no "+
+			"profiling), exact (profiling campaign completed by the exact flat "+
+			"kernel), or approx (the LSH-bucketed approximate kernel)")
 	flag.BoolVar(&cfg.gate, "gate", false,
 		"CI smoke gate: one 5000-agent epoch, 8 shards vs all-pairs; on 4+ "+
 			"cores the sharded market must be faster")
@@ -76,6 +91,7 @@ type loadConfig struct {
 	refineBudget       int
 	out                string
 	maxAllPairs        int
+	kernel             string
 	gate, verify       bool
 	seed               int64
 	workers            int
@@ -87,6 +103,7 @@ type row struct {
 	Shards           int     `json:"shards"`
 	Workers          int     `json:"workers"`
 	Epochs           int     `json:"epochs"`
+	Kernel           string  `json:"kernel"`
 	EpochMS          float64 `json:"epoch_ms"` // fastest epoch
 	MeanPenalty      float64 `json:"mean_penalty"`
 	RefinementRounds int     `json:"refine_rounds"`
@@ -95,11 +112,12 @@ type row struct {
 
 // bench is the emitted document.
 type bench struct {
-	Policy  string `json:"policy"`
-	Seed    int64  `json:"seed"`
-	Workers int    `json:"workers"` // 0 = GOMAXPROCS at run time
-	CPUs    int    `json:"cpus"`
-	Rows    []row  `json:"rows"`
+	Policy  string   `json:"policy"`
+	Seed    int64    `json:"seed"`
+	Workers int      `json:"workers"` // 0 = GOMAXPROCS at run time
+	CPUs    int      `json:"cpus"`
+	Rows    []row    `json:"rows"`
+	Skips   []string `json:"skips,omitempty"`
 }
 
 func run(cfg loadConfig, stdout io.Writer) error {
@@ -127,16 +145,22 @@ func run(cfg loadConfig, stdout io.Writer) error {
 		CPUs: runtime.NumCPU()}
 	for _, n := range pops {
 		for _, s := range shards {
-			if reason := skipReason(cfg, n, s); reason != "" {
+			kernel, reason := legPlan(cfg, n, s)
+			if reason != "" {
 				fmt.Fprintf(stdout, "skip n=%d shards=%d: %s\n", n, s, reason)
+				doc.Skips = append(doc.Skips, fmt.Sprintf("n=%d shards=%d: %s", n, s, reason))
 				continue
 			}
-			r, err := measure(cfg, pol, n, s)
+			if kernel != cfg.kernel {
+				fmt.Fprintf(stdout, "n=%d shards=%d: past -max-allpairs %d, routing through the %s kernel\n",
+					n, s, cfg.maxAllPairs, kernel)
+			}
+			r, err := measure(cfg, pol, n, s, kernel)
 			if err != nil {
 				return fmt.Errorf("n=%d shards=%d: %w", n, s, err)
 			}
-			fmt.Fprintf(stdout, "n=%d shards=%d: %.1f ms/epoch, mean penalty %.4f, %d refinement trades\n",
-				n, s, r.EpochMS, r.MeanPenalty, r.RefinementTrades)
+			fmt.Fprintf(stdout, "n=%d shards=%d: %.1f ms/epoch, mean penalty %.4f, %d refinement trades, %s kernel\n",
+				n, s, r.EpochMS, r.MeanPenalty, r.RefinementTrades, r.Kernel)
 			doc.Rows = append(doc.Rows, r)
 		}
 	}
@@ -161,20 +185,32 @@ func run(cfg loadConfig, stdout io.Writer) error {
 	return nil
 }
 
-// skipReason explains why a configuration is not attempted: the
-// all-pairs n² expansion past -max-allpairs, or per-shard sub-matrices
-// whose concurrent working set would dwarf the machine. Logged, never
-// silent.
-func skipReason(cfg loadConfig, n, shards int) string {
+// allPairsBudget bounds the agent-level expansion of an all-pairs leg
+// routed past -max-allpairs: the n² predicted matrix plus its truth
+// counterpart, 8 bytes per cell.
+const allPairsBudget = 16 << 30
+
+// legPlan decides how one (population, shards) configuration runs: with
+// which prediction kernel, or not at all. All-pairs legs past
+// -max-allpairs are routed through the approximate kernel instead of
+// skipped — the approximate path makes matrix production sublinear, so
+// the only remaining bound is the market's own n² agent-level
+// expansion, gated by allPairsBudget. Shard counts whose concurrent
+// sub-matrices would dwarf the machine are skipped. Every skip reason
+// is logged and recorded, never silent.
+func legPlan(cfg loadConfig, n, shards int) (kernel, skip string) {
 	if shards <= 1 {
 		if n > cfg.maxAllPairs {
-			return fmt.Sprintf("all-pairs market needs an n²=%d-entry agent matrix (cap %d agents; raise -max-allpairs to force)",
-				n*n, cfg.maxAllPairs)
+			if mem := 2 * int64(n) * int64(n) * 8; mem > allPairsBudget {
+				return "", fmt.Sprintf("all-pairs expansion needs ~%d GiB of agent-level matrices (budget %d GiB) regardless of kernel",
+					mem>>30, int64(allPairsBudget)>>30)
+			}
+			return "approx", ""
 		}
-		return ""
+		return cfg.kernel, ""
 	}
 	if shards > n {
-		return "more shards than agents"
+		return "", "more shards than agents"
 	}
 	// Per-shard sub-matrix: (n/shards)² float64s, up to `workers` of them
 	// resident at once during the parallel clear.
@@ -188,15 +224,16 @@ func skipReason(cfg loadConfig, n, shards int) string {
 	per := n / shards
 	const budget = 2 << 30 // 2 GiB concurrent sub-matrix budget
 	if mem := int64(per) * int64(per) * 8 * int64(workers); mem > budget {
-		return fmt.Sprintf("per-shard matrices would hold ~%d MiB concurrently (budget 2048 MiB); use more shards",
+		return "", fmt.Sprintf("per-shard matrices would hold ~%d MiB concurrently (budget 2048 MiB); use more shards",
 			mem>>20)
 	}
-	return ""
+	return cfg.kernel, ""
 }
 
-// framework builds an oracle-mode framework for one configuration.
-func framework(cfg loadConfig, pol policy.Policy, shards int) (*core.Framework, error) {
-	return core.NewFramework(core.Config{
+// framework builds the framework for one configuration with the given
+// prediction kernel ("oracle", "exact", or "approx").
+func framework(cfg loadConfig, pol policy.Policy, shards int, kernel string) (*core.Framework, error) {
+	c := core.Config{
 		Seed: cfg.seed,
 		Market: core.MarketConfig{
 			Policy:           pol,
@@ -204,16 +241,28 @@ func framework(cfg loadConfig, pol policy.Policy, shards int) (*core.Framework, 
 			RefinementBudget: cfg.refineBudget,
 		},
 		Pipeline: core.PipelineConfig{
-			Oracle:  true,
 			Workers: cfg.workers,
 		},
-	})
+	}
+	switch kernel {
+	case "oracle":
+		c.Pipeline.Oracle = true
+	case "exact":
+		c.Pipeline.Predictor = recommend.Default()
+	case "approx":
+		pred := recommend.Default()
+		pred.Approx = recommend.DefaultApprox()
+		c.Pipeline.Predictor = pred
+	default:
+		return nil, fmt.Errorf("-kernel %q: want oracle, exact, or approx", kernel)
+	}
+	return core.NewFramework(c)
 }
 
 // measure times cfg.epochs epochs of one configuration over the same
 // seeded population and reports the fastest.
-func measure(cfg loadConfig, pol policy.Policy, n, shards int) (row, error) {
-	fw, err := framework(cfg, pol, shards)
+func measure(cfg loadConfig, pol policy.Policy, n, shards int, kernel string) (row, error) {
+	fw, err := framework(cfg, pol, shards, kernel)
 	if err != nil {
 		return row{}, err
 	}
@@ -224,7 +273,8 @@ func measure(cfg loadConfig, pol policy.Policy, n, shards int) (row, error) {
 	if epochs < 1 {
 		epochs = 1
 	}
-	r := row{Agents: n, Shards: shards, Workers: cfg.workers, Epochs: epochs}
+	r := row{Agents: n, Shards: shards, Workers: cfg.workers, Epochs: epochs,
+		Kernel: fw.Kernel()}
 	for e := 0; e < epochs; e++ {
 		start := time.Now()
 		rep, err := fw.RunEpoch(pop)
@@ -248,11 +298,11 @@ func measure(cfg loadConfig, pol policy.Policy, n, shards int) (row, error) {
 // memory, not time).
 func gate(cfg loadConfig, pol policy.Policy, stdout io.Writer) error {
 	const n, shards = 5000, 8
-	single, err := measure(cfg, pol, n, 1)
+	single, err := measure(cfg, pol, n, 1, cfg.kernel)
 	if err != nil {
 		return fmt.Errorf("all-pairs: %w", err)
 	}
-	sharded, err := measure(cfg, pol, n, shards)
+	sharded, err := measure(cfg, pol, n, shards, cfg.kernel)
 	if err != nil {
 		return fmt.Errorf("sharded: %w", err)
 	}
@@ -271,12 +321,12 @@ func gate(cfg loadConfig, pol policy.Policy, stdout io.Writer) error {
 // through the identical unsharded path — same reports, bit for bit.
 func verifyShardOne(cfg loadConfig, pol policy.Policy, stdout io.Writer) error {
 	const n = 500
-	unsharded, err := framework(cfg, pol, 0)
+	unsharded, err := framework(cfg, pol, 0, cfg.kernel)
 	if err != nil {
 		return err
 	}
 	defer unsharded.Close()
-	one, err := framework(cfg, pol, 1)
+	one, err := framework(cfg, pol, 1, cfg.kernel)
 	if err != nil {
 		return err
 	}

@@ -68,7 +68,8 @@ func main() {
 		Chaos("every agent connection").
 		ServerTimeouts().
 		Audit().
-		Market()
+		Market().
+		Approx()
 	flag.Parse()
 	seed, workers := cf.Seed, cf.Workers
 	eventsOut, chaosSeed := cf.EventsOut, cf.ChaosSeed
@@ -104,6 +105,7 @@ func main() {
 		},
 		Observe: core.ObserveConfig{Telemetry: tel},
 	}
+	kernel := "oracle"
 	if *profiles != "" {
 		// Complete the profiled sparse matrix out of band and hand the
 		// framework the dense result; it then skips its own campaign.
@@ -126,13 +128,16 @@ func main() {
 		}
 		pred := recommend.Default()
 		pred.Workers = *workers
+		pred.Approx = cf.ApproxConfig()
+		kernel = pred.KernelName()
 		penalties, _, err := pred.CompleteContext(context.Background(), sparse)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Pipeline.Oracle = false
 		cfg.Pipeline.Penalties = penalties
-		fmt.Printf("cooperd: predicted penalties from %d profiled records\n", db.Len())
+		fmt.Printf("cooperd: predicted penalties from %d profiled records (%s kernel)\n",
+			db.Len(), kernel)
 	}
 
 	fw, err := core.NewFramework(cfg)
@@ -148,6 +153,7 @@ func main() {
 		Policy:           pol,
 		Catalog:          fw.Catalog(),
 		Penalties:        fw.PredictedPenalties(),
+		Kernel:           kernel,
 		Seed:             *seed,
 		Shards:           *cf.Shards,
 		RefinementBudget: *cf.RefineBudget,

@@ -115,6 +115,7 @@ type Framework struct {
 	predicted [][]float64 // job-level penalties as agents believe them
 	truth     [][]float64 // job-level penalties from the analytic oracle
 	iters     int         // predictor iterations used
+	kernel    string      // which kernel produced predicted (see Kernel)
 	rng       *rand.Rand
 	tel       *telemetry.Telemetry
 	pool      *parallel.Pool
@@ -196,6 +197,7 @@ func NewFrameworkContext(ctx context.Context, cfg Config) (*Framework, error) {
 	}
 	if cfg.Pipeline.Oracle {
 		f.predicted = f.truth
+		f.kernel = "oracle"
 		return f, nil
 	}
 	if cfg.Pipeline.Penalties != nil {
@@ -203,6 +205,7 @@ func NewFrameworkContext(ctx context.Context, cfg Config) (*Framework, error) {
 			return nil, err
 		}
 		f.predicted = cfg.Pipeline.Penalties
+		f.kernel = "external"
 		return f, nil
 	}
 
@@ -222,9 +225,13 @@ func NewFrameworkContext(ctx context.Context, cfg Config) (*Framework, error) {
 	predict.SetAttr("sparsity", profiler.Sparsity(sparse))
 	preRecomputed := reg.Counter("predict.sim_pairs_recomputed").Value()
 	preSkipped := reg.Counter("predict.sim_pairs_skipped").Value()
+	preCandScored := reg.Counter("predict.candidates_scored").Value()
+	preCandSkipped := reg.Counter("predict.candidates_skipped").Value()
 	pred := cfg.Pipeline.Predictor
 	pred.Metrics = reg
 	pred.Workers = f.pool.Workers()
+	f.kernel = pred.KernelName()
+	predict.SetAttr("kernel", f.kernel)
 	f.predicted, f.iters, err = pred.CompleteContext(ctx, sparse)
 	if err != nil {
 		return nil, wrapCanceled(ctx, err)
@@ -232,6 +239,10 @@ func NewFrameworkContext(ctx context.Context, cfg Config) (*Framework, error) {
 	predict.SetAttr("fill_iters", f.iters)
 	predict.SetAttr("sim_pairs_recomputed", reg.Counter("predict.sim_pairs_recomputed").Value()-preRecomputed)
 	predict.SetAttr("sim_pairs_skipped", reg.Counter("predict.sim_pairs_skipped").Value()-preSkipped)
+	if scored := reg.Counter("predict.candidates_scored").Value() - preCandScored; scored > 0 {
+		predict.SetAttr("candidates_scored", scored)
+		predict.SetAttr("candidates_skipped", reg.Counter("predict.candidates_skipped").Value()-preCandSkipped)
+	}
 	f.tel.End(predict)
 	return f, nil
 }
@@ -318,6 +329,11 @@ func (f *Framework) TruePenalties() [][]float64 { return f.truth }
 // PredictorIterations returns how many fill iterations the preference
 // predictor used (0 in Oracle mode).
 func (f *Framework) PredictorIterations() int { return f.iters }
+
+// Kernel names the prediction kernel that produced the penalty matrix:
+// "oracle", "external", "flat", "reference", or
+// "approx(bits=B,bands=K)" for the LSH-bucketed approximate path.
+func (f *Framework) Kernel() string { return f.kernel }
 
 // Telemetry returns the telemetry handle the framework was built with
 // (nil when observability is disabled).
@@ -427,6 +443,7 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 			Epoch: epochIdx, Source: telemetry.SnapshotSourceCore,
 			Policy: f.cfg.Market.Policy.Name(), Seed: f.cfg.Seed, Alpha: -1,
 			Shards: reportedShards(f.cfg.Market.Shards),
+			Kernel: f.kernel,
 			Agents: agents, Jobs: jobs,
 			Catalog: catalog, Matrix: f.predicted,
 		}.Event())

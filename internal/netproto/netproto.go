@@ -149,6 +149,10 @@ type Server struct {
 	// Penalties is the job-level penalty matrix used to evaluate
 	// colocations (typically the predictor's output); required.
 	Penalties [][]float64
+	// Kernel optionally names the prediction kernel that produced
+	// Penalties (core.Framework.Kernel); stamped into the wire epoch
+	// snapshots for auditors and cooper-top.
+	Kernel string
 	// Seed drives the policy's randomness.
 	Seed int64
 	// Shards, when > 1, clears each epoch through the sharded colocation
@@ -632,7 +636,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 		s.Events.Record(telemetry.EpochSnapshot{
 			Epoch: epoch, Source: telemetry.SnapshotSourceWire,
 			Policy: s.Policy.Name(), Seed: s.Seed, Alpha: alpha,
-			Shards: shards, Agents: agents, Jobs: jobs,
+			Shards: shards, Kernel: s.Kernel, Agents: agents, Jobs: jobs,
 			Catalog: catalog, Matrix: s.Penalties,
 		}.Event())
 	}

@@ -44,6 +44,10 @@ type predictScratch struct {
 	sims    []float64 // candidate similarities, parallel to cols
 	topCols []int     // top-K selection buffer, sorted
 	topSims []float64
+	dots    []float64 // approx only: per-hyperplane dot accumulators
+	pos     bitset    // approx only: current column's positive-sim candidates
+	pref    []int     // approx only: per-word popcount prefix ranks into psims
+	psims   []float64 // approx only: packed positive similarities
 }
 
 // kernel is the flat working state of one completeFlat call, in work
@@ -68,11 +72,28 @@ type kernel struct {
 	recomputedBy, skippedBy []int64 // per-column pair counters (one owner each)
 	recomputed, skipped     int64
 
+	// Approximate path (p.Approx.enabled()): cand marks each column's
+	// LSH candidate neighbors for the current iteration; non-candidates
+	// are never scored and keep similarity zero. The structure is rebuilt
+	// each similarity pass from the current centered values (candPrev
+	// keeps the previous iteration's set so newly-promoted pairs are
+	// scored even when the incremental invalidation would call them
+	// clean). See approx.go.
+	approx                  bool
+	cand, candPrev          bitset    // n*w words each, symmetric, diagonal clear
+	proj                    []float64 // Bits*n projection hyperplanes, seeded once
+	keys                    []uint64  // n*bands banded signatures, reused per pass
+	candScored, candSkipped int64
+	bucketCollisions        int64
+
 	scratch []predictScratch
 }
 
 // completeFlat is the flat-kernel CompleteContext implementation.
 func (p Predictor) completeFlat(ctx context.Context, m [][]float64) ([][]float64, int, error) {
+	if err := p.Approx.validate(); err != nil {
+		return nil, 0, err
+	}
 	n := len(m)
 	known, err := validateSquare(m)
 	if err != nil {
@@ -116,6 +137,11 @@ func (p Predictor) completeFlat(ctx context.Context, m [][]float64) ([][]float64
 		p.Metrics.Counter("predict.fallback_cells").Add(int64(fallback))
 		p.Metrics.Counter("predict.sim_pairs_recomputed").Add(k.recomputed)
 		p.Metrics.Counter("predict.sim_pairs_skipped").Add(k.skipped)
+		if k.approx {
+			p.Metrics.Counter("predict.candidates_scored").Add(k.candScored)
+			p.Metrics.Counter("predict.candidates_skipped").Add(k.candSkipped)
+			p.Metrics.Counter("predict.bucket_collisions").Add(k.bucketCollisions)
+		}
 	}
 	return out, iters, nil
 }
@@ -138,6 +164,7 @@ func newKernel(p Predictor, work *Dense) *kernel {
 
 		recomputedBy: make([]int64, n),
 		skippedBy:    make([]int64, n),
+		approx:       p.Approx.enabled(),
 	}
 	for i := 0; i < n; i++ {
 		row := k.cur[i*n : (i+1)*n]
@@ -175,6 +202,12 @@ func newKernel(p Predictor, work *Dense) *kernel {
 			topCols: make([]int, topCap),
 			topSims: make([]float64, topCap),
 		}
+		if k.approx {
+			k.scratch[i].dots = make([]float64, p.Approx.Bits)
+			k.scratch[i].pos = make(bitset, w)
+			k.scratch[i].pref = make([]int, w)
+			k.scratch[i].psims = make([]float64, n)
+		}
 	}
 	return k
 }
@@ -188,7 +221,11 @@ func (k *kernel) iterate(ctx context.Context) error {
 	if err := k.similarityPass(ctx); err != nil {
 		return err
 	}
-	if err := k.fillPass(ctx); err != nil {
+	fill := k.fillPass
+	if k.approx {
+		fill = k.fillPassTiled
+	}
+	if err := fill(ctx); err != nil {
 		return err
 	}
 	k.apply()
@@ -242,26 +279,40 @@ func (k *kernel) computeCentered() {
 }
 
 // similarityPass recomputes adjusted-cosine similarities between column
-// pairs. The first pass computes every pair; later passes recompute only
-// pairs invalidated since — at least one column gained an entry, or the
-// pair's overlap contains a row whose mean changed — and count the rest
-// as skipped. Column j's worker owns sim[j][k] and sim[k][j] for k > j
-// plus its own counter slots, so the fan-out is race-free and the result
-// worker-count independent.
+// pairs. The first pass computes every pair — or, on the approximate
+// path, builds the LSH candidate structure and scores only candidate
+// pairs; later passes recompute only pairs invalidated since — at least
+// one column gained an entry, or the pair's overlap contains a row whose
+// mean changed — and count the rest as skipped. Column j's worker owns
+// sim[j][k] and sim[k][j] for k > j plus its own counter slots, so the
+// fan-out is race-free and the result worker-count independent.
 func (k *kernel) similarityPass(ctx context.Context) error {
 	n, w := k.n, k.w
 	full := !k.simFresh
+	if k.approx {
+		// Rebuild the candidate structure from the current centered
+		// values: as fill iterations densify the matrix, signatures track
+		// the same data the exact scorer would scan, so pairs that only
+		// become similar after filling still get promoted to candidates.
+		if err := k.buildCandidates(ctx); err != nil {
+			return err
+		}
+	}
 	minOverlap := k.p.MinOverlap
 	err := parallel.ForEach(ctx, k.p.Workers, n, func(j int) error {
 		var rec, skip int64
 		kj := k.colKnown[j*w : (j+1)*w]
 		cj := k.centered[j*n : (j+1)*n]
 		dirtyJ := full || k.dirtyCol.get(j)
-		for c := j + 1; c < n; c++ {
+		score := func(c int) {
 			kc := k.colKnown[c*w : (c+1)*w]
-			if !dirtyJ && !k.dirtyCol.get(c) && !intersects3(kj, kc, k.dirtyRow) {
+			if !dirtyJ && !k.dirtyCol.get(c) && !intersects3(kj, kc, k.dirtyRow) &&
+				(!k.approx || k.candPrev[j*w+c>>6]&(1<<uint(c&63)) != 0) {
+				// Clean pairs keep their previous value — unless the pair
+				// was just promoted into the candidate set, in which case
+				// no previous value exists and it must be scored.
 				skip++
-				continue
+				return
 			}
 			rec++
 			cc := k.centered[c*n : (c+1)*n]
@@ -289,6 +340,28 @@ func (k *kernel) similarityPass(ctx context.Context) error {
 			}
 			k.sim[j*n+c] = s
 			k.sim[c*n+j] = s
+		}
+		if k.approx {
+			// Only candidate pairs are ever scored; the rest stay at
+			// similarity zero, exactly as a non-positive exact score would.
+			candJ := k.cand[j*w : (j+1)*w]
+			for wi := j >> 6; wi < w; wi++ {
+				mask := candJ[wi]
+				if wi == j>>6 {
+					// Keep strictly-above-j bits of the first word (the
+					// double shift sidesteps the 1<<64 overflow at j&63=63).
+					mask &^= uint64(1)<<uint(j&63)<<1 - 1
+				}
+				base := wi << 6
+				for mask != 0 {
+					score(base + bits.TrailingZeros64(mask))
+					mask &= mask - 1
+				}
+			}
+		} else {
+			for c := j + 1; c < n; c++ {
+				score(c)
+			}
 		}
 		k.recomputedBy[j] = rec
 		k.skippedBy[j] = skip
@@ -341,19 +414,132 @@ func (k *kernel) fillPass(ctx context.Context) error {
 	})
 }
 
+// fillTile is the row-block size of the approximate path's tiled fill
+// pass: cur's tile rows stay cache-resident while each sim row streams
+// through the whole tile.
+const fillTile = 64
+
+// fillPassTiled is fillPass with a blocked loop order, used by the
+// approximate path. The candidate mask leaves so few neighbors per cell
+// that the pass is bound by cache misses, not arithmetic: with rows
+// outer, every cell faults in a fresh sim row. Iterating column-outer
+// within a block of rows keeps sim's row j hot across the whole tile and
+// the tile's cur rows resident, turning the gathers into cache hits.
+// Each cell still goes through predictCell — identical candidates,
+// order, and arithmetic — and a worker owns its tile's rows, so writes
+// stay disjoint and the result is byte-identical to the untiled pass at
+// any worker count.
+func (k *kernel) fillPassTiled(ctx context.Context) error {
+	n, w := k.n, k.w
+	copy(k.next, k.cur)
+	k.filled.reset()
+	tiles := (n + fillTile - 1) / fillTile
+	return parallel.ForEachWorker(ctx, k.p.Workers, tiles, func(worker, tile int) error {
+		sc := &k.scratch[worker]
+		i0 := tile * fillTile
+		i1 := i0 + fillTile
+		if i1 > n {
+			i1 = n
+		}
+		for j := 0; j < n; j++ {
+			// Distill column j once for the whole tile into a
+			// positive-similarity bitset with per-word popcount prefix
+			// ranks and a packed similarity array: each cell below scans
+			// rowKnown AND positive and ranks its hits into psims, so the
+			// inner loop never gathers from the 8n-byte sim row at all.
+			// Non-candidates hold similarity zero and are excluded by the
+			// same s > 0 test the exact path applies.
+			srow := k.sim[j*n : (j+1)*n]
+			candJ := k.cand[j*w : (j+1)*w]
+			pos, pref, psims := sc.pos, sc.pref, sc.psims
+			pcnt := 0
+			for cwi, mask := range candJ {
+				pref[cwi] = pcnt
+				var pw uint64
+				base := cwi << 6
+				for mask != 0 {
+					b := bits.TrailingZeros64(mask)
+					mask &= mask - 1
+					if s := srow[base+b]; s > 0 {
+						pw |= uint64(1) << uint(b)
+						psims[pcnt] = s
+						pcnt++
+					}
+				}
+				pos[cwi] = pw
+			}
+			if pcnt == 0 {
+				continue
+			}
+			wi := j >> 6
+			bit := uint64(1) << uint(j&63)
+			for i := i0; i < i1; i++ {
+				if k.rowKnown[i*w+wi]&bit != 0 {
+					continue
+				}
+				if v, ok := k.predictCellRanked(sc, i); ok {
+					k.next[i*n+j] = v
+					k.filled[i*w+wi] |= bit
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// predictCellRanked is predictCell against the distilled column state in
+// sc (pos/pref/psims, built by fillPassTiled): candidates are the set
+// bits of rowKnown AND pos in ascending order with similarities ranked
+// out of the packed array — the exact (column, similarity) sequence
+// predictCell's per-cell scan produces, fed into the same weighted-mean
+// tail. The target column itself can never appear: the candidate
+// bitset's diagonal is clear.
+func (k *kernel) predictCellRanked(sc *predictScratch, i int) (float64, bool) {
+	n, w := k.n, k.w
+	row := k.cur[i*n : (i+1)*n]
+	rk := k.rowKnown[i*w : (i+1)*w]
+	cand := 0
+	for wi, pw := range sc.pos {
+		mask := rk[wi] & pw
+		if mask == 0 {
+			continue
+		}
+		base := wi << 6
+		rankBase := sc.pref[wi]
+		for mask != 0 {
+			b := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			sc.cols[cand] = base + b
+			sc.sims[cand] = sc.psims[rankBase+bits.OnesCount64(pw&(uint64(1)<<uint(b)-1))]
+			cand++
+		}
+	}
+	return k.weightedMean(sc, row, cand)
+}
+
 // predictCell estimates cell (i, j) from row i's known ratings of
 // columns similar to j, matching the reference predict bit for bit: the
 // same candidates in the same order, the same top-K ordering (similarity
 // descending, ties toward the lower column), and the same weighted-sum
-// accumulation order. No allocation: all state lives in sc.
+// accumulation order. On the approximate path the scan additionally
+// masks through column j's LSH candidate set — non-candidates hold
+// similarity zero and could never pass the s > 0 test, so the mask only
+// removes guaranteed-dead work. No allocation: all state lives in sc.
 func (k *kernel) predictCell(sc *predictScratch, i, j int) (float64, bool) {
 	n, w := k.n, k.w
 	row := k.cur[i*n : (i+1)*n]
 	srow := k.sim[j*n : (j+1)*n]
 	rk := k.rowKnown[i*w : (i+1)*w]
+	var candJ bitset
+	if k.approx {
+		candJ = k.cand[j*w : (j+1)*w]
+	}
 	cand := 0
 	for wi := 0; wi < w; wi++ {
 		mask := rk[wi]
+		if candJ != nil {
+			mask &= candJ[wi]
+		}
 		base := wi << 6
 		for mask != 0 {
 			c := base + bits.TrailingZeros64(mask)
@@ -368,6 +554,13 @@ func (k *kernel) predictCell(sc *predictScratch, i, j int) (float64, bool) {
 			}
 		}
 	}
+	return k.weightedMean(sc, row, cand)
+}
+
+// weightedMean is the shared prediction tail: optional partial top-K
+// selection over the collected candidates followed by the
+// similarity-weighted mean, in the reference kernel's exact order.
+func (k *kernel) weightedMean(sc *predictScratch, row []float64, cand int) (float64, bool) {
 	if cand == 0 {
 		return 0, false
 	}

@@ -52,7 +52,11 @@ type Predictor struct {
 	// columns to be considered similar at all.
 	MinOverlap int
 	// MaxIters bounds the fill iterations before falling back to row and
-	// global means for anything still unknown.
+	// global means for anything still unknown. Zero (and any negative
+	// value) means the paper's 3 — the zero Predictor iterates, it does
+	// not degenerate into a pure-fallback fill. Both kernels resolve the
+	// bound through the single maxIters() helper, so the zero-value
+	// semantics cannot drift between them.
 	MaxIters int
 	// Mode selects item-based (default, the paper's) or user-based
 	// filtering.
@@ -62,10 +66,21 @@ type Predictor struct {
 	// functions of the previous iteration's matrix, so results are
 	// identical at any worker count.
 	Workers int
+	// Approx, when non-zero, routes similarity through the LSH-bucketed
+	// approximate path: each column only scores candidates sharing at
+	// least one SimHash band, O(n·b) candidate generation instead of the
+	// O(n²) all-pairs scan. The zero value reproduces the exact flat
+	// kernel bit for bit. Approximate output satisfies a bounded top-K
+	// recall guarantee (see the recall gate in approx_test.go) rather
+	// than exact equivalence. Ignored by the reference kernel, which
+	// exists as the exact executable specification.
+	Approx Approx
 	// Metrics, when non-nil, receives the predictor's work counters
 	// (predict.fill_iters, predict.cells_filled, predict.fallback_cells,
 	// and on the flat kernel predict.sim_pairs_recomputed /
-	// predict.sim_pairs_skipped).
+	// predict.sim_pairs_skipped, plus predict.candidates_scored /
+	// predict.candidates_skipped / predict.bucket_collisions on the
+	// approximate path).
 	Metrics *telemetry.Registry
 
 	// reference routes Complete through the retained naive kernel.
@@ -106,12 +121,30 @@ func (p Predictor) CompleteContext(ctx context.Context, m [][]float64) ([][]floa
 	return p.completeFlat(ctx, m)
 }
 
-// maxIters resolves the iteration bound (zero means the paper's 3).
+// maxIters resolves the iteration bound: zero and negative mean the
+// paper's 3. This is the only place the zero value is interpreted — both
+// the flat and the reference kernel call it, so a zero MaxIters behaves
+// identically on every path (pinned by TestMaxItersZeroValue).
 func (p Predictor) maxIters() int {
 	if p.MaxIters <= 0 {
 		return 3
 	}
 	return p.MaxIters
+}
+
+// KernelName reports which kernel Complete routes through —
+// "reference", "flat", or "approx(bits=B,bands=N)" — the tag core stamps
+// on predict spans and epoch snapshots so dashboards and auditors know
+// which kernel produced a matrix.
+func (p Predictor) KernelName() string {
+	switch {
+	case p.reference:
+		return "reference"
+	case p.Approx.enabled():
+		return fmt.Sprintf("approx(bits=%d,bands=%d)", p.Approx.Bits, p.Approx.bands())
+	default:
+		return "flat"
+	}
 }
 
 // validateSquare checks that m is square and counts its known entries,

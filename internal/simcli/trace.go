@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"cooper/internal/core"
+	"cooper/internal/recommend"
 	"cooper/internal/stats"
 	"cooper/internal/telemetry"
 	"cooper/internal/textplot"
@@ -33,13 +34,21 @@ func Trace(w io.Writer, opts Options) error {
 		defer f.Close()
 		tel.Events.SetSink(f)
 	}
-	fw, err := core.New(core.Options{
+	copts := core.Options{
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
 		Telemetry: tel,
-	})
+	}
+	if opts.Approx.Bits > 0 {
+		copts.Predictor = recommend.Default()
+		copts.Predictor.Approx = opts.Approx
+	}
+	fw, err := core.New(copts)
 	if err != nil {
 		return err
+	}
+	if opts.Approx.Bits > 0 {
+		fmt.Fprintf(w, "prediction kernel: %s\n\n", copts.Predictor.KernelName())
 	}
 	epochs := opts.Epochs
 	if epochs <= 0 {

@@ -276,6 +276,9 @@ func FormatEvent(e telemetry.Event) string {
 	case telemetry.EventEpochSnapshot:
 		if s, err := e.SnapshotPayload(); err == nil {
 			fmt.Fprintf(&b, " policy=%s seed=%d pop=%s matrix=%s", s.Policy, s.Seed, s.PopDigest, s.MatrixDigest)
+			if s.Kernel != "" {
+				fmt.Fprintf(&b, " kernel=%s", s.Kernel)
+			}
 			if s.Alpha >= 0 {
 				fmt.Fprintf(&b, " alpha=%g", s.Alpha)
 			}
