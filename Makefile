@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-approx bench-compare bench-shard snapshot clean
+.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-approx bench-compare bench-shard bench-rematch snapshot clean
 
 all: build
 
@@ -52,8 +52,8 @@ audit:
 # test suite under the race detector, the chaos suite, the flight-log
 # audit round-trip, a one-iteration benchmark smoke run so benchmarks
 # cannot bit-rot silently, the approximate-kernel recall/speedup gate,
-# and the sharded-market smoke gate.
-ci: lint build race chaos audit bench-smoke bench-approx bench-shard
+# the sharded-market smoke gate, and the streaming-market repair gate.
+ci: lint build race chaos audit bench-smoke bench-approx bench-shard bench-rematch
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
@@ -93,6 +93,15 @@ bench-approx:
 bench-shard:
 	@$(GO) run ./cmd/cooper-loadgen -verify
 	@$(GO) run ./cmd/cooper-loadgen -gate
+
+# bench-rematch is the streaming-market acceptance gate: at 5000 agents
+# with 2% of the population churning per epoch, incremental neighborhood
+# repair must clear each churn epoch at least 5x faster than a forced
+# from-scratch re-match over the identical trace, and the repair leg's
+# flight log must replay through the invariant auditor with zero
+# violations. Refreshes the committed snapshot BENCH_rematch.json.
+bench-rematch:
+	@$(GO) run ./cmd/bench-compare -rematch-only -rematch-out BENCH_rematch.json
 
 # bench-compare fails if the parallel pipeline regresses below its serial
 # counterpart (beyond a 15% noise allowance). On a single-core host

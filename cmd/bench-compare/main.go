@@ -28,12 +28,15 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"cooper/internal/arch"
+	"cooper/internal/audit"
 	"cooper/internal/core"
 	"cooper/internal/profiler"
 	"cooper/internal/recommend"
 	"cooper/internal/stats"
+	"cooper/internal/telemetry"
 	"cooper/internal/workload"
 )
 
@@ -62,6 +65,16 @@ const (
 	approxOnlyN        = 5000
 )
 
+// The streaming-market gate: at rematchN agents with rematchChurn of
+// the population churning per epoch, an incremental repair epoch must
+// beat an identical forced-full re-match epoch by rematchSpeedupFloor,
+// and the repair leg's flight log must audit with zero violations.
+const (
+	rematchN            = 5000
+	rematchChurn        = 0.02
+	rematchSpeedupFloor = 5.0
+)
+
 func main() {
 	recommendOnly := flag.Bool("recommend-only", false,
 		"run only the prediction-kernel gate (exact and approximate legs)")
@@ -70,8 +83,21 @@ func main() {
 			"speedup floor over exact at n=2000)")
 	recommendOut := flag.String("recommend-out", "",
 		"write the kernel benchmark snapshot to this JSON file")
+	rematchOnly := flag.Bool("rematch-only", false,
+		"run only the streaming-market gate: incremental repair vs forced "+
+			"full re-match under churn, plus a zero-violation audit of the "+
+			"repair leg's flight log")
+	rematchOut := flag.String("rematch-out", "",
+		"write the streaming-market benchmark snapshot to this JSON file")
 	flag.Parse()
 
+	if *rematchOnly {
+		if !rematchGate(*rematchOut) {
+			os.Exit(1)
+		}
+		fmt.Println("bench-compare: PASS")
+		return
+	}
 	if *approxOnly {
 		// The CI gate: floors only, no n=5000 snapshot leg (that row is
 		// refreshed by -recommend-only with -recommend-out, and gates
@@ -315,6 +341,156 @@ func recommendGate(outPath string) bool {
 			},
 			"benchmarks": benches,
 			"speedup":    speedups,
+		}
+		data, err := json.MarshalIndent(snapshot, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench-compare: wrote %s\n", outPath)
+	}
+	return ok
+}
+
+// rematchLeg is one epoch's timing inside the streaming-market gate.
+type rematchLeg struct {
+	Epoch        int     `json:"epoch"`
+	Mode         string  `json:"mode"`
+	MS           float64 `json:"ms"`
+	Neighborhood int     `json:"neighborhood,omitempty"`
+	Changed      int     `json:"changed,omitempty"`
+}
+
+// runRematchLeg plays the shared churn trace — a cold-start epoch
+// admitting the whole population, then two epochs churning
+// rematchChurn·n agents each — through a streaming framework. With
+// forceFull, the churn threshold is set so low that every epoch
+// re-matches from scratch: the control the repair leg is gated against.
+// The churn trace, population, and seed are identical across legs.
+func runRematchLeg(forceFull bool) ([]rematchLeg, []telemetry.Event, error) {
+	tel := telemetry.New()
+	tel.Events = telemetry.NewEventRing(1 << 16)
+	cfg := core.Config{
+		Seed:     17,
+		Market:   core.MarketConfig{Rematch: true},
+		Pipeline: core.PipelineConfig{Oracle: true},
+		Observe:  core.ObserveConfig{Telemetry: tel},
+	}
+	if forceFull {
+		// Any churn at all trips a full re-match; the trace below keeps
+		// the default 10% threshold's repair leg in repair mode.
+		cfg.Market.ChurnThreshold = 1e-9
+	}
+	fw, err := core.NewFramework(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fw.Close()
+	pop := fw.SamplePopulation(rematchN, stats.Uniform{})
+	k := int(rematchChurn * rematchN)
+
+	var legs []rematchLeg
+	var rep *core.EpochReport
+	for e := 0; e < 3; e++ {
+		churn := core.Churn{Join: pop.Jobs}
+		if e > 0 {
+			churn = core.Churn{Join: pop.Jobs[:k], Depart: rep.AgentIDs[:k]}
+		}
+		start := time.Now()
+		rep, err = fw.StreamEpoch(churn)
+		if err != nil {
+			return nil, nil, err
+		}
+		legs = append(legs, rematchLeg{
+			Epoch:        e,
+			Mode:         rep.Rematch.Mode,
+			MS:           float64(time.Since(start).Microseconds()) / 1000,
+			Neighborhood: rep.Rematch.Neighborhood,
+			Changed:      rep.Rematch.Changed,
+		})
+	}
+	return legs, tel.Events.Events(), nil
+}
+
+// rematchGate gates the streaming market: at rematchN agents with
+// rematchChurn of the population churning per epoch, the mean
+// incremental-repair epoch must beat the mean forced-full epoch over
+// the identical churn trace by rematchSpeedupFloor, and the repair
+// leg's flight log must replay through the invariant auditor with zero
+// violations.
+func rematchGate(outPath string) bool {
+	repair, events, err := runRematchLeg(false)
+	if err != nil {
+		fatal(err)
+	}
+	full, _, err := runRematchLeg(true)
+	if err != nil {
+		fatal(err)
+	}
+
+	ok := true
+	var repairMS, fullMS float64
+	for i := 1; i < len(repair); i++ {
+		if repair[i].Mode != "repair" {
+			fmt.Printf("bench-compare: FAIL: repair-leg epoch %d ran %q, want repair (trace under threshold)\n",
+				i, repair[i].Mode)
+			ok = false
+		}
+		if full[i].Mode != "full" {
+			fmt.Printf("bench-compare: FAIL: full-leg epoch %d ran %q, want full (forced threshold)\n",
+				i, full[i].Mode)
+			ok = false
+		}
+		repairMS += repair[i].MS
+		fullMS += full[i].MS
+	}
+	repairMS /= float64(len(repair) - 1)
+	fullMS /= float64(len(full) - 1)
+	speedup := fullMS / repairMS
+	fmt.Printf("bench-compare: rematch n=%d churn %.0f%%: full %9.1f ms/epoch, repair %9.1f ms/epoch, speedup %.2fx (nbhd %d of %d)\n",
+		rematchN, rematchChurn*100, fullMS, repairMS, speedup, repair[1].Neighborhood, rematchN)
+	if speedup < rematchSpeedupFloor {
+		fmt.Printf("bench-compare: FAIL: repair speedup %.2fx below the %.1fx floor\n",
+			speedup, rematchSpeedupFloor)
+		ok = false
+	}
+
+	rep := audit.Replay(events, audit.Options{})
+	fmt.Printf("bench-compare: rematch audit: %d events, %d epochs, %d violations\n",
+		rep.Events, rep.Epochs, len(rep.Violations))
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			fmt.Printf("bench-compare: FAIL: audit: %v\n", v)
+		}
+		ok = false
+	}
+
+	if outPath != "" {
+		snapshot := map[string]any{
+			"description": fmt.Sprintf("Streaming market under churn: %d agents, %.0f%% of the "+
+				"population joining and departing per epoch (oracle penalties, SMR policy, "+
+				"seed 17). The repair leg absorbs each epoch's churn by incremental "+
+				"neighborhood repair; the full leg replays the identical trace with the "+
+				"churn threshold forced to zero so every epoch re-matches from scratch. "+
+				"Rerun `make bench-rematch` to refresh this snapshot.",
+				rematchN, rematchChurn*100),
+			"host": map[string]any{
+				"goos":       runtime.GOOS,
+				"goarch":     runtime.GOARCH,
+				"cpu":        cpuModel(),
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+			},
+			"agents":           rematchN,
+			"churn":            rematchChurn,
+			"repair_epochs":    repair,
+			"full_epochs":      full,
+			"repair_ms":        float64(int(repairMS*1000)) / 1000,
+			"full_ms":          float64(int(fullMS*1000)) / 1000,
+			"speedup":          float64(int(speedup*100)) / 100,
+			"audit_events":     rep.Events,
+			"audit_violations": len(rep.Violations),
 		}
 		data, err := json.MarshalIndent(snapshot, "", "  ")
 		if err != nil {

@@ -43,6 +43,7 @@ import (
 	"cooper/internal/recommend"
 	"cooper/internal/simcli"
 	"cooper/internal/stats"
+	"cooper/internal/workload"
 )
 
 func main() {
@@ -57,6 +58,10 @@ func main() {
 		"epochs per configuration; the row records the fastest")
 	flag.IntVar(&cfg.refineBudget, "refine-budget", 0,
 		"cross-shard refinement rounds; 0 means the default (4), negative disables")
+	flag.Float64Var(&cfg.churn, "churn", 0,
+		"run sweep legs through the streaming market, joining and departing "+
+			"this fraction of the population every epoch after the first; rows "+
+			"then record repair-vs-full round counts (0 keeps the static sweep)")
 	flag.StringVar(&cfg.out, "out", "",
 		"write the JSON benchmark rows to this file instead of stdout")
 	flag.IntVar(&cfg.maxAllPairs, "max-allpairs", 10000,
@@ -89,6 +94,7 @@ type loadConfig struct {
 	policyName         string
 	epochs             int
 	refineBudget       int
+	churn              float64
 	out                string
 	maxAllPairs        int
 	kernel             string
@@ -108,6 +114,12 @@ type row struct {
 	MeanPenalty      float64 `json:"mean_penalty"`
 	RefinementRounds int     `json:"refine_rounds"`
 	RefinementTrades int     `json:"refine_trades"`
+	// Streaming-market accounting, present only for -churn sweeps: how
+	// many epochs repaired incrementally vs re-matched from scratch, and
+	// the per-epoch churn magnitude that drove them.
+	Repairs       int `json:"repairs,omitempty"`
+	Fulls         int `json:"fulls,omitempty"`
+	ChurnPerEpoch int `json:"churn_per_epoch,omitempty"`
 }
 
 // bench is the emitted document.
@@ -159,8 +171,13 @@ func run(cfg loadConfig, stdout io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("n=%d shards=%d: %w", n, s, err)
 			}
-			fmt.Fprintf(stdout, "n=%d shards=%d: %.1f ms/epoch, mean penalty %.4f, %d refinement trades, %s kernel\n",
-				n, s, r.EpochMS, r.MeanPenalty, r.RefinementTrades, r.Kernel)
+			if cfg.churn > 0 {
+				fmt.Fprintf(stdout, "n=%d shards=%d: %.1f ms/epoch steady-state, %d repairs / %d fulls at churn %d per epoch, %s kernel\n",
+					n, s, r.EpochMS, r.Repairs, r.Fulls, r.ChurnPerEpoch, r.Kernel)
+			} else {
+				fmt.Fprintf(stdout, "n=%d shards=%d: %.1f ms/epoch, mean penalty %.4f, %d refinement trades, %s kernel\n",
+					n, s, r.EpochMS, r.MeanPenalty, r.RefinementTrades, r.Kernel)
+			}
 			doc.Rows = append(doc.Rows, r)
 		}
 	}
@@ -239,6 +256,7 @@ func framework(cfg loadConfig, pol policy.Policy, shards int, kernel string) (*c
 			Policy:           pol,
 			Shards:           shards,
 			RefinementBudget: cfg.refineBudget,
+			Rematch:          cfg.churn > 0,
 		},
 		Pipeline: core.PipelineConfig{
 			Workers: cfg.workers,
@@ -275,6 +293,9 @@ func measure(cfg loadConfig, pol policy.Policy, n, shards int, kernel string) (r
 	}
 	r := row{Agents: n, Shards: shards, Workers: cfg.workers, Epochs: epochs,
 		Kernel: fw.Kernel()}
+	if cfg.churn > 0 {
+		return measureStream(cfg, fw, pop, r)
+	}
 	for e := 0; e < epochs; e++ {
 		start := time.Now()
 		rep, err := fw.RunEpoch(pop)
@@ -288,6 +309,51 @@ func measure(cfg loadConfig, pol policy.Policy, n, shards int, kernel string) (r
 		r.MeanPenalty = rep.MeanTruePenalty()
 		r.RefinementRounds = rep.RefinementRounds
 		r.RefinementTrades = rep.RefinementTrades
+	}
+	return r, nil
+}
+
+// measureStream runs one -churn leg through the streaming market: the
+// first epoch admits the whole population (a full clear by definition),
+// and every later epoch joins and departs churn·n agents, counting how
+// many epochs repaired incrementally vs re-matched from scratch. The
+// recorded time is the fastest post-cold-start epoch — the streaming
+// steady state.
+func measureStream(cfg loadConfig, fw *core.Framework, pop workload.Population, r row) (row, error) {
+	n := r.Agents
+	k := int(cfg.churn * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	r.ChurnPerEpoch = k
+	var rep *core.EpochReport
+	var err error
+	for e := 0; e < r.Epochs; e++ {
+		churn := core.Churn{Join: pop.Jobs}
+		if e > 0 {
+			churn = core.Churn{Join: pop.Jobs[:k], Depart: rep.AgentIDs[:k]}
+		}
+		start := time.Now()
+		rep, err = fw.StreamEpoch(churn)
+		if err != nil {
+			return row{}, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if e > 0 {
+			if r.EpochMS == 0 || ms < r.EpochMS {
+				r.EpochMS = ms
+			}
+		} else if r.Epochs == 1 {
+			r.EpochMS = ms
+		}
+		r.MeanPenalty = rep.MeanTruePenalty()
+		r.RefinementRounds = rep.RefinementRounds
+		r.RefinementTrades = rep.RefinementTrades
+		if rep.Rematch.Mode == "repair" {
+			r.Repairs++
+		} else {
+			r.Fulls++
+		}
 	}
 	return r, nil
 }

@@ -69,6 +69,7 @@ func main() {
 		ServerTimeouts().
 		Audit().
 		Market().
+		Rematch().
 		Approx()
 	flag.Parse()
 	seed, workers := cf.Seed, cf.Workers
@@ -157,6 +158,8 @@ func main() {
 		Seed:             *seed,
 		Shards:           *cf.Shards,
 		RefinementBudget: *cf.RefineBudget,
+		Rematch:          *cf.RematchOn,
+		ChurnThreshold:   *cf.ChurnThreshold,
 		Workers:          *workers,
 		Metrics:          reg,
 		Events:           tel.Events,
@@ -169,6 +172,9 @@ func main() {
 			fmt.Printf("cooperd: epoch %d done: mean penalty %.4f, %d break-aways, %d participating\n",
 				e, sum.MeanPenalty, sum.BreakAways, sum.Participating)
 		},
+	}
+	if *cf.RematchOn {
+		fmt.Println("cooperd: streaming market enabled: mid-epoch joins and departures repaired incrementally")
 	}
 	if *chaosSeed != 0 {
 		srv.Faults = faults.NewPlan(faults.Hostile(*chaosSeed), reg, nil)

@@ -102,6 +102,13 @@ type (
 	Framework = core.Framework
 	// EpochReport is the outcome of one scheduling epoch.
 	EpochReport = core.EpochReport
+	// Churn is one streaming epoch's population change (jobs joining,
+	// stable agent IDs leaving), consumed by Framework.StreamEpoch under
+	// WithRematch.
+	Churn = core.Churn
+	// RematchSummary reports how a streaming epoch absorbed its churn:
+	// incremental repair or threshold-forced full re-match.
+	RematchSummary = core.RematchSummary
 )
 
 // Hardware and workload types.

@@ -68,6 +68,11 @@ const (
 	InvSnapshot     = "snapshot"
 	InvShard        = "shard"
 	InvRefinement   = "refinement"
+	// InvRepair governs streaming rematch rounds (rematch_round events
+	// with Kind "repair" or "full"): payloads parse, admitted agents
+	// were queued, only neighborhood agents change partners, and nobody
+	// joins or vanishes undeclared.
+	InvRepair = "repair"
 )
 
 // Violation is one invariant failure, pinned to the event evidence that
@@ -170,6 +175,24 @@ type segment struct {
 	shardOf     map[int]int
 	shardEvents int
 	trusted     bool // roster believed authoritative
+	// repair marks a streaming rematch round: the shard-partition checks
+	// don't apply (repairs re-push no shard_matched events).
+	repair bool
+	// nbhd is the declared repair neighborhood; assigned tracks the
+	// current round's assignment events in carried (wire repair) mode,
+	// where partner/unpaired carry over from the superseded round and
+	// only neighborhood agents may be re-assigned. assigned non-nil IS
+	// the carried-mode flag.
+	nbhd     map[int]bool
+	assigned map[int]bool
+}
+
+// rematchChurn is a streaming rematch_round's Data payload: the churn
+// the round absorbed, in event-log agent IDs.
+type rematchChurn struct {
+	Joined       []int `json:"joined"`
+	Departed     []int `json:"departed"`
+	Neighborhood []int `json:"neighborhood"`
 }
 
 // Auditor is the invariant engine. It is a state machine over the event
@@ -199,6 +222,18 @@ type Auditor struct {
 	jobIdx map[string]int           // catalog name -> matrix index
 
 	seg segment
+
+	// pendingMid tracks wire agents whose agent_registered landed
+	// mid-epoch: legal only when a rematch round admits them before the
+	// epoch ends.
+	pendingMid map[int]bool
+	// Core streaming epochs: the previous epoch's final partner-by-ID
+	// map (nil unless the previous core epoch was a streaming one) and
+	// the current epoch's declared rematch mode and churn, for the
+	// cross-epoch only-neighborhood-changed check.
+	prevFinal map[int]int
+	coreMode  string
+	coreChurn rematchChurn
 }
 
 // New returns an Auditor ready to consume a stream from its beginning.
@@ -326,14 +361,19 @@ func (a *Auditor) feed(e telemetry.Event) {
 }
 
 func (a *Auditor) onRegistered(e telemetry.Event) {
-	if a.inEpoch {
-		a.violate(InvLifecycle, a.curEpoch, e.Seq, e.Seq,
-			"agent %d registered mid-epoch; admissions happen only at epoch boundaries", e.Agent)
-	}
 	if a.rosterIndex(e.Agent) >= 0 {
 		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
 			"agent %d registered twice without an intervening reap", e.Agent)
 		return
+	}
+	if a.inEpoch {
+		// A mid-epoch registration is a live admission: legal only if a
+		// rematch round claims the agent before the epoch ends
+		// (onEpochEnd flags leftovers).
+		if a.pendingMid == nil {
+			a.pendingMid = make(map[int]bool)
+		}
+		a.pendingMid[e.Agent] = true
 	}
 	a.roster = append(a.roster, rosterEntry{id: e.Agent, job: e.Job})
 }
@@ -489,17 +529,169 @@ func (a *Auditor) onRematch(e telemetry.Event) {
 		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq, "rematch_round outside any epoch")
 		return
 	}
-	// The superseded round still had assignments pushed to its whole
-	// population, so it must satisfy coverage and stability; only the
-	// accounting (which the epoch summary reports for the final round
-	// alone) is skipped.
-	a.checkSegment(e, false)
-	a.resetSegment()
+	switch e.Kind {
+	case "":
+		// Legacy degraded round after reaps. The superseded round still
+		// had assignments pushed to its whole population, so it must
+		// satisfy coverage and stability; only the accounting (which the
+		// epoch summary reports for the final round alone) is skipped.
+		a.checkSegment(e, false)
+		a.resetSegment()
+	case "full", "repair":
+		a.onStreamRematch(e)
+	default:
+		a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+			"rematch_round has unknown kind %q", e.Kind)
+		return
+	}
 	if a.seg.trusted && int(e.Value) != len(a.roster) {
 		a.violate(InvLifecycle, e.Epoch, e.Seq, e.Seq,
 			"rematch_round population %d but derived roster has %d agents",
 			int(e.Value), len(a.roster))
 	}
+}
+
+// segmentAssigned reports whether the current segment recorded any
+// assignment events yet (core streaming epochs emit their rematch_round
+// before the assignments, so there is no superseded round to check).
+func (a *Auditor) segmentAssigned() bool {
+	return len(a.seg.pairs) > 0 || len(a.seg.partner) > 0 || len(a.seg.unpaired) > 0
+}
+
+// onStreamRematch handles a streaming rematch round, Kind "full" or
+// "repair". The payload's joined agents must have been queued mid-epoch
+// (wire) or appear in the epoch's snapshot roster (core); a repair
+// round additionally pins the neighborhood — the only agents whose
+// partners may change.
+func (a *Auditor) onStreamRematch(e telemetry.Event) {
+	var churn rematchChurn
+	if e.Data != "" {
+		if err := json.Unmarshal([]byte(e.Data), &churn); err != nil {
+			a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+				"rematch_round %s payload unparseable: %v", e.Kind, err)
+			churn = rematchChurn{}
+		}
+	} else {
+		a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+			"rematch_round %s carries no churn payload", e.Kind)
+	}
+	inRoster := make(map[int]bool, len(a.roster))
+	for _, r := range a.roster {
+		inRoster[r.id] = true
+	}
+	if a.source == telemetry.SnapshotSourceCore {
+		// Core streaming epochs are self-contained: the snapshot already
+		// carries the post-churn roster, the rematch_round precedes all
+		// assignments, and the only-neighborhood-changed contract is
+		// checked across epochs at epoch_end.
+		if a.segmentAssigned() {
+			a.checkSegment(e, false)
+			a.resetSegment()
+		}
+		a.coreMode = e.Kind
+		a.coreChurn = churn
+		nbhd := make(map[int]bool, len(churn.Neighborhood))
+		for _, id := range churn.Neighborhood {
+			nbhd[id] = true
+			if a.seg.trusted && !inRoster[id] {
+				a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+					"repair neighborhood names agent %d, not in this epoch's population", id)
+			}
+		}
+		for _, id := range churn.Joined {
+			if a.seg.trusted && !inRoster[id] {
+				a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+					"rematch_round admits agent %d, not in this epoch's population", id)
+			}
+			if e.Kind == "repair" && !nbhd[id] {
+				a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+					"joined agent %d outside the repair neighborhood", id)
+			}
+		}
+		for _, id := range churn.Departed {
+			if a.seg.trusted && inRoster[id] {
+				a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+					"rematch_round departs agent %d, still in this epoch's population", id)
+			}
+		}
+		if e.Kind == "repair" {
+			a.seg.repair = true
+			a.seg.nbhd = nbhd
+		}
+		return
+	}
+
+	// Wire: close the superseded round, admit the queued joiners, and —
+	// for repairs — carry its assignments into a neighborhood-restricted
+	// segment.
+	prev := a.seg
+	if a.segmentAssigned() {
+		a.checkSegment(e, false)
+	}
+	for _, id := range churn.Joined {
+		if !a.pendingMid[id] {
+			a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+				"rematch_round admits agent %d, which never registered mid-epoch", id)
+			continue
+		}
+		delete(a.pendingMid, id)
+	}
+	if e.Kind == "full" {
+		a.resetSegment()
+		return
+	}
+	nbhd := make(map[int]bool, len(churn.Neighborhood))
+	for _, id := range churn.Neighborhood {
+		nbhd[id] = true
+	}
+	ns := segment{
+		roster:   append([]rosterEntry(nil), a.roster...),
+		partner:  prev.partner,
+		unpaired: prev.unpaired,
+		shardOf:  prev.shardOf,
+		trusted:  a.synced && prev.trusted,
+		repair:   true,
+		nbhd:     nbhd,
+		assigned: make(map[int]bool),
+	}
+	inRoster = make(map[int]bool, len(ns.roster))
+	for _, r := range ns.roster {
+		inRoster[r.id] = true
+	}
+	if ns.trusted {
+		for _, id := range churn.Neighborhood {
+			if !inRoster[id] {
+				a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+					"repair neighborhood names agent %d, not in this round's population", id)
+			}
+		}
+		for _, id := range churn.Joined {
+			if !nbhd[id] {
+				a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+					"joined agent %d outside the repair neighborhood", id)
+			}
+		}
+	}
+	// Departures sever their colocations: the surviving side must be in
+	// the neighborhood, since repair has to re-assign it.
+	for _, id := range churn.Departed {
+		if ns.trusted && inRoster[id] {
+			a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+				"rematch_round departs agent %d, still in this round's population", id)
+		}
+		if p, ok := ns.partner[id]; ok {
+			delete(ns.partner, id)
+			if q, ok2 := ns.partner[p]; ok2 && q == id {
+				delete(ns.partner, p)
+				if ns.trusted && inRoster[p] && !nbhd[p] {
+					a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+						"departure of agent %d displaced agent %d outside the repair neighborhood", id, p)
+				}
+			}
+		}
+		delete(ns.unpaired, id)
+	}
+	a.seg = ns
 }
 
 // onShardMatched records one shard's membership. The payload is the
@@ -595,6 +787,10 @@ func (a *Auditor) onPair(e telemetry.Event) {
 		a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq, "agent %d matched with itself", e.Agent)
 		return
 	}
+	if a.seg.assigned != nil {
+		a.onPairRepair(e)
+		return
+	}
 	for _, id := range [2]int{e.Agent, e.Partner} {
 		if p, dup := a.seg.partner[id]; dup {
 			a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq,
@@ -610,10 +806,69 @@ func (a *Auditor) onPair(e telemetry.Event) {
 	a.seg.pairs = append(a.seg.pairs, pairRec{a: e.Agent, b: e.Partner, pred: e.Predicted, seq: e.Seq})
 }
 
+// onPairRepair records a pair in a carried (wire repair) segment:
+// assignments override the carried state, but only neighborhood agents
+// may be touched — including the old partners the overrides displace.
+func (a *Auditor) onPairRepair(e telemetry.Event) {
+	seg := &a.seg
+	for _, id := range [2]int{e.Agent, e.Partner} {
+		if seg.assigned[id] {
+			a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq,
+				"agent %d assigned twice in one repair round", id)
+		}
+		if !seg.nbhd[id] {
+			a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+				"agent %d re-matched outside the repair neighborhood", id)
+		}
+	}
+	for _, id := range [2]int{e.Agent, e.Partner} {
+		other := e.Agent + e.Partner - id
+		if p, ok := seg.partner[id]; ok && p != other {
+			if q, ok2 := seg.partner[p]; ok2 && q == id {
+				delete(seg.partner, p)
+				if seg.trusted && !seg.nbhd[p] {
+					a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+						"repair of agent %d displaced agent %d outside the neighborhood", id, p)
+				}
+			}
+		}
+		delete(seg.unpaired, id)
+	}
+	seg.partner[e.Agent] = e.Partner
+	seg.partner[e.Partner] = e.Agent
+	seg.assigned[e.Agent], seg.assigned[e.Partner] = true, true
+	seg.pairs = append(seg.pairs, pairRec{a: e.Agent, b: e.Partner, pred: e.Predicted, seq: e.Seq})
+}
+
 func (a *Auditor) onUnpaired(e telemetry.Event) {
 	if !a.inEpoch {
 		a.violate(InvBracket, e.Epoch, e.Seq, e.Seq,
 			"agent_unpaired %d outside any epoch", e.Agent)
+		return
+	}
+	if a.seg.assigned != nil {
+		seg := &a.seg
+		if seg.assigned[e.Agent] {
+			a.violate(InvCoverage, e.Epoch, e.Seq, e.Seq,
+				"agent %d assigned twice in one repair round", e.Agent)
+			return
+		}
+		if !seg.nbhd[e.Agent] {
+			a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+				"agent %d re-assigned outside the repair neighborhood", e.Agent)
+		}
+		if p, ok := seg.partner[e.Agent]; ok {
+			if q, ok2 := seg.partner[p]; ok2 && q == e.Agent {
+				delete(seg.partner, p)
+				if seg.trusted && !seg.nbhd[p] {
+					a.violate(InvRepair, e.Epoch, e.Seq, e.Seq,
+						"unpairing agent %d displaced agent %d outside the neighborhood", e.Agent, p)
+				}
+			}
+			delete(seg.partner, e.Agent)
+		}
+		seg.unpaired[e.Agent] = true
+		seg.assigned[e.Agent] = true
 		return
 	}
 	if _, dup := a.seg.partner[e.Agent]; dup || a.seg.unpaired[e.Agent] {
@@ -634,14 +889,98 @@ func (a *Auditor) onEpochEnd(e telemetry.Event) {
 			"epoch_end for epoch %d closes epoch %d", e.Epoch, a.curEpoch)
 	}
 	a.checkSegment(e, true)
+	if len(a.pendingMid) > 0 {
+		ids := make([]int, 0, len(a.pendingMid))
+		for id := range a.pendingMid {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		a.violate(InvLifecycle, a.curEpoch, a.epochStartSeq, e.Seq,
+			"agents %v registered mid-epoch but no rematch round admitted them", ids)
+		a.pendingMid = nil
+	}
+	if a.source == telemetry.SnapshotSourceCore {
+		a.checkCoreStream(e)
+		// Core rosters are epoch-local; the next epoch brings its own.
+		a.roster = nil
+	}
 	a.inEpoch = false
 	a.lastEpoch = a.curEpoch
 	a.haveLastEpoch = true
 	a.rep.Epochs++
-	if a.source == telemetry.SnapshotSourceCore {
-		// Core rosters are epoch-local; the next epoch brings its own.
-		a.roster = nil
+}
+
+// checkCoreStream runs the cross-epoch half of InvRepair for core
+// streaming epochs: against the previous streaming epoch's final
+// matching, only declared-neighborhood agents may have changed
+// partners, only declared joiners may appear, and only declared
+// departures may vanish. Classic epochs reset the baseline — their
+// index-space agents are not comparable across epochs.
+func (a *Auditor) checkCoreStream(end telemetry.Event) {
+	mode, churn := a.coreMode, a.coreChurn
+	a.coreMode, a.coreChurn = "", rematchChurn{}
+	seg := &a.seg
+	if mode == "" || !seg.trusted {
+		a.prevFinal = nil
+		return
 	}
+	idx := make(map[int]int, len(seg.roster))
+	for i, r := range seg.roster {
+		idx[r.id] = i
+	}
+	final := make(map[int]int, len(seg.roster))
+	for _, r := range seg.roster {
+		final[r.id] = matching.Unmatched
+		if pid, ok := seg.partner[r.id]; ok {
+			if q, okq := seg.partner[pid]; okq && q == r.id {
+				if _, in := idx[pid]; in {
+					final[r.id] = pid
+				}
+			}
+		}
+	}
+	if mode == "repair" && a.prevFinal != nil {
+		nbhd := make(map[int]bool, len(churn.Neighborhood))
+		for _, id := range churn.Neighborhood {
+			nbhd[id] = true
+		}
+		joined := make(map[int]bool, len(churn.Joined))
+		for _, id := range churn.Joined {
+			joined[id] = true
+		}
+		departed := make(map[int]bool, len(churn.Departed))
+		for _, id := range churn.Departed {
+			departed[id] = true
+		}
+		for _, r := range seg.roster {
+			id := r.id
+			prevP, existed := a.prevFinal[id]
+			if !existed {
+				if !joined[id] {
+					a.violate(InvRepair, a.curEpoch, a.epochStartSeq, end.Seq,
+						"agent %d appeared in a repair epoch without a declared join", id)
+				}
+				continue
+			}
+			if prevP != final[id] && !nbhd[id] {
+				a.violate(InvRepair, a.curEpoch, a.epochStartSeq, end.Seq,
+					"agent %d changed partner (%d -> %d) outside the repair neighborhood",
+					id, prevP, final[id])
+			}
+		}
+		gone := make([]int, 0, len(departed))
+		for id := range a.prevFinal {
+			if _, still := final[id]; !still && !departed[id] {
+				gone = append(gone, id)
+			}
+		}
+		sort.Ints(gone)
+		for _, id := range gone {
+			a.violate(InvRepair, a.curEpoch, a.epochStartSeq, end.Seq,
+				"agent %d vanished from a repair epoch without a declared departure", id)
+		}
+	}
+	a.prevFinal = final
 }
 
 // alpha resolves the stability contract for the current epoch: the
@@ -733,7 +1072,9 @@ func (a *Auditor) checkSegment(end telemetry.Event, final bool) {
 			a.violate(InvShard, a.curEpoch, a.epochStartSeq, end.Seq,
 				"shard_matched names agents %v, not in this round's population", outsiders)
 		}
-	} else if a.snap != nil && a.snap.Shards > 1 {
+	} else if a.snap != nil && a.snap.Shards > 1 && !seg.repair {
+		// Repair rounds re-push only the neighborhood and emit no
+		// shard_matched events, so the partition checks don't apply.
 		a.violate(InvShard, a.curEpoch, a.epochStartSeq, end.Seq,
 			"snapshot declares %d shards but the round recorded no shard_matched events", a.snap.Shards)
 	}
@@ -757,9 +1098,30 @@ func (a *Auditor) checkSegment(end telemetry.Event, final bool) {
 		}
 		return a.snap.Matrix[ji][jj], true
 	}
+	// The round's matching comes from the partner map (mutually
+	// consistent links only): in a plain round it is exactly the pair
+	// events, in a carried repair round it is the prior round's matching
+	// with the repair's overrides applied.
 	match := make(matching.Matching, n)
 	for i := range match {
 		match[i] = matching.Unmatched
+	}
+	for i, r := range seg.roster {
+		pid, ok := seg.partner[r.id]
+		if !ok {
+			continue
+		}
+		j, okj := idx[pid]
+		if !okj {
+			if seg.repair {
+				a.violate(InvRepair, a.curEpoch, a.epochStartSeq, end.Seq,
+					"agent %d still paired with %d, which left the population unrepaired", r.id, pid)
+			}
+			continue
+		}
+		if q, okq := seg.partner[pid]; okq && q == r.id {
+			match[i] = j
+		}
 	}
 	for _, p := range seg.pairs {
 		i, oki := idx[p.a]
@@ -767,7 +1129,6 @@ func (a *Auditor) checkSegment(end telemetry.Event, final bool) {
 		if !oki || !okj {
 			continue // already flagged above
 		}
-		match[i], match[j] = j, i
 		want, ok := pen(i, j)
 		if !ok {
 			a.violate(InvSnapshot, a.curEpoch, p.seq, p.seq,

@@ -1,0 +1,193 @@
+package audit
+
+import (
+	"testing"
+
+	"cooper/internal/telemetry"
+)
+
+// rematchRound appends a streaming rematch_round with a churn payload.
+func (l *wireLog) rematchRound(epoch, round int, kind string, pop int, data string) {
+	l.add(telemetry.Event{Type: telemetry.EventRematchRound, Epoch: epoch,
+		Agent: -1, Partner: -1, Round: round, Kind: kind,
+		Value: float64(pop), Data: data})
+}
+
+func (l *wireLog) reap(epoch, id int) {
+	l.add(telemetry.Event{Type: telemetry.EventAgentReaped, Epoch: epoch,
+		Agent: id, Partner: -1, Job: jobOf(id)})
+}
+
+func (l *wireLog) unpaired(epoch, id int) {
+	l.add(telemetry.Event{Type: telemetry.EventAgentUnpaired, Epoch: epoch,
+		Agent: id, Partner: -1, Job: jobOf(id)})
+}
+
+// repairEpoch is one healthy streaming wire epoch: four agents cleared
+// fully in round 0, agent 4 admitted mid-epoch by a repair round that
+// re-pairs (2,4) and leaves the displaced 3 unpaired.
+func repairEpoch() *wireLog {
+	l := &wireLog{}
+	ids := []int{0, 1, 2, 3}
+	l.register(0, ids...)
+	l.add(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0,
+		Agent: -1, Partner: -1, Value: 4})
+	l.snapshot(0, -1, ids)
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 3)
+	l.register(0, 4) // live admission: queued mid-epoch
+	l.rematchRound(0, 1, "repair", 5, `{"joined":[4],"neighborhood":[2,3,4]}`)
+	l.pair(0, 2, 4)
+	l.unpaired(0, 3)
+	mean := (pen(0, 1) + pen(1, 0) + pen(2, 4) + pen(4, 2)) / 5
+	l.add(telemetry.Event{Type: telemetry.EventEpochEnd, Epoch: 0,
+		Agent: -1, Partner: -1, Value: mean})
+	return l
+}
+
+func TestStreamRepairCleanEpoch(t *testing.T) {
+	rep := replayOK(t, repairEpoch().events)
+	if rep.Epochs != 1 || rep.Pairs != 3 {
+		t.Fatalf("epochs=%d pairs=%d", rep.Epochs, rep.Pairs)
+	}
+}
+
+func TestStreamFullCleanEpoch(t *testing.T) {
+	// Threshold-tripping mid-epoch churn: agent 3 leaves, 4 arrives, and
+	// the round re-clears the market from scratch.
+	l := &wireLog{}
+	ids := []int{0, 1, 2, 3}
+	l.register(0, ids...)
+	l.add(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0,
+		Agent: -1, Partner: -1, Value: 4})
+	l.snapshot(0, -1, ids)
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 3)
+	l.register(0, 4)
+	l.reap(0, 3)
+	l.rematchRound(0, 1, "full", 4, `{"joined":[4],"departed":[3]}`)
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 4)
+	mean := (pen(0, 1) + pen(1, 0) + pen(2, 4) + pen(4, 2)) / 4
+	l.add(telemetry.Event{Type: telemetry.EventEpochEnd, Epoch: 0,
+		Agent: -1, Partner: -1, Value: mean})
+	replayOK(t, l.events)
+}
+
+func TestStreamRepairOutsideNeighborhood(t *testing.T) {
+	// The repair re-pairs agent 0, which the declared neighborhood does
+	// not contain.
+	l := repairEpoch()
+	for i := range l.events {
+		e := &l.events[i]
+		if e.Type == telemetry.EventPairMatched && e.Agent == 2 && e.Partner == 4 {
+			e.Agent, e.Job, e.Predicted = 0, jobOf(0), pen(0, 4)
+		}
+	}
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvRepair, "re-matched outside the repair neighborhood")
+}
+
+func TestStreamUnpairedOutsideNeighborhood(t *testing.T) {
+	l := repairEpoch()
+	for i := range l.events {
+		e := &l.events[i]
+		if e.Type == telemetry.EventAgentUnpaired {
+			e.Agent, e.Job = 1, jobOf(1)
+		}
+	}
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvRepair, "re-assigned outside the repair neighborhood")
+}
+
+func TestStreamAdmissionRequiresRegistration(t *testing.T) {
+	// The round claims to admit agent 7, which never sent a mid-epoch
+	// agent_registered.
+	l := repairEpoch()
+	for i := range l.events {
+		e := &l.events[i]
+		if e.Type == telemetry.EventRematchRound {
+			e.Data = `{"joined":[4,7],"neighborhood":[2,3,4,7]}`
+		}
+	}
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvRepair, "never registered mid-epoch")
+}
+
+func TestStreamPendingNeverAdmitted(t *testing.T) {
+	// Agent 4 registers mid-epoch but no rematch round ever admits it.
+	l := &wireLog{}
+	ids := []int{0, 1, 2, 3}
+	l.register(0, ids...)
+	l.add(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0,
+		Agent: -1, Partner: -1, Value: 4})
+	l.snapshot(0, -1, ids)
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 3)
+	l.register(0, 4)
+	mean := (pen(0, 1) + pen(1, 0) + pen(2, 3) + pen(3, 2)) / 4
+	l.add(telemetry.Event{Type: telemetry.EventEpochEnd, Epoch: 0,
+		Agent: -1, Partner: -1, Value: mean})
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvLifecycle, "no rematch round admitted them")
+}
+
+func TestStreamUnknownRematchKind(t *testing.T) {
+	l := repairEpoch()
+	for i := range l.events {
+		if l.events[i].Type == telemetry.EventRematchRound {
+			l.events[i].Kind = "partial"
+		}
+	}
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvRepair, "unknown kind")
+}
+
+func TestStreamDepartureStillRegistered(t *testing.T) {
+	// The round declares agent 3 departed, but no agent_reaped removed
+	// it from the roster first.
+	l := &wireLog{}
+	ids := []int{0, 1, 2, 3}
+	l.register(0, ids...)
+	l.add(telemetry.Event{Type: telemetry.EventEpochStart, Epoch: 0,
+		Agent: -1, Partner: -1, Value: 4})
+	l.snapshot(0, -1, ids)
+	l.pair(0, 0, 1)
+	l.pair(0, 2, 3)
+	l.rematchRound(0, 1, "repair", 4, `{"departed":[3],"neighborhood":[2]}`)
+	l.unpaired(0, 2)
+	mean := (pen(0, 1) + pen(1, 0)) / 4
+	l.add(telemetry.Event{Type: telemetry.EventEpochEnd, Epoch: 0,
+		Agent: -1, Partner: -1, Value: mean})
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvRepair, "still in this round's population")
+}
+
+func TestStreamRepairDoubleAssignment(t *testing.T) {
+	l := repairEpoch()
+	// Re-pair (2,4) a second time inside the same repair round.
+	var dup []telemetry.Event
+	for _, e := range l.events {
+		if e.Type == telemetry.EventEpochEnd {
+			dup = append(dup, telemetry.Event{Type: telemetry.EventPairMatched,
+				Epoch: 0, Agent: 2, Partner: 4, Job: jobOf(2), Predicted: pen(2, 4)})
+		}
+		dup = append(dup, e)
+	}
+	for i := range dup {
+		dup[i].Seq = int64(i)
+	}
+	rep := Replay(dup, Options{})
+	wantViolation(t, rep, InvCoverage, "assigned twice in one repair round")
+}
+
+func TestStreamRepairMissingPayload(t *testing.T) {
+	l := repairEpoch()
+	for i := range l.events {
+		if l.events[i].Type == telemetry.EventRematchRound {
+			l.events[i].Data = ""
+		}
+	}
+	rep := Replay(l.events, Options{})
+	wantViolation(t, rep, InvRepair, "carries no churn payload")
+}

@@ -30,6 +30,18 @@ type MarketConfig struct {
 	// 0 means shard.DefaultRefinementBudget, negative disables
 	// refinement. Ignored by the unsharded market.
 	RefinementBudget int
+	// Rematch enables the streaming market: StreamEpoch admits churn
+	// mid-stream and repairs the prior epoch's matching incrementally
+	// (see internal/rematch) instead of re-clearing from scratch.
+	Rematch bool
+	// RematchTopK bounds the preference candidates each churned agent
+	// pulls into its repair neighborhood (<= 0 means
+	// rematch.DefaultTopK).
+	RematchTopK int
+	// ChurnThreshold is the fraction of the population whose cumulative
+	// churn since the last full clear forces the next streaming epoch to
+	// re-match from scratch (<= 0 means rematch.DefaultChurnThreshold).
+	ChurnThreshold float64
 }
 
 // PipelineConfig groups the epoch pipeline's execution knobs: worker

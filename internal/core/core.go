@@ -121,10 +121,11 @@ type Framework struct {
 	pool      *parallel.Pool
 	cache     *arch.PairCache
 
-	mu       sync.Mutex // guards closed
+	mu       sync.Mutex // guards closed and stream
 	closed   bool
 	inflight sync.WaitGroup // in-flight epochs, for Close's drain
 	epochSeq atomic.Int64   // 0-based epoch index stamped on flight-recorder events
+	stream   *streamState   // streaming-market ledger, lazily created by StreamEpoch
 }
 
 // New builds a Framework from the legacy flat Options.
@@ -379,6 +380,13 @@ type EpochReport struct {
 	BlockingPairs [][2]int
 	// Cluster summarizes the dispatch of participating colocations.
 	Cluster cluster.Report
+	// AgentIDs maps each index to its stable streaming-market identity
+	// (nil for classic RunEpoch epochs, whose agents are their indices).
+	// Departures in a later StreamEpoch's Churn name these IDs.
+	AgentIDs []int
+	// Rematch summarizes how a streaming epoch absorbed its churn (nil
+	// for classic epochs).
+	Rematch *RematchSummary
 }
 
 // RunEpoch plays one round of the colocation game for the population:

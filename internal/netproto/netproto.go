@@ -168,6 +168,21 @@ type Server struct {
 	// Workers bounds the sharded market's per-shard fan-out (<= 0 means
 	// GOMAXPROCS). Matchings are bit-identical at any worker count.
 	Workers int
+	// Rematch enables the streaming admission path: agents that register
+	// while an epoch is in flight are admitted into the live epoch and the
+	// standing matching repaired incrementally around them (see
+	// internal/rematch) instead of waiting out the epoch; agents that die
+	// mid-epoch are likewise absorbed as repair rounds rather than full
+	// re-matches of the survivors. Each epoch's first round is still a
+	// full clear, so the repair baseline is always a fresh matching.
+	Rematch bool
+	// RematchTopK bounds the preference candidates each churned agent
+	// pulls into its repair neighborhood (<= 0 means rematch.DefaultTopK).
+	RematchTopK int
+	// ChurnThreshold is the fraction of the population whose cumulative
+	// churn since the epoch's last full clear forces the next round to
+	// re-match from scratch (<= 0 means rematch.DefaultChurnThreshold).
+	ChurnThreshold float64
 	// Metrics, when non-nil, receives wire and epoch counters
 	// (net.connections, net.msg_in.*, net.msg_out.*, net.epoch_latency_s,
 	// net.reaped, net.stale, epoch.*). Nil disables recording.
@@ -238,6 +253,10 @@ type session struct {
 	dec  *json.Decoder
 	job  workload.Job
 	id   int // wire AgentID: stable for the connection's lifetime
+	// queuedAt is when the registration entered the admission queue,
+	// stamped just before the session is handed to the Serve goroutine;
+	// admission observes the wait in the net.admit_wait histogram.
+	queuedAt time.Time
 
 	// writeMu serializes all writes to the conn. A session is queued for
 	// admission before its "registered" reply goes out (so an agent that
@@ -391,6 +410,13 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	s.Metrics.Counter("net.reaped")
 	s.Metrics.Counter("net.stale")
 	s.Metrics.Counter("epoch.degraded")
+	s.Metrics.Histogram("net.admit_wait", telemetry.DurationBuckets())
+	if s.Rematch {
+		s.Metrics.Counter("rematch.repairs")
+		s.Metrics.Counter("rematch.fulls")
+		s.Metrics.Counter("rematch.joined")
+		s.Metrics.Counter("rematch.departed")
+	}
 	go s.acceptLoop(ln)
 	if ready != nil {
 		ready(ln.Addr().String())
@@ -423,9 +449,7 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 			}
 			return fmt.Errorf("netproto: listener closed before %d agents registered", s.Epoch)
 		}
-		s.sessions = append(s.sessions, sess)
-		s.Events.Record(telemetry.Event{Type: telemetry.EventAgentRegistered,
-			Epoch: 0, Agent: sess.id, Partner: -1, Job: sess.job.Name})
+		s.admit(sess, 0)
 	}
 
 	for e := 0; e < epochs; e++ {
@@ -438,7 +462,13 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 			s.admitPending(e)
 		}
 		start := time.Now()
-		summary, err := s.runEpoch(e)
+		var summary Message
+		var err error
+		if s.Rematch {
+			summary, err = s.runEpochStream(e)
+		} else {
+			summary, err = s.runEpoch(e)
+		}
 		if err != nil {
 			return err
 		}
@@ -513,6 +543,7 @@ func (s *Server) register(conn net.Conn) {
 	sess.job = job
 	sess.id = int(s.idSeq.Add(1) - 1)
 	sess.needsReply = true
+	sess.queuedAt = time.Now()
 	s.registrations <- sess
 	sess.writeMu.Lock()
 	err = s.flushReplyLocked(sess)
@@ -524,21 +555,38 @@ func (s *Server) register(conn net.Conn) {
 	}
 }
 
+// admit moves one queued registration into the population, observing
+// its queue wait in net.admit_wait and emitting the agent_queued /
+// agent_registered event pair. Runs on the Serve goroutine only.
+func (s *Server) admit(sess *session, epoch int) {
+	if !sess.queuedAt.IsZero() {
+		s.Metrics.Histogram("net.admit_wait", telemetry.DurationBuckets()).
+			Observe(time.Since(sess.queuedAt).Seconds())
+	}
+	s.sessions = append(s.sessions, sess)
+	s.Events.Record(telemetry.Event{Type: telemetry.EventAgentQueued,
+		Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
+	s.Events.Record(telemetry.Event{Type: telemetry.EventAgentRegistered,
+		Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
+}
+
 // admitPending moves every queued registration (rejoining agents, late
 // arrivals) into the epoch population. Runs on the Serve goroutine at
-// epoch boundaries only.
-func (s *Server) admitPending(epoch int) {
+// epoch boundaries — and, in streaming mode, between a live epoch's
+// assignment rounds, where the admitted sessions become the next repair
+// round's joiners. Returns the sessions admitted by this call.
+func (s *Server) admitPending(epoch int) []*session {
+	var admitted []*session
 	for {
 		select {
 		case sess, ok := <-s.registrations:
 			if !ok {
-				return
+				return admitted
 			}
-			s.sessions = append(s.sessions, sess)
-			s.Events.Record(telemetry.Event{Type: telemetry.EventAgentRegistered,
-				Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
+			s.admit(sess, epoch)
+			admitted = append(admitted, sess)
 		default:
-			return
+			return admitted
 		}
 	}
 }
@@ -590,6 +638,43 @@ func (s *Server) recvAssess(sess *session, epochDeadline time.Time) (Message, er
 		sess.id, maxStaleMessages)
 }
 
+// openEpoch emits the epoch_start event and the epoch_snapshot pinning
+// this epoch's inputs, so the log alone suffices to recompute matchings
+// and penalties offline. The roster is the epoch-start population in
+// session order; auditors derive later-round rosters by applying the
+// agent_reaped and agent_registered events that follow.
+func (s *Server) openEpoch(epoch int) {
+	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
+		Epoch: epoch, Agent: -1, Partner: -1, Value: float64(len(s.sessions))})
+	if s.Events == nil {
+		return
+	}
+	agents := make([]int, len(s.sessions))
+	jobs := make([]string, len(s.sessions))
+	for i, sess := range s.sessions {
+		agents[i] = sess.id
+		jobs[i] = sess.job.Name
+	}
+	catalog := make([]string, len(s.Catalog))
+	for i, job := range s.Catalog {
+		catalog[i] = job.Name
+	}
+	alpha := -1.0
+	if s.AuditStability {
+		alpha = s.StabilityAlpha
+	}
+	shards := 0
+	if s.Shards > 1 {
+		shards = s.Shards
+	}
+	s.Events.Record(telemetry.EpochSnapshot{
+		Epoch: epoch, Source: telemetry.SnapshotSourceWire,
+		Policy: s.Policy.Name(), Seed: s.Seed, Alpha: alpha,
+		Shards: shards, Kernel: s.Kernel, Agents: agents, Jobs: jobs,
+		Catalog: catalog, Matrix: s.Penalties,
+	}.Event())
+}
+
 // runEpoch clears one round of the matching market. If any agent proves
 // unreachable — a failed write, a read deadline, a stale-message flood —
 // it is reaped and the surviving population re-matched in a fresh
@@ -608,38 +693,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 			s.Metrics.Counter("epoch.degraded").Inc()
 		}
 	}()
-	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
-		Epoch: epoch, Agent: -1, Partner: -1, Value: float64(len(s.sessions))})
-	if s.Events != nil {
-		// Pin this epoch's inputs so the log alone suffices to recompute
-		// matchings and penalties offline. The roster is the epoch-start
-		// population in session order; auditors derive re-match-round
-		// rosters by applying the agent_reaped events that follow.
-		agents := make([]int, len(s.sessions))
-		jobs := make([]string, len(s.sessions))
-		for i, sess := range s.sessions {
-			agents[i] = sess.id
-			jobs[i] = sess.job.Name
-		}
-		catalog := make([]string, len(s.Catalog))
-		for i, job := range s.Catalog {
-			catalog[i] = job.Name
-		}
-		alpha := -1.0
-		if s.AuditStability {
-			alpha = s.StabilityAlpha
-		}
-		shards := 0
-		if s.Shards > 1 {
-			shards = s.Shards
-		}
-		s.Events.Record(telemetry.EpochSnapshot{
-			Epoch: epoch, Source: telemetry.SnapshotSourceWire,
-			Policy: s.Policy.Name(), Seed: s.Seed, Alpha: alpha,
-			Shards: shards, Kernel: s.Kernel, Agents: agents, Jobs: jobs,
-			Catalog: catalog, Matrix: s.Penalties,
-		}.Event())
-	}
+	s.openEpoch(epoch)
 
 	round := 0
 	for {

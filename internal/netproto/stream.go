@@ -1,0 +1,387 @@
+package netproto
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"time"
+
+	"cooper/internal/matching"
+	"cooper/internal/policy"
+	"cooper/internal/profiler"
+	"cooper/internal/rematch"
+	"cooper/internal/shard"
+	"cooper/internal/telemetry"
+	"cooper/internal/workload"
+)
+
+// wireChurn is a streaming rematch_round's Data payload: the churn the
+// round absorbed, in wire AgentIDs. The field names are the contract
+// internal/audit parses.
+type wireChurn struct {
+	Joined       []int `json:"joined,omitempty"`
+	Departed     []int `json:"departed,omitempty"`
+	Neighborhood []int `json:"neighborhood,omitempty"`
+}
+
+// emitRematchRound records one streaming rematch round. Value is the
+// post-churn population, so auditors can cross-check it against the
+// roster derived from lifecycle events.
+func (s *Server) emitRematchRound(epoch, round int, kind string, churn wireChurn) {
+	data, err := json.Marshal(churn)
+	if err != nil {
+		data = []byte("{}")
+	}
+	s.Events.Record(telemetry.Event{Type: telemetry.EventRematchRound,
+		Epoch: epoch, Agent: -1, Partner: -1, Round: round, Kind: kind,
+		Value: float64(len(s.sessions)), Data: string(data)})
+}
+
+// runEpochStream clears one scheduling epoch in streaming mode. The
+// first round is a full clear of the boundary population, exactly like
+// the classic path; after each round's assessments are collected, the
+// registration queue is drained and the dead are tallied, and any churn
+// — live admissions, reaped agents — is absorbed by an incremental
+// repair round that re-runs proposals only inside the affected
+// neighborhood and re-pushes assignments only to the agents whose
+// partners changed. When cumulative churn since the epoch's last full
+// clear exceeds ChurnThreshold×population, the round falls back to a
+// full re-match. The epoch closes once a round ends with no churn left
+// to absorb; EpochTimeout bounds a registration flood.
+func (s *Server) runEpochStream(epoch int) (Message, error) {
+	var epochDeadline time.Time
+	if s.EpochTimeout > 0 {
+		epochDeadline = time.Now().Add(s.EpochTimeout)
+	}
+	degraded := false
+	defer func() {
+		if degraded {
+			s.Metrics.Counter("epoch.degraded").Inc()
+		}
+	}()
+	s.openEpoch(epoch)
+
+	var (
+		round    int
+		baseN    int         // population at the epoch's last full clear
+		churn    int         // joins + departures since that clear
+		joined   []*session  // sessions admitted since the previous round
+		departed []int       // wire IDs reaped since the previous round
+		prevByID map[int]int // standing matching: wire ID -> partner wire ID
+
+		match   matching.Matching
+		shardOf []int
+		pen     func(i, j int) float64
+
+		breakAway = make(map[int]bool) // latest assessment per wire ID
+	)
+
+	for {
+		if len(s.sessions) == 0 {
+			// Every participant died and nobody joined; the epoch
+			// completes trivially rather than wedging Serve.
+			s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+				Epoch: epoch, Agent: -1, Partner: -1})
+			return Message{Type: "summary", PartnerID: -1}, nil
+		}
+		n := len(s.sessions)
+		jobs := make([]workload.Job, n)
+		names := make([]string, n)
+		ids := make([]int, n)
+		bw := make([]float64, n)
+		for i, sess := range s.sessions {
+			jobs[i] = sess.job
+			names[i] = sess.job.Name
+			ids[i] = sess.id
+			bw[i] = sess.job.BandwidthGBps
+		}
+		jobIdx, err := shard.JobIndices(s.Catalog, names)
+		if err != nil {
+			return Message{}, err
+		}
+		// Penalties are job-level lookups throughout — the n×n agent
+		// expansion is materialized only for the unsharded policy call.
+		pen = func(i, j int) float64 { return s.Penalties[jobIdx[i]][jobIdx[j]] }
+
+		full := round == 0 ||
+			float64(churn) > rematch.ThresholdOrDefault(s.ChurnThreshold)*float64(baseN)
+
+		var pushSet []int
+		if full {
+			if round > 0 {
+				// The rematch_round goes out before the market clears, so
+				// its shard_matched events land in the fresh audit segment.
+				s.emitRematchRound(epoch, round, "full", wireChurn{
+					Joined: sessionIDs(joined), Departed: departed,
+				})
+				s.Metrics.Counter("rematch.fulls").Inc()
+			}
+			if s.Shards > 1 {
+				alpha := 0.0
+				if s.AuditStability {
+					alpha = s.StabilityAlpha
+				}
+				mk := &shard.Market{
+					Shards:              s.Shards,
+					RefinementBudget:    s.RefinementBudget,
+					Policy:              s.Policy,
+					Alpha:               alpha,
+					Workers:             s.Workers,
+					Seed:                s.rng.Int63(),
+					Epoch:               epoch,
+					IDs:                 ids,
+					SkipRecommendations: true,
+					Tel:                 &telemetry.Telemetry{Metrics: s.Metrics, Events: s.Events},
+				}
+				res, err := mk.Clear(context.Background(), jobs, jobIdx, s.Penalties)
+				if err != nil {
+					return Message{}, err
+				}
+				match, shardOf = res.Match, res.ShardOf
+			} else {
+				pop := workload.Population{Jobs: jobs, Mix: "registered"}
+				d, err := profiler.ExpandToAgents(s.Penalties, s.Catalog, pop)
+				if err != nil {
+					return Message{}, err
+				}
+				match, err = s.Policy.Assign(d, policy.Context{
+					BandwidthGBps: bw,
+					Rand:          s.rng,
+					Metrics:       s.Metrics,
+				})
+				if err != nil {
+					return Message{}, err
+				}
+				shardOf = nil
+			}
+			baseN, churn = n, 0
+			pushSet = make([]int, n)
+			for i := range pushSet {
+				pushSet[i] = i
+			}
+		} else {
+			// Map the standing matching into this round's index space.
+			// Joiners and agents displaced by departures are dirty: their
+			// assignments must be recomputed.
+			idxOf := make(map[int]int, n)
+			for i, id := range ids {
+				idxOf[id] = i
+			}
+			gone := make(map[int]bool, len(departed))
+			for _, id := range departed {
+				gone[id] = true
+			}
+			prev := make(matching.Matching, n)
+			var dirty []int
+			for i, sess := range s.sessions {
+				pid, ok := prevByID[sess.id]
+				switch {
+				case !ok:
+					prev[i] = matching.Unmatched
+					dirty = append(dirty, i)
+				case pid == matching.Unmatched:
+					prev[i] = matching.Unmatched
+				case gone[pid]:
+					prev[i] = matching.Unmatched
+					dirty = append(dirty, i)
+				default:
+					prev[i] = idxOf[pid]
+				}
+			}
+			topK := rematch.TopKOrDefault(s.RematchTopK)
+			var nbhd, changed []int
+			if s.Shards > 1 {
+				mk := &shard.Market{
+					Shards:  s.Shards,
+					Policy:  s.Policy,
+					Workers: s.Workers,
+					Seed:    s.rng.Int63(),
+					Epoch:   epoch,
+					IDs:     ids,
+					Tel:     &telemetry.Telemetry{Metrics: s.Metrics, Events: s.Events},
+				}
+				res, err := mk.Repair(context.Background(), jobs, jobIdx, s.Penalties, prev, dirty, topK)
+				if err != nil {
+					return Message{}, err
+				}
+				match, shardOf = res.Match, res.ShardOf
+				nbhd, changed = res.Neighborhood, res.Changed
+			} else {
+				nbhd = rematch.Neighborhood(dirty, nil, prev, pen, topK)
+				match, changed, err = rematch.Rewire(nbhd, prev, pen, bw, s.Policy, s.rng, s.Metrics)
+				if err != nil {
+					return Message{}, err
+				}
+				shardOf = nil
+			}
+			nbhdIDs := make([]int, len(nbhd))
+			for k, i := range nbhd {
+				nbhdIDs[k] = ids[i]
+			}
+			s.emitRematchRound(epoch, round, "repair", wireChurn{
+				Joined: sessionIDs(joined), Departed: departed, Neighborhood: nbhdIDs,
+			})
+			s.Metrics.Counter("rematch.repairs").Inc()
+			// Re-push to the agents whose assignments the repair touched,
+			// plus every dirty agent — a joiner or displaced survivor the
+			// repair left solo still needs its assignment (and the auditor
+			// its explicit agent_unpaired record).
+			pushMask := make(map[int]bool, len(changed)+len(dirty))
+			for _, i := range changed {
+				pushMask[i] = true
+			}
+			for _, i := range dirty {
+				pushMask[i] = true
+			}
+			pushSet = make([]int, 0, len(pushMask))
+			for i := range pushMask {
+				pushSet = append(pushSet, i)
+			}
+			sort.Ints(pushSet)
+		}
+
+		// Push assignments to this round's recipients and collect their
+		// assessments; agents outside the push set keep their standing
+		// assignment and owe nothing.
+		s.seq++
+		deadWrite := make(map[*session]bool)
+		var dead []*session
+		for _, i := range pushSet {
+			sess := s.sessions[i]
+			msg := Message{Type: "assignment", Seq: s.seq, PartnerID: -1}
+			if shardOf != nil {
+				msg.Shard = shardOf[i]
+			}
+			if match[i] != matching.Unmatched {
+				partner := s.sessions[match[i]]
+				msg.PartnerID = partner.id
+				msg.PartnerJob = partner.job.Name
+				msg.PredictedPenalty = pen(i, match[i])
+				if i < match[i] {
+					s.Events.Record(telemetry.Event{Type: telemetry.EventPairMatched,
+						Epoch: epoch, Agent: sess.id, Partner: partner.id,
+						Job: sess.job.Name, Predicted: pen(i, match[i])})
+				}
+			} else {
+				s.Events.Record(telemetry.Event{Type: telemetry.EventAgentUnpaired,
+					Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
+			}
+			if err := s.send(sess, msg); err != nil {
+				dead = append(dead, sess)
+				deadWrite[sess] = true
+			}
+		}
+		for _, i := range pushSet {
+			sess := s.sessions[i]
+			if deadWrite[sess] {
+				continue
+			}
+			assess, err := s.recvAssess(sess, epochDeadline)
+			if err != nil {
+				dead = append(dead, sess)
+				continue
+			}
+			breakAway[sess.id] = assess.Action == "break-away"
+		}
+
+		// Record the round's matching by wire ID before churn reshuffles
+		// the index space; it is the next repair's baseline.
+		prevByID = make(map[int]int, n)
+		for i, sess := range s.sessions {
+			if match[i] != matching.Unmatched {
+				prevByID[sess.id] = s.sessions[match[i]].id
+			} else {
+				prevByID[sess.id] = matching.Unmatched
+			}
+		}
+
+		// Absorb churn: reap the dead (their agent_reaped events precede
+		// the rematch_round that declares them departed) and admit every
+		// registration queued while the round ran.
+		departed = nil
+		if len(dead) > 0 {
+			seen := make(map[int]bool, len(dead))
+			for _, sess := range dead {
+				if !seen[sess.id] {
+					seen[sess.id] = true
+					departed = append(departed, sess.id)
+				}
+			}
+			s.reap(dead, epoch)
+			degraded = true
+		}
+		joined = s.admitPending(epoch)
+		if len(departed) == 0 && len(joined) == 0 {
+			break
+		}
+		churn += len(departed) + len(joined)
+		s.Metrics.Counter("rematch.joined").Add(int64(len(joined)))
+		s.Metrics.Counter("rematch.departed").Add(int64(len(departed)))
+		round++
+	}
+
+	// The population is stable; account and broadcast the summary. The
+	// mean penalty sums in session order over the job-level matrix, which
+	// is the association auditors replay bit for bit.
+	live := s.sessions
+	var meanPenalty float64
+	for i := range live {
+		if match[i] != matching.Unmatched {
+			meanPenalty += pen(i, match[i])
+		}
+	}
+	meanPenalty /= float64(len(live))
+	breakAways := 0
+	for _, sess := range live {
+		if breakAway[sess.id] {
+			breakAways++
+		}
+	}
+	summary := Message{
+		Type:          "summary",
+		PartnerID:     -1,
+		MeanPenalty:   meanPenalty,
+		BreakAways:    breakAways,
+		Participating: len(live) - breakAways,
+	}
+	var dead []*session
+	for _, sess := range live {
+		if err := s.send(sess, summary); err != nil {
+			dead = append(dead, sess)
+		}
+	}
+	if len(dead) > 0 {
+		s.reap(dead, epoch)
+		degraded = true
+	}
+	if s.Metrics != nil {
+		s.Metrics.Counter("epoch.count").Inc()
+		s.Metrics.Counter("epoch.agents").Add(int64(len(live)))
+		s.Metrics.Counter("epoch.breakaways").Add(int64(breakAways))
+		s.Metrics.Counter("epoch.participating").Add(int64(summary.Participating))
+		s.Metrics.Gauge("epoch.mean_penalty").Set(meanPenalty)
+		h := s.Metrics.Histogram("epoch.penalty", telemetry.PenaltyBuckets())
+		for i := range live {
+			if match[i] != matching.Unmatched {
+				h.Observe(pen(i, match[i]))
+			} else {
+				h.Observe(0)
+			}
+		}
+	}
+	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+		Epoch: epoch, Agent: -1, Partner: -1, Value: meanPenalty})
+	return summary, nil
+}
+
+// sessionIDs lists the sessions' wire AgentIDs in order.
+func sessionIDs(sessions []*session) []int {
+	if len(sessions) == 0 {
+		return nil
+	}
+	ids := make([]int, len(sessions))
+	for i, sess := range sessions {
+		ids[i] = sess.id
+	}
+	return ids
+}

@@ -1,0 +1,259 @@
+package netproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cooper/internal/audit"
+	"cooper/internal/policy"
+	"cooper/internal/telemetry"
+)
+
+// rawAgent drives the wire protocol by hand so tests can control
+// exactly when each assessment reply goes out.
+type rawAgent struct {
+	t    *testing.T
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	id   int
+}
+
+func rawDial(t *testing.T, addr, job string) *rawAgent {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &rawAgent{t: t, conn: conn, enc: json.NewEncoder(conn),
+		dec: json.NewDecoder(bufio.NewReader(conn))}
+	if err := a.enc.Encode(Message{Type: "register", Job: job}); err != nil {
+		t.Fatal(err)
+	}
+	reg := a.read()
+	if reg.Type != "registered" {
+		t.Fatalf("expected registered reply, got %+v", reg)
+	}
+	a.id = reg.AgentID
+	return a
+}
+
+func (a *rawAgent) read() Message {
+	a.t.Helper()
+	a.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var msg Message
+	if err := a.dec.Decode(&msg); err != nil {
+		a.t.Fatalf("agent %d read: %v", a.id, err)
+	}
+	return msg
+}
+
+func (a *rawAgent) assess(assignment Message) {
+	a.t.Helper()
+	if err := a.enc.Encode(Message{Type: "assess", Action: "participate",
+		Seq: assignment.Seq}); err != nil {
+		a.t.Fatalf("agent %d assess: %v", a.id, err)
+	}
+}
+
+// finish drives the rest of the epoch generically: assess every further
+// assignment, return the closing summary.
+func (a *rawAgent) finish() Message {
+	for {
+		msg := a.read()
+		switch msg.Type {
+		case "assignment":
+			a.assess(msg)
+		case "summary":
+			return msg
+		default:
+			a.t.Errorf("agent %d: unexpected %q", a.id, msg.Type)
+			return msg
+		}
+	}
+}
+
+// streamServer builds a streaming server and runs configure — the last
+// chance to set Server fields — before Serve's goroutines start reading
+// them.
+func streamServer(t *testing.T, epoch int, configure func(*Server)) (*Server, string, chan error) {
+	t.Helper()
+	srv, _ := testServer(t, epoch, policy.Greedy{})
+	srv.Rematch = true
+	srv.Metrics = telemetry.NewRegistry()
+	srv.Events = telemetry.NewEventRing(1024)
+	if configure != nil {
+		configure(srv)
+	}
+	addrCh := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	return srv, <-addrCh, srvErr
+}
+
+// TestMidEpochAdmission is the streaming-admission regression: with a
+// single-epoch server, an agent that registers after the epoch's first
+// assignment round must still be admitted into the live epoch by a
+// rematch round — not dropped on the floor waiting for an epoch
+// boundary that never comes.
+func TestMidEpochAdmission(t *testing.T) {
+	// A lone joiner against a 2-agent base is 50% churn; raise the
+	// threshold so the admission takes the incremental repair path.
+	srv, addr, srvErr := streamServer(t, 2, func(s *Server) { s.ChurnThreshold = 0.9 })
+
+	a0 := rawDial(t, addr, "correlation")
+	a1 := rawDial(t, addr, "dedup")
+	defer a0.conn.Close()
+	defer a1.conn.Close()
+	m0, m1 := a0.read(), a1.read()
+	if m0.Type != "assignment" || m1.Type != "assignment" {
+		t.Fatalf("round 0 messages: %q / %q", m0.Type, m1.Type)
+	}
+
+	// Round 0 is now in flight: the server is blocked collecting the two
+	// assessments. Register the third agent; its "registered" reply is
+	// flushed only after the registration is queued for admission.
+	a2 := rawDial(t, addr, "swapt")
+	defer a2.conn.Close()
+
+	var wg sync.WaitGroup
+	summaries := make([]Message, 3)
+	for i, a := range []*rawAgent{a0, a1, a2} {
+		wg.Add(1)
+		go func(i int, a *rawAgent) {
+			defer wg.Done()
+			if i < 2 {
+				a.assess([]Message{m0, m1}[i])
+			}
+			summaries[i] = a.finish()
+		}(i, a)
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, s := range summaries {
+		if s.Type != "summary" {
+			t.Fatalf("agent %d got %q, want summary", i, s.Type)
+		}
+		if s.Participating != 3 {
+			t.Errorf("agent %d summary participating = %d, want 3", i, s.Participating)
+		}
+	}
+
+	events := srv.Events.Events()
+	var queued, repairs int
+	for _, e := range events {
+		switch {
+		case e.Type == telemetry.EventAgentQueued:
+			queued++
+		case e.Type == telemetry.EventRematchRound && e.Kind == "repair":
+			repairs++
+		}
+	}
+	if queued != 3 {
+		t.Errorf("agent_queued events = %d, want 3", queued)
+	}
+	if repairs != 1 {
+		t.Errorf("repair rounds = %d, want 1", repairs)
+	}
+	snap := srv.Metrics.Snapshot()
+	if got := snap.Counter("rematch.repairs"); got != 1 {
+		t.Errorf("rematch.repairs = %d, want 1", got)
+	}
+	if got := snap.Counter("rematch.joined"); got != 1 {
+		t.Errorf("rematch.joined = %d, want 1", got)
+	}
+	if h := snap.Histogram("net.admit_wait"); h.Count != 3 {
+		t.Errorf("net.admit_wait count = %d, want 3", h.Count)
+	}
+
+	rep := audit.Replay(events, audit.Options{})
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("audit: %s: %s", v.Invariant, v.Detail)
+		}
+	}
+}
+
+// TestStreamChurnFullAndAudit drives a churn-heavy live epoch — one
+// agent dies mid-round, one joins — past the default 10% threshold, so
+// the round re-clears from scratch, and the whole flight log must audit
+// clean.
+func TestStreamChurnFullAndAudit(t *testing.T) {
+	srv, addr, srvErr := streamServer(t, 4, func(s *Server) { s.ReadTimeout = 300 * time.Millisecond })
+
+	agents := make([]*rawAgent, 4)
+	for i, job := range []string{"correlation", "dedup", "swapt", "stream"} {
+		agents[i] = rawDial(t, addr, job)
+	}
+	msgs := make([]Message, 4)
+	for i, a := range agents {
+		msgs[i] = a.read()
+		if msgs[i].Type != "assignment" {
+			t.Fatalf("agent %d round 0: %q", i, msgs[i].Type)
+		}
+	}
+	// Agent 3 dies without assessing; a fifth agent arrives.
+	agents[3].conn.Close()
+	a4 := rawDial(t, addr, "kmeans")
+	defer a4.conn.Close()
+
+	var wg sync.WaitGroup
+	summaries := make([]Message, 4)
+	for i, a := range append(agents[:3:3], a4) {
+		wg.Add(1)
+		go func(i int, a *rawAgent, first *Message) {
+			defer wg.Done()
+			if first != nil {
+				a.assess(*first)
+			}
+			summaries[i] = a.finish()
+		}(i, a, func() *Message {
+			if i < 3 {
+				return &msgs[i]
+			}
+			return nil
+		}())
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, s := range summaries {
+		if s.Participating != 4 {
+			t.Errorf("agent %d summary participating = %d, want 4", i, s.Participating)
+		}
+	}
+
+	events := srv.Events.Events()
+	var fulls int
+	for _, e := range events {
+		if e.Type == telemetry.EventRematchRound && e.Kind == "full" {
+			fulls++
+		}
+	}
+	if fulls != 1 {
+		t.Errorf("mid-epoch full clears = %d, want 1", fulls)
+	}
+	snap := srv.Metrics.Snapshot()
+	if got := snap.Counter("rematch.fulls"); got != 1 {
+		t.Errorf("rematch.fulls = %d, want 1", got)
+	}
+	if got := snap.Counter("net.reaped"); got != 1 {
+		t.Errorf("net.reaped = %d, want 1", got)
+	}
+
+	rep := audit.Replay(events, audit.Options{})
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("audit: %s: %s", v.Invariant, v.Detail)
+		}
+	}
+}

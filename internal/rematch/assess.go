@@ -1,0 +1,120 @@
+package rematch
+
+import (
+	"sort"
+
+	"cooper/internal/agent"
+	"cooper/internal/matching"
+)
+
+// Recommendations is the streaming market's bounded strategic
+// assessment. It reproduces the message-exchange protocol's Action and
+// ExpectedGain for every agent exactly — penalties are job-level, so
+// all agents of one class are interchangeable as partners — while
+// listing at most cap blocking partners per agent (cap <= 0 means
+// DefaultRecommendCap). jobIdx[i] is agent i's row in the job-level
+// penalty matrix; the matrix is never expanded to agents, and the scan
+// is O(n·classes), not O(n²), which is what keeps repair epochs cheap.
+//
+// An agent's blocking partners are scanned class by class in ascending
+// penalty order (class index tie-break); both cut-offs below are exact
+// because the gain is monotone in the sort key, so an early break never
+// skips a qualifying partner:
+//
+//   - classes stop qualifying once cur(i) - pen(i, class) <= alpha, and
+//     every later class has an equal or larger penalty;
+//   - within a class, members are pre-sorted by current penalty
+//     descending, and stop qualifying once cur(j) - pen(class, i) <= alpha.
+//
+// Within one class all partners are penalty-equivalent, so the listed
+// subset is ordered by agent index ascending, mirroring the exchange
+// protocol's tie-break.
+func Recommendations(jobIdx []int, matrix [][]float64, match matching.Matching, alpha float64, cap int) []agent.Recommendation {
+	if cap <= 0 {
+		cap = DefaultRecommendCap
+	}
+	n := len(jobIdx)
+	classes := len(matrix)
+	cur := make([]float64, n)
+	for i := range cur {
+		if p := match[i]; p != matching.Unmatched {
+			cur[i] = matrix[jobIdx[i]][jobIdx[p]]
+		}
+	}
+	// Per-class member lists, most dissatisfied first (index tie-break):
+	// the within-class mutual-gain cut-off scans a prefix of each list.
+	members := make([][]int, classes)
+	for i, c := range jobIdx {
+		members[c] = append(members[c], i)
+	}
+	for _, ms := range members {
+		sort.Slice(ms, func(a, b int) bool {
+			if cur[ms[a]] != cur[ms[b]] {
+				return cur[ms[a]] > cur[ms[b]]
+			}
+			return ms[a] < ms[b]
+		})
+	}
+	// Per-class candidate order: partner classes by ascending penalty.
+	// Computed once per present class, shared by all its agents.
+	candOrder := make([][]int, classes)
+	order := func(ci int) []int {
+		if candOrder[ci] != nil {
+			return candOrder[ci]
+		}
+		o := make([]int, classes)
+		for c := range o {
+			o[c] = c
+		}
+		sort.Slice(o, func(a, b int) bool {
+			if matrix[ci][o[a]] != matrix[ci][o[b]] {
+				return matrix[ci][o[a]] < matrix[ci][o[b]]
+			}
+			return o[a] < o[b]
+		})
+		candOrder[ci] = o
+		return o
+	}
+
+	recs := make([]agent.Recommendation, n)
+	var buf []int
+	for i := 0; i < n; i++ {
+		ci := jobIdx[i]
+		rec := agent.Recommendation{AgentID: i, Action: agent.Participate}
+		var blocking []int
+	classScan:
+		for _, c := range order(ci) {
+			if !(cur[i]-matrix[ci][c] > alpha) {
+				break
+			}
+			buf = buf[:0]
+			for _, j := range members[c] {
+				if j == i || j == match[i] {
+					continue
+				}
+				if !(cur[j]-matrix[c][ci] > alpha) {
+					break
+				}
+				buf = append(buf, j)
+				if len(blocking)+len(buf) == cap {
+					break
+				}
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			if rec.Action == agent.Participate {
+				rec.Action = agent.BreakAway
+				rec.ExpectedGain = cur[i] - matrix[ci][c]
+			}
+			sort.Ints(buf)
+			blocking = append(blocking, buf...)
+			if len(blocking) == cap {
+				break classScan
+			}
+		}
+		rec.BlockingPartners = blocking
+		recs[i] = rec
+	}
+	return recs
+}

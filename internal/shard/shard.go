@@ -133,10 +133,22 @@ func Key(job string, bandwidthGBps float64, i int) string {
 // shardOf (agent index → shard) and the member lists per shard, each in
 // ascending agent order.
 func (r *Ring) Partition(jobs []workload.Job) (shardOf []int, groups [][]int) {
+	return r.PartitionIDs(jobs, nil)
+}
+
+// PartitionIDs is Partition with explicit hash identities: agent i is
+// keyed by ids[i] instead of its position, so in a streaming market —
+// where departures shift positions — a surviving agent keeps its shard
+// as others come and go. ids nil means position keying.
+func (r *Ring) PartitionIDs(jobs []workload.Job, ids []int) (shardOf []int, groups [][]int) {
 	shardOf = make([]int, len(jobs))
 	groups = make([][]int, r.shards)
 	for i, j := range jobs {
-		s := r.Shard(Key(j.Name, j.BandwidthGBps, i))
+		id := i
+		if ids != nil {
+			id = ids[i]
+		}
+		s := r.Shard(Key(j.Name, j.BandwidthGBps, id))
 		shardOf[i] = s
 		groups[s] = append(groups[s], i)
 	}
@@ -197,6 +209,10 @@ type Market struct {
 	Tel *telemetry.Telemetry
 	// Span, when non-nil, parents the per-shard spans.
 	Span *telemetry.Span
+	// SkipRecommendations suppresses the per-shard recommendation pass.
+	// Streaming epochs set it and run the bounded rematch assessment
+	// instead, so full-fallback epochs don't pay O(n·shardSize) twice.
+	SkipRecommendations bool
 }
 
 // Result is the outcome of clearing a sharded market.
@@ -243,7 +259,7 @@ func (m *Market) Clear(ctx context.Context, jobs []workload.Job, jobIdx []int, m
 	}
 
 	ring := NewRing(m.Shards)
-	shardOf, groups := ring.Partition(jobs)
+	shardOf, groups := ring.PartitionIDs(jobs, m.IDs)
 	shards := ring.Shards()
 	pen := func(i, j int) float64 { return matrix[jobIdx[i]][jobIdx[j]] }
 
@@ -321,6 +337,9 @@ func (m *Market) Clear(ctx context.Context, jobs []workload.Job, jobIdx []int, m
 
 	res := &Result{Match: match, ShardOf: shardOf, Groups: groups}
 	m.refine(res, pen)
+	if m.SkipRecommendations {
+		return res, nil
+	}
 
 	// Recommendations against the final matching, one shard at a time in
 	// parallel, each agent's result written to its own slot.

@@ -54,6 +54,10 @@ type CommonFlags struct {
 	Shards       *int
 	RefineBudget *int
 
+	// Rematch group.
+	RematchOn      *bool
+	ChurnThreshold *float64
+
 	// Approx group.
 	ApproxBits  *int
 	ApproxBands *int
@@ -177,5 +181,19 @@ func (c *CommonFlags) Market() *CommonFlags {
 	c.RefineBudget = c.fs.Int("refine-budget", 0,
 		"with -shards, cap cross-shard refinement rounds; 0 means the "+
 			"default (4), negative disables the refinement pass")
+	return c
+}
+
+// Rematch registers the streaming-market knobs: -rematch and
+// -churn-threshold.
+func (c *CommonFlags) Rematch() *CommonFlags {
+	c.RematchOn = c.fs.Bool("rematch", false,
+		"run the streaming market: agents joining or leaving mid-epoch are "+
+			"absorbed by incremental neighborhood repair instead of waiting "+
+			"for the next epoch boundary")
+	c.ChurnThreshold = c.fs.Float64("churn-threshold", 0,
+		"with -rematch, the fraction of the population whose cumulative "+
+			"churn since the last full clear forces a from-scratch re-match; "+
+			"0 means the default (0.10)")
 	return c
 }

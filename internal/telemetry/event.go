@@ -40,9 +40,20 @@ const (
 	// EventCacheHitRate samples the pair-penalty cache at an epoch
 	// boundary (Value = hit rate in [0, 1]).
 	EventCacheHitRate EventType = "cache_hit_rate"
-	// EventRematchRound records a degraded re-matching round after reaps
-	// (Round = assignment round sequence, Value = agents reaped).
+	// EventRematchRound records a re-matching round inside an epoch
+	// (Round = assignment round sequence, Value = post-churn population).
+	// Kind distinguishes the flavor: "" is a legacy degraded re-match
+	// after reaps, "full" a from-scratch re-clear of a streaming epoch,
+	// "repair" an incremental neighborhood repair whose Data payload is
+	// a JSON {"joined","departed","neighborhood"} of event-log agent IDs
+	// (see audit's InvRepair).
 	EventRematchRound EventType = "rematch_round"
+	// EventAgentQueued records, at admission time, that an agent's
+	// registration arrived mid-epoch and waited in the pending queue
+	// (the wait duration feeds the net.admit_wait histogram, never event
+	// fields, which must stay canonical). It immediately precedes the
+	// agent's agent_registered event.
+	EventAgentQueued EventType = "agent_queued"
 	// EventBatchScheduled records one coordinator batch: Value = mean
 	// queueing delay in seconds, Queued = jobs still waiting afterwards.
 	EventBatchScheduled EventType = "batch_scheduled"

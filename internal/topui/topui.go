@@ -166,6 +166,26 @@ func (m *Model) Frame(now time.Time, snap *telemetry.Snapshot, events []telemetr
 		sb.WriteString(histogramBar(h, 30))
 	}
 
+	if rem := snap.CountersWithPrefix("rematch."); len(rem) > 0 {
+		// The streaming market (cooperd -rematch) is live: show how churn
+		// is being absorbed — incremental repairs vs forced full clears,
+		// population flow, and how long mid-epoch joiners waited in the
+		// admission queue.
+		fmt.Fprintf(&sb, "\nstreaming market: repairs %d  fulls %d  joined %d  departed %d",
+			snap.Counter("rematch.repairs"), snap.Counter("rematch.fulls"),
+			snap.Counter("rematch.joined"), snap.Counter("rematch.departed"))
+		if epochs := snap.Counter("epoch.count"); epochs > 0 {
+			fmt.Fprintf(&sb, "  (%.1f joined / %.1f departed per epoch)",
+				float64(snap.Counter("rematch.joined"))/float64(epochs),
+				float64(snap.Counter("rematch.departed"))/float64(epochs))
+		}
+		sb.WriteString("\n")
+		if h := snap.Histogram("net.admit_wait"); h.Count > 0 {
+			fmt.Fprintf(&sb, "admit wait: p50 %.4fs  p95 %.4fs  p99 %.4fs  (%d admissions)\n",
+				h.P50, h.P95, h.P99, h.Count)
+		}
+	}
+
 	if v, ok := snap.Counters["audit.violations"]; ok {
 		// The live auditor (cooperd -audit) pre-creates the counter, so
 		// its presence means auditing is on; zero renders as a clean bill.

@@ -32,6 +32,13 @@ func fakeEndpoint(t *testing.T, reg *telemetry.Registry, ring *telemetry.EventRi
 	return ts
 }
 
+// snapOf adapts a live registry's snapshot to the pointer the renderer
+// takes.
+func snapOf(reg *telemetry.Registry) *telemetry.Snapshot {
+	snap := reg.Snapshot()
+	return &snap
+}
+
 func TestClientAndFrame(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	reg.Counter("epoch.count").Add(4)
@@ -87,6 +94,43 @@ func TestClientAndFrame(t *testing.T) {
 	m.Frame(time.Unix(102, 0), snap2, nil, nil)
 	if rate := m.EpochRate(); rate != 3 {
 		t.Errorf("EpochRate = %v, want 3 (6 epochs over 2s)", rate)
+	}
+}
+
+// TestFrameChurnPanel renders the streaming-market section: repair vs
+// full counters, per-epoch population flow, and admission-wait
+// quantiles — and checks the section stays hidden on endpoints with no
+// rematch vocabulary.
+func TestFrameChurnPanel(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("epoch.count").Add(4)
+	reg.Counter("rematch.repairs").Add(6)
+	reg.Counter("rematch.fulls").Add(2)
+	reg.Counter("rematch.joined").Add(10)
+	reg.Counter("rematch.departed").Add(6)
+	h := reg.Histogram("net.admit_wait", telemetry.DurationBuckets())
+	for _, v := range []float64{0.001, 0.002, 0.004} {
+		h.Observe(v)
+	}
+
+	frame := NewModel(4).Frame(time.Unix(100, 0), snapOf(reg), nil, nil)
+	for _, want := range []string{
+		"streaming market: repairs 6  fulls 2  joined 10  departed 6",
+		"(2.5 joined / 1.5 departed per epoch)",
+		"admit wait: p50", "(3 admissions)",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// Without rematch counters the section is absent entirely, even if an
+	// admit-wait histogram somehow exists.
+	plain := telemetry.NewRegistry()
+	plain.Counter("epoch.count").Add(4)
+	frame = NewModel(4).Frame(time.Unix(100, 0), snapOf(plain), nil, nil)
+	if strings.Contains(frame, "streaming market") || strings.Contains(frame, "admit wait") {
+		t.Errorf("churn panel rendered without rematch counters:\n%s", frame)
 	}
 }
 

@@ -60,6 +60,29 @@ func WithRefinementBudget(rounds int) Option {
 	return func(c *Config) { c.Market.RefinementBudget = rounds }
 }
 
+// WithRematch enables the streaming market: Framework.StreamEpoch
+// accepts mid-stream joins and departures and repairs the prior epoch's
+// matching incrementally around them (see internal/rematch) instead of
+// re-clearing from scratch.
+func WithRematch() Option {
+	return func(c *Config) { c.Market.Rematch = true }
+}
+
+// WithRematchTopK bounds how many preference candidates each churned
+// agent pulls into its repair neighborhood. k <= 0 uses the default
+// (rematch.DefaultTopK).
+func WithRematchTopK(k int) Option {
+	return func(c *Config) { c.Market.RematchTopK = k }
+}
+
+// WithChurnThreshold sets the fraction of the population whose
+// cumulative churn since the last full clear forces the next streaming
+// epoch to re-match from scratch. t <= 0 uses the default 10%
+// (rematch.DefaultChurnThreshold).
+func WithChurnThreshold(t float64) Option {
+	return func(c *Config) { c.Market.ChurnThreshold = t }
+}
+
 // WithWorkers bounds the worker pool shared by the pipeline's fan-out
 // phases. <= 0 means GOMAXPROCS; 1 forces the serial pipeline. Any value
 // produces bit-identical results.
