@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet test race chaos audit ci bench bench-smoke bench-parallel bench-recommend bench-approx bench-compare bench-shard bench-rematch snapshot clean
+.PHONY: all build lint vet test test-shuffle race chaos audit journey-soak ci bench bench-smoke bench-parallel bench-recommend bench-approx bench-compare bench-shard bench-rematch snapshot clean
 
 all: build
 
@@ -22,6 +22,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# test-shuffle reruns the suite with test and subtest order randomized,
+# flushing out inter-test state leaks (shared registries, package-level
+# sinks) that a fixed order can hide.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -48,12 +54,22 @@ audit:
 	$(GO) run ./cmd/cooper-sim -trace -quick -epochs 5 -events-out "$$tmp/events.jsonl" >/dev/null && \
 	$(GO) run ./cmd/cooper-replay "$$tmp/events.jsonl"
 
+# journey-soak is the causal-tracing acceptance gate: a 50-epoch chaos
+# soak (scheduled crashes and rejoins, live journey builder and auditor
+# on one ring, tracing armed) under the race detector, asserting every
+# registered agent yields a complete, gap-free journey with zero
+# orphaned trace IDs, zero lifecycle violations, and byte-identical
+# trace/span sequences across two same-seed runs.
+journey-soak:
+	$(GO) test -race -count=1 -run 'TestJourneySoak' ./cmd/cooperd/
+
 # ci is the full verification gate: static checks, a clean build, the
-# test suite under the race detector, the chaos suite, the flight-log
-# audit round-trip, a one-iteration benchmark smoke run so benchmarks
-# cannot bit-rot silently, the approximate-kernel recall/speedup gate,
-# the sharded-market smoke gate, and the streaming-market repair gate.
-ci: lint build race chaos audit bench-smoke bench-approx bench-shard bench-rematch
+# test suite under the race detector (plus a shuffled-order pass), the
+# chaos suite, the flight-log audit round-trip, the journey/tracing
+# soak, a one-iteration benchmark smoke run so benchmarks cannot
+# bit-rot silently, the approximate-kernel recall/speedup gate, the
+# sharded-market smoke gate, and the streaming-market repair gate.
+ci: lint build race test-shuffle chaos audit journey-soak bench-smoke bench-approx bench-shard bench-rematch
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .

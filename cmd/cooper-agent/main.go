@@ -5,9 +5,17 @@
 // Usage:
 //
 //	cooper-agent -addr 127.0.0.1:7077 -job dedup
+//
+// With -trace-out the agent keeps a span tree of its side of the
+// session — dial attempts, per-epoch assignment waits — rebased under
+// the coordinator's trace (the registration reply carries the trace
+// context), and writes it as a SpanSnapshot JSON file on exit.
+// cooper-trace stitches these files with the coordinator's event log
+// into one multi-process causal trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +23,7 @@ import (
 	"cooper/internal/faults"
 	"cooper/internal/netproto"
 	"cooper/internal/simcli"
+	"cooper/internal/telemetry"
 )
 
 func main() {
@@ -22,6 +31,11 @@ func main() {
 	job := flag.String("job", "", "catalog job to run (e.g. dedup, correlation)")
 	alpha := flag.Float64("alpha", 0.02, "minimum gain before recommending break-away")
 	epochs := flag.Int("epochs", 1, "scheduling rounds to participate in (match the coordinator's -epochs)")
+	traceOut := flag.String("trace-out", "",
+		"write this agent's span tree (rebased under the coordinator's trace) "+
+			"as SpanSnapshot JSON to this file on exit")
+	traceSeed := flag.Int64("trace-seed", 1,
+		"seed for the agent's own span IDs before rebasing; same seed, same IDs")
 	cf := simcli.NewCommonFlags(flag.CommandLine).
 		ClientTimeouts().
 		Chaos("this agent's connection")
@@ -32,10 +46,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	root := telemetry.NewSpanSeeded("agent", *traceSeed)
+	root.SetAttr("job", *job)
 	opts := netproto.DialOptions{
 		Timeout:     *cf.DialTimeout,
 		Retries:     *cf.Retries,
 		ReadTimeout: *cf.EpochTimeout,
+		Span:        root,
+	}
+	if *traceOut != "" {
+		defer writeTrace(*traceOut, root)
 	}
 	if *chaosSeed != 0 {
 		plan := faults.NewPlan(faults.Hostile(*chaosSeed), nil, nil)
@@ -48,6 +68,10 @@ func main() {
 	}
 	defer c.Close()
 	c.Alpha = *alpha
+	// Stitch this process's spans under the coordinator's trace: the
+	// registration reply named the span that admitted us.
+	root.SetAttr("agent", c.AgentID)
+	root.Rebase(c.TraceCtx)
 	fmt.Printf("cooper-agent: registered %s as agent %d\n", *job, c.AgentID)
 
 	for e := 0; e < *epochs; e++ {
@@ -63,6 +87,21 @@ func main() {
 		}
 		fmt.Printf("cooper-agent: epoch summary — mean penalty %.3f, %d participating, %d breaking away\n",
 			summary.MeanPenalty, summary.Participating, summary.BreakAways)
+	}
+}
+
+// writeTrace finishes the root span and writes the tree as JSON. A
+// trace that fails to write is a warning, not a failed run.
+func writeTrace(path string, root *telemetry.Span) {
+	root.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cooper-agent: trace-out:", err)
+		return
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(root.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "cooper-agent: trace-out:", err)
 	}
 }
 

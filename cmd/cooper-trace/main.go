@@ -1,0 +1,161 @@
+// Command cooper-trace explains a run causally, offline. It folds the
+// flight-recorder JSONL a cooperd or cooper-sim -events-out run wrote
+// into per-agent journeys — queued → admitted → matched/severed/
+// repaired → reaped timelines with per-transition latencies and the
+// trace/span identity of every step — and can merge them with
+// cooper-agent -trace-out span files into one multi-process Chrome
+// trace, the coordinator's epochs and every agent's dial/await spans
+// stitched under a single trace ID.
+//
+// Usage:
+//
+//	cooper-trace events.jsonl                    journey summary
+//	cooper-trace -agent 3 events.jsonl           one agent's timeline
+//	cooper-trace -slowest 10 events.jsonl        worst admit waits
+//	cooper-trace -chrome-out t.json events.jsonl [agent-trace.json ...]
+//
+// The exit status is non-zero when any journey is incomplete, out of
+// lifecycle order, or stamped with an orphaned trace ID, so the command
+// slots into CI next to cooper-replay.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cooper/internal/journey"
+	"cooper/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 clean, 1 journey problems found,
+// 2 usage or I/O failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cooper-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	agent := fs.Int("agent", -1, "print this agent's journey only")
+	slowest := fs.Int("slowest", 0, "print the n journeys with the worst admit waits")
+	chromeOut := fs.String("chrome-out", "",
+		"write the journeys (and any agent span files) as Chrome trace_event JSON to this file")
+	quiet := fs.Bool("q", false, "print problems only, no summary")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cooper-trace [-agent N | -slowest N] [-chrome-out t.json] [-q] events.jsonl [agent-trace.json ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "cooper-trace:", err)
+		return 2
+	}
+	events, err := telemetry.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "cooper-trace: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	b := journey.Build(events)
+	journeys := b.Journeys()
+
+	problems := 0
+	for _, j := range journeys {
+		problems += len(j.Problems)
+	}
+
+	switch {
+	case *agent >= 0:
+		j, ok := b.Journey(*agent)
+		if !ok {
+			fmt.Fprintf(stderr, "cooper-trace: agent %d not in %s (%d agents)\n",
+				*agent, fs.Arg(0), len(journeys))
+			return 2
+		}
+		j.Render(stdout)
+	case *slowest > 0:
+		for _, j := range b.Slowest(*slowest) {
+			j.Render(stdout)
+		}
+	default:
+		if !*quiet {
+			reaped, live := 0, 0
+			for _, j := range journeys {
+				if j.Reaped {
+					reaped++
+				} else {
+					live++
+				}
+			}
+			fmt.Fprintf(stdout, "%s: %d events, %d agents (%d reaped, %d live at end), %d journey problems\n",
+				fs.Arg(0), len(events), len(journeys), reaped, live, problems)
+		}
+	}
+	for _, j := range journeys {
+		for _, p := range j.Problems {
+			fmt.Fprintf(stdout, "agent %d: %s\n", j.Agent, p)
+		}
+	}
+
+	if *chromeOut != "" {
+		if err := writeChrome(*chromeOut, journeys, b.LastTimeUnixNano(), fs.Args()[1:]); err != nil {
+			fmt.Fprintln(stderr, "cooper-trace:", err)
+			return 2
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "wrote %s (%d journey threads, %d agent traces)\n",
+				*chromeOut, len(journeys), fs.NArg()-1)
+		}
+	}
+
+	if problems > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeChrome merges the journeys (pid 1, one thread per agent) with
+// any cooper-agent -trace-out span files (pid 2, 3, ...) into one
+// Chrome trace. All tracks share the journeys' time origin so the
+// coordinator's view and the agents' views line up.
+func writeChrome(path string, journeys []journey.Journey, lastNano int64, spanFiles []string) error {
+	var events []telemetry.ChromeEvent
+	origin := journey.EpochNano(journeys)
+	journey.AppendChromeEvents(&events, journeys, origin, 1, lastNano)
+	for i, file := range spanFiles {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		var snap telemetry.SpanSnapshot
+		err = json.NewDecoder(f).Decode(&snap)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %v", file, err)
+		}
+		pid := i + 2
+		name := snap.Name
+		if snap.Trace != "" {
+			name += " trace " + snap.Trace
+		}
+		events = append(events, telemetry.ProcessNameEvent(pid, name))
+		telemetry.AppendSpanEvents(&events, &snap, origin/1e3, pid, 1)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return telemetry.WriteChromeEvents(out, events)
+}

@@ -179,37 +179,24 @@ func (h *soakHarness) beforeEpoch(plan *faults.Plan, e int) {
 	}
 }
 
-// runEventSoak runs the instrumented soak once: returns the metrics
-// snapshot, the canonicalized event sequence, and the sink file's path.
-func runEventSoak(t *testing.T, seed int64, dir string) (telemetry.Snapshot, []telemetry.Event, string) {
+// newSoakServer builds the fault-armed coordinator every soak shares,
+// wired to the harness's lockstep barrier. Callers override Epochs (and
+// set Span) before driving it.
+func newSoakServer(t *testing.T, tel *telemetry.Telemetry, plan *faults.Plan, h *soakHarness) *netproto.Server {
 	t.Helper()
-	tel := telemetry.New()
-	reg := tel.Registry()
-	sinkPath := filepath.Join(dir, "events.jsonl")
-	sink, err := os.Create(sinkPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sink.Close()
-	tel.Events.SetSink(sink)
-
 	cmp := arch.DefaultCMP()
 	catalog, err := workload.Catalog(cmp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := faults.NewPlan(soakConfig(seed), reg, nil)
-	plan.SetEvents(tel.Events)
-
-	h := newSoakHarness(t, len(soakJobs))
-	srv := &netproto.Server{
+	return &netproto.Server{
 		Epoch:        len(soakJobs),
 		Epochs:       soakEpochs,
 		Policy:       policy.Greedy{},
 		Catalog:      catalog,
 		Penalties:    profiler.DensePenalties(cmp, catalog),
 		Seed:         7,
-		Metrics:      reg,
+		Metrics:      tel.Registry(),
 		Events:       tel.Events,
 		Faults:       plan,
 		ReadTimeout:  400 * time.Millisecond,
@@ -217,15 +204,19 @@ func runEventSoak(t *testing.T, seed int64, dir string) (telemetry.Snapshot, []t
 		EpochTimeout: 30 * time.Second,
 		BeforeEpoch:  func(e int) { h.beforeEpoch(plan, e) },
 	}
+}
 
+// driveSoak serves the soak to completion: sequential initial dials (so
+// the accept order — and with it each conn's server-side injector key —
+// is the agent index, identically on every run), the agent fleet in
+// lockstep, and a wedge timeout.
+func driveSoak(t *testing.T, srv *netproto.Server, h *soakHarness, timeout time.Duration) {
+	t.Helper()
 	addrCh := make(chan string, 1)
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.Serve("127.0.0.1:0", func(a string) { addrCh <- a }) }()
 	h.addr = <-addrCh
 
-	// Initial fill: dial the fleet sequentially so the accept order —
-	// and with it each conn's server-side injector key — is the agent
-	// index, identically on every run.
 	h.mu.Lock()
 	for i := range soakJobs {
 		h.dialLocked(i)
@@ -246,15 +237,37 @@ func runEventSoak(t *testing.T, seed int64, dir string) (telemetry.Snapshot, []t
 		if err != nil {
 			t.Errorf("soak serve: %v", err)
 		}
-	case <-time.After(90 * time.Second):
+	case <-time.After(timeout):
 		srv.Shutdown()
-		t.Fatalf("event soak wedged: Serve did not finish %d epochs in 90s", soakEpochs)
+		t.Fatalf("soak wedged: Serve did not finish %d epochs in %s", srv.Epochs, timeout)
 	}
 	h.mu.Lock()
 	h.stopped = true
 	h.cond.Broadcast()
 	h.mu.Unlock()
 	wg.Wait()
+}
+
+// runEventSoak runs the instrumented soak once: returns the metrics
+// snapshot, the canonicalized event sequence, and the sink file's path.
+func runEventSoak(t *testing.T, seed int64, dir string) (telemetry.Snapshot, []telemetry.Event, string) {
+	t.Helper()
+	tel := telemetry.New()
+	reg := tel.Registry()
+	sinkPath := filepath.Join(dir, "events.jsonl")
+	sink, err := os.Create(sinkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	tel.Events.SetSink(sink)
+
+	plan := faults.NewPlan(soakConfig(seed), reg, nil)
+	plan.SetEvents(tel.Events)
+
+	h := newSoakHarness(t, len(soakJobs))
+	srv := newSoakServer(t, tel, plan, h)
+	driveSoak(t, srv, h, 90*time.Second)
 
 	if err := tel.Events.Err(); err != nil {
 		t.Fatalf("event sink: %v", err)

@@ -42,6 +42,7 @@ import (
 	"cooper/internal/audit"
 	"cooper/internal/core"
 	"cooper/internal/faults"
+	"cooper/internal/journey"
 	"cooper/internal/netproto"
 	"cooper/internal/policy"
 	"cooper/internal/profiler"
@@ -81,7 +82,10 @@ func main() {
 		fatal(err)
 	}
 
-	tel := telemetry.New()
+	// Seeding telemetry with the simulation seed makes every trace and
+	// span ID a pure function of the run's configuration: two same-seed
+	// runs stitch byte-identical traces.
+	tel := telemetry.NewSeeded(*seed)
 	var sinkFile *os.File
 	if *eventsOut != "" {
 		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -163,6 +167,7 @@ func main() {
 		Workers:          *workers,
 		Metrics:          reg,
 		Events:           tel.Events,
+		Span:             tel.Trace,
 		StabilityAlpha:   *auditAlpha,
 		AuditStability:   *auditAlpha >= 0,
 		ReadTimeout:      *cf.ReadTimeout,
@@ -182,6 +187,12 @@ func main() {
 		fmt.Printf("cooperd: CHAOS MODE: injecting faults on every connection (seed %d)\n", *chaosSeed)
 	}
 
+	// The journey builder rides the same observer hook as the auditor:
+	// every coordinator event folds into per-agent timelines the
+	// /debug/journey endpoints serve live.
+	jb := journey.NewBuilder()
+	tel.Events.AddObserver(jb.Observe)
+
 	var auditor *audit.Auditor
 	if *auditOn {
 		// The live auditor rides the flight recorder's observer hook:
@@ -196,7 +207,7 @@ func main() {
 			tel.Events.Record(v.Event())
 			fmt.Fprintln(os.Stderr, "cooperd: audit:", v)
 		}})
-		tel.Events.SetObserver(auditor.Observe)
+		tel.Events.AddObserver(auditor.Observe)
 		fmt.Println("cooperd: live invariant auditor armed")
 	}
 
@@ -204,7 +215,7 @@ func main() {
 		sampler := telemetry.StartRuntimeSampler(reg, 0)
 		defer sampler.Stop()
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, metricsMux(tel)); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, metricsMux(tel, jb)); err != nil {
 				fmt.Fprintln(os.Stderr, "cooperd: metrics endpoint:", err)
 			}
 		}()
@@ -272,9 +283,13 @@ func main() {
 // /debug/vars the expvar-style flat object, /debug/events the flight
 // recorder's retained tail as JSON lines (?n= trims to the newest n,
 // default 256, ?n=0 the whole retained tail),
-// /debug/trace the live span tree as Chrome trace_event JSON, and
-// /debug/pprof/ the standard runtime profiles.
-func metricsMux(tel *telemetry.Telemetry) *http.ServeMux {
+// /debug/trace the live span tree as Chrome trace_event JSON,
+// /debug/journey?agent=N one agent's live journey (?n= trims to the
+// newest n steps, newest first, like /debug/events; unknown agents get
+// a JSON 404), /debug/journeys/slowest the n worst admit waits, and
+// /debug/pprof/ the standard runtime profiles. jb may be nil (journeys
+// disabled); the journey endpoints then know no agents.
+func metricsMux(tel *telemetry.Telemetry, jb *journey.Builder) *http.ServeMux {
 	reg := tel.Registry()
 	servePlain := func(w http.ResponseWriter) {
 		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
@@ -334,6 +349,58 @@ func metricsMux(tel *telemetry.Telemetry) *http.ServeMux {
 		if err := telemetry.WriteChromeTrace(w, root); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	jsonError := func(w http.ResponseWriter, code int, format string, args ...any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+	// queryN parses ?n= with a default, mirroring /debug/events: absent
+	// means def, 0 means unbounded.
+	queryN := func(r *http.Request, def int) int {
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	mux.HandleFunc("/debug/journey", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("agent")
+		if q == "" {
+			jsonError(w, http.StatusBadRequest, "missing agent parameter; try /debug/journey?agent=0")
+			return
+		}
+		agent, err := strconv.Atoi(q)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "bad agent %q: %v", q, err)
+			return
+		}
+		j, ok := jb.Journey(agent)
+		if !ok {
+			jsonError(w, http.StatusNotFound, "agent %d unknown", agent)
+			return
+		}
+		// Bounded like /debug/events: the newest n steps, newest first, so
+		// a long-lived agent's curl stays small and leads with the latest
+		// transition.
+		n := queryN(r, 256)
+		for i, k := 0, len(j.Steps)-1; i < k; i, k = i+1, k-1 {
+			j.Steps[i], j.Steps[k] = j.Steps[k], j.Steps[i]
+		}
+		if n > 0 && len(j.Steps) > n {
+			j.Steps = j.Steps[:n]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(j)
+	})
+	mux.HandleFunc("/debug/journeys/slowest", func(w http.ResponseWriter, r *http.Request) {
+		n := queryN(r, 10)
+		if n <= 0 {
+			n = -1 // unbounded
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(jb.Slowest(n))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

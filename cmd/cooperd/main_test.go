@@ -101,7 +101,7 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatalf("dropped write errored: %v", err)
 	}
 
-	ts := httptest.NewServer(metricsMux(tel))
+	ts := httptest.NewServer(metricsMux(tel, nil))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -307,7 +307,7 @@ func TestDebugEventsBounded(t *testing.T) {
 		tel.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
 			Epoch: i, Agent: -1, Partner: -1})
 	}
-	ts := httptest.NewServer(metricsMux(tel))
+	ts := httptest.NewServer(metricsMux(tel, nil))
 	defer ts.Close()
 
 	fetch := func(path string) []telemetry.Event {

@@ -423,10 +423,12 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 	if err := ctx.Err(); err != nil {
 		return nil, wrapCanceled(ctx, err)
 	}
-	epoch := f.tel.Phase(nil, "epoch")
-	epoch.SetAttr("agents", n)
+	// The epoch span is keyed by index so its ID is a pure function of
+	// the seed and the epoch number: restarts and replays agree on it.
 	epochIdx := int(f.epochSeq.Add(1) - 1)
-	f.tel.Record(telemetry.Event{
+	epoch := f.tel.PhaseKeyed(nil, "epoch", int64(epochIdx))
+	epoch.SetAttr("agents", n)
+	f.tel.RecordIn(epoch, telemetry.Event{
 		Type: telemetry.EventEpochStart, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: float64(n),
 	})
@@ -447,7 +449,7 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		for i, job := range f.catalog {
 			catalog[i] = job.Name
 		}
-		f.tel.Record(telemetry.EpochSnapshot{
+		f.tel.RecordIn(epoch, telemetry.EpochSnapshot{
 			Epoch: epochIdx, Source: telemetry.SnapshotSourceCore,
 			Policy: f.cfg.Market.Policy.Name(), Seed: f.cfg.Seed, Alpha: -1,
 			Shards: reportedShards(f.cfg.Market.Shards),
@@ -578,7 +580,7 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 		}
 		switch {
 		case j == matching.Unmatched:
-			f.tel.Record(telemetry.Event{
+			f.tel.RecordIn(epoch, telemetry.Event{
 				Type: telemetry.EventAgentUnpaired, Epoch: epochIdx,
 				Agent: i, Partner: -1, Job: pop.Jobs[i].Name,
 			})
@@ -586,7 +588,7 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 			// One flight-recorder record per colocation, predicted next
 			// to oracle truth — the per-pair accuracy residual the
 			// paper's Figure 5 aggregates.
-			f.tel.Record(telemetry.Event{
+			f.tel.RecordIn(epoch, telemetry.Event{
 				Type: telemetry.EventPairMatched, Epoch: epochIdx,
 				Agent: i, Partner: j, Job: pop.Jobs[i].Name,
 				Predicted: predAt(i, j), True: trueP[i],
@@ -635,14 +637,14 @@ func (f *Framework) RunEpochContext(ctx context.Context, pop workload.Population
 			h.Observe(p)
 		}
 	}
-	f.tel.Record(telemetry.Event{
+	f.tel.RecordIn(epoch, telemetry.Event{
 		Type: telemetry.EventCacheHitRate, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: f.cache.HitRate(),
 	})
 	// Value is the oracle mean (what the dashboards chart); Predicted is
 	// the matrix-derived mean an offline auditor can recompute from the
 	// epoch snapshot alone, bit for bit.
-	f.tel.Record(telemetry.Event{
+	f.tel.RecordIn(epoch, telemetry.Event{
 		Type: telemetry.EventEpochEnd, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: rep.MeanTruePenalty(),
 		Predicted: meanPred,

@@ -134,11 +134,13 @@ func (f *Framework) StreamEpochContext(ctx context.Context, churn Churn) (*Epoch
 	}
 	pen := func(i, j int) float64 { return f.predicted[jobIdx[i]][jobIdx[j]] }
 
-	epoch := f.tel.Phase(nil, "epoch")
+	// Keyed by epoch index like the batch path, so streaming and batch
+	// runs over the same seed produce the same epoch span IDs.
+	epochIdx := int(f.epochSeq.Add(1) - 1)
+	epoch := f.tel.PhaseKeyed(nil, "epoch", int64(epochIdx))
 	epoch.SetAttr("agents", n)
 	epoch.SetAttr("stream", true)
-	epochIdx := int(f.epochSeq.Add(1) - 1)
-	f.tel.Record(telemetry.Event{
+	f.tel.RecordIn(epoch, telemetry.Event{
 		Type: telemetry.EventEpochStart, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: float64(n),
 	})
@@ -153,7 +155,7 @@ func (f *Framework) StreamEpochContext(ctx context.Context, churn Churn) (*Epoch
 		for i, job := range f.catalog {
 			catalog[i] = job.Name
 		}
-		f.tel.Record(telemetry.EpochSnapshot{
+		f.tel.RecordIn(epoch, telemetry.EpochSnapshot{
 			Epoch: epochIdx, Source: telemetry.SnapshotSourceCore,
 			Policy: f.cfg.Market.Policy.Name(), Seed: f.cfg.Seed, Alpha: -1,
 			Shards: reportedShards(f.cfg.Market.Shards),
@@ -175,7 +177,7 @@ func (f *Framework) StreamEpochContext(ctx context.Context, churn Churn) (*Epoch
 
 	emitRound := func(kind string) {
 		data, _ := json.Marshal(payload)
-		f.tel.Record(telemetry.Event{
+		f.tel.RecordIn(epoch, telemetry.Event{
 			Type: telemetry.EventRematchRound, Epoch: epochIdx,
 			Agent: -1, Partner: -1, Kind: kind, Round: 0,
 			Value: float64(n), Data: string(data),
@@ -331,12 +333,12 @@ func (f *Framework) StreamEpochContext(ctx context.Context, churn Churn) (*Epoch
 		}
 		switch {
 		case j == matching.Unmatched:
-			f.tel.Record(telemetry.Event{
+			f.tel.RecordIn(epoch, telemetry.Event{
 				Type: telemetry.EventAgentUnpaired, Epoch: epochIdx,
 				Agent: ids[i], Partner: -1, Job: pop.Jobs[i].Name,
 			})
 		case i < j:
-			f.tel.Record(telemetry.Event{
+			f.tel.RecordIn(epoch, telemetry.Event{
 				Type: telemetry.EventPairMatched, Epoch: epochIdx,
 				Agent: ids[i], Partner: ids[j], Job: pop.Jobs[i].Name,
 				Predicted: pen(i, j), True: trueP[i],
@@ -383,11 +385,11 @@ func (f *Framework) StreamEpochContext(ctx context.Context, churn Churn) (*Epoch
 			h.Observe(p)
 		}
 	}
-	f.tel.Record(telemetry.Event{
+	f.tel.RecordIn(epoch, telemetry.Event{
 		Type: telemetry.EventCacheHitRate, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: f.cache.HitRate(),
 	})
-	f.tel.Record(telemetry.Event{
+	f.tel.RecordIn(epoch, telemetry.Event{
 		Type: telemetry.EventEpochEnd, Epoch: epochIdx,
 		Agent: -1, Partner: -1, Value: rep.MeanTruePenalty(),
 		Predicted: meanPred,

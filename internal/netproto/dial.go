@@ -51,6 +51,12 @@ type DialOptions struct {
 	// Jitter supplies the backoff jitter draw in [0, 1); nil means
 	// math/rand. Deterministic harnesses pin it.
 	Jitter func() float64
+	// Span, when non-nil, parents one "dial" sub-span per connect
+	// attempt (attrs: attempt index, and on success the assigned agent
+	// ID) and is installed as the resulting Client's Span — the
+	// agent-side span tree that Rebase later stitches under the
+	// coordinator's trace.
+	Span *telemetry.Span
 }
 
 // permanentError marks a dial failure that retrying cannot fix: the
@@ -90,7 +96,7 @@ func DialWith(addr, job string, opts DialOptions) (*Client, error) {
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		c, err := dialOnce(addr, job, opts)
+		c, err := dialOnce(addr, job, opts, attempt)
 		if err == nil {
 			return c, nil
 		}
@@ -116,9 +122,14 @@ func DialWith(addr, job string, opts DialOptions) (*Client, error) {
 	return nil, lastErr
 }
 
-// dialOnce performs a single connect-and-register attempt.
-func dialOnce(addr, job string, opts DialOptions) (*Client, error) {
+// dialOnce performs a single connect-and-register attempt, timed by its
+// own "dial" span so retry ladders are visible in the stitched trace.
+func dialOnce(addr, job string, opts DialOptions, attempt int) (*Client, error) {
+	sp := opts.Span.Child("dial")
+	sp.SetAttr("attempt", attempt)
+	defer sp.Finish()
 	if opts.Faults.FailConnect() {
+		sp.SetAttr("error", "injected connect failure")
 		return nil, fmt.Errorf("netproto: dial %s: %w", addr, faults.ErrInjected)
 	}
 	timeout := timeoutOrDefault(opts.Timeout, DefaultDialTimeout)
@@ -135,6 +146,7 @@ func dialOnce(addr, job string, opts DialOptions) (*Client, error) {
 		OwnJob:       job,
 		ReadTimeout:  opts.ReadTimeout,
 		WriteTimeout: opts.WriteTimeout,
+		Span:         opts.Span,
 	}
 	// The register write and its reply share the connect timeout: a
 	// coordinator that accepted the conn but won't read or answer is a
@@ -163,5 +175,11 @@ func dialOnce(addr, job string, opts DialOptions) (*Client, error) {
 		return nil, &permanentError{fmt.Errorf("netproto: expected registered, got %q", reg.Type)}
 	}
 	c.AgentID = reg.AgentID
+	sp.SetAttr("agent", reg.AgentID)
+	// A malformed trace context degrades to "no propagation" rather than
+	// failing the dial: tracing must never take down an agent.
+	if tc, err := telemetry.ParseTraceContext(reg.TraceContext); err == nil {
+		c.TraceCtx = tc
+	}
 	return c, nil
 }

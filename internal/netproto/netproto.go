@@ -129,6 +129,15 @@ type Message struct {
 
 	// error
 	Error string `json:"error,omitempty"`
+
+	// TraceContext propagates causal identity across the wire as
+	// telemetry.TraceContext's string form ("<trace>-<span>", 16 hex
+	// digits each). The coordinator stamps it on the "registered" reply
+	// with its root span's coordinate so the agent can rebase its own
+	// span tree under the server's trace (telemetry.Span.Rebase), and
+	// agents echo it on their assessments. Empty when either side
+	// predates tracing — absent propagation is legal, not malformed.
+	TraceContext string `json:"trace_ctx,omitempty"`
 }
 
 // Server is the networked coordinator: it accepts Epoch-size agent
@@ -196,6 +205,15 @@ type Server struct {
 	// two runs with the same seed and fault plan produce the same
 	// sequence (timestamps aside). Nil disables recording.
 	Events *telemetry.EventRing
+	// Span, when non-nil, is the root span the server's per-epoch spans
+	// nest under (typically Telemetry.Trace). Every flight-recorder
+	// event the server emits is stamped with the current epoch span's
+	// trace/span IDs, its coordinate is sent to agents on the
+	// "registered" reply (Message.TraceContext), and the sharded
+	// market's shard and refinement spans parent here — which is what
+	// lets cooper-trace stitch a multi-process picture of one epoch.
+	// Nil disables causal stamping; events still flow.
+	Span *telemetry.Span
 	// StabilityAlpha is the stability contract recorded in each epoch
 	// snapshot when AuditStability is set: auditors flag any blocking
 	// pair in which both agents would gain strictly more than α by
@@ -245,6 +263,36 @@ type Server struct {
 	idSeq         atomic.Int64 // next wire AgentID; never reused, so rejoins get fresh IDs
 	connSeq       atomic.Int64 // accept index, keys the server-side fault injector
 	seq           int          // assignment round sequence (epoch loop only)
+
+	// curSpan is the in-flight epoch's span (Serve goroutine only); nil
+	// between epochs, when events stamp under the root Span instead.
+	curSpan *telemetry.Span
+	// traceCtx is Span's wire coordinate, precomputed before the accept
+	// loop starts so registration goroutines can stamp replies without
+	// touching the span tree.
+	traceCtx string
+}
+
+// spanNow returns the span open "now" from the Serve goroutine's
+// perspective: the in-flight epoch's span, or the root between epochs.
+func (s *Server) spanNow() *telemetry.Span {
+	if s.curSpan != nil {
+		return s.curSpan
+	}
+	return s.Span
+}
+
+// record emits one flight-recorder event stamped with the current
+// span's causal identity, returning the stamped sequence (-1 with no
+// recorder). Every server-side emission funnels through here, on the
+// Serve goroutine, so the trace/span stamps are as deterministic as the
+// event sequence itself.
+func (s *Server) record(e telemetry.Event) int64 {
+	if tc := s.spanNow().Context(); !tc.IsZero() {
+		e.Trace = tc.Trace.String()
+		e.Span = tc.Span.String()
+	}
+	return s.Events.Record(e)
 }
 
 type session struct {
@@ -337,7 +385,8 @@ func (s *Server) flushReplyLocked(sess *session) error {
 		return nil
 	}
 	sess.needsReply = false
-	return s.encodeLocked(sess, Message{Type: "registered", AgentID: sess.id, PartnerID: -1})
+	return s.encodeLocked(sess, Message{Type: "registered", AgentID: sess.id,
+		PartnerID: -1, TraceContext: s.traceCtx})
 }
 
 // encodeLocked writes one message under the write deadline and counts it
@@ -405,6 +454,11 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	s.done = make(chan struct{})
 	s.rng = stats.NewRand(s.Seed)
 	s.registrations = make(chan *session, s.Epoch+16)
+	if tc := s.Span.Context(); !tc.IsZero() {
+		// Precomputed before the accept loop exists, so registration
+		// goroutines read it without synchronization.
+		s.traceCtx = tc.String()
+	}
 	// Pre-create the resilience counters so exposition snapshots list
 	// them at zero before the first fault.
 	s.Metrics.Counter("net.reaped")
@@ -453,6 +507,11 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 	}
 
 	for e := 0; e < epochs; e++ {
+		// The epoch span is keyed by epoch number, not allocated by a
+		// counter, so its ID is identical across same-seed runs even if
+		// span creation elsewhere differs.
+		s.curSpan = s.Span.ChildKeyed("epoch", int64(e))
+		s.curSpan.SetAttr("epoch", e)
 		s.admitPending(e)
 		if s.BeforeEpoch != nil {
 			s.BeforeEpoch(e)
@@ -469,6 +528,8 @@ func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
 		} else {
 			summary, err = s.runEpoch(e)
 		}
+		s.curSpan.Finish()
+		s.curSpan = nil
 		if err != nil {
 			return err
 		}
@@ -557,16 +618,23 @@ func (s *Server) register(conn net.Conn) {
 
 // admit moves one queued registration into the population, observing
 // its queue wait in net.admit_wait and emitting the agent_queued /
-// agent_registered event pair. Runs on the Serve goroutine only.
+// agent_registered event pair. The wait observation carries an exemplar
+// pointing at the agent_queued event it came from, so "what's behind the
+// p99?" resolves to a concrete agent, event Seq, and trace. Runs on the
+// Serve goroutine only.
 func (s *Server) admit(sess *session, epoch int) {
-	if !sess.queuedAt.IsZero() {
-		s.Metrics.Histogram("net.admit_wait", telemetry.DurationBuckets()).
-			Observe(time.Since(sess.queuedAt).Seconds())
-	}
 	s.sessions = append(s.sessions, sess)
-	s.Events.Record(telemetry.Event{Type: telemetry.EventAgentQueued,
+	queuedSeq := s.record(telemetry.Event{Type: telemetry.EventAgentQueued,
 		Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
-	s.Events.Record(telemetry.Event{Type: telemetry.EventAgentRegistered,
+	if !sess.queuedAt.IsZero() {
+		ex := telemetry.Exemplar{Seq: queuedSeq, Agent: sess.id}
+		if tr := s.spanNow().Trace(); tr != 0 {
+			ex.Trace = tr.String()
+		}
+		s.Metrics.Histogram("net.admit_wait", telemetry.DurationBuckets()).
+			ObserveExemplar(time.Since(sess.queuedAt).Seconds(), ex)
+	}
+	s.record(telemetry.Event{Type: telemetry.EventAgentRegistered,
 		Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 }
 
@@ -609,7 +677,7 @@ func (s *Server) reap(dead []*session, epoch int) {
 	live := make([]*session, 0, len(s.sessions)-len(gone))
 	for _, sess := range s.sessions {
 		if gone[sess] {
-			s.Events.Record(telemetry.Event{Type: telemetry.EventAgentReaped,
+			s.record(telemetry.Event{Type: telemetry.EventAgentReaped,
 				Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 			continue
 		}
@@ -644,7 +712,7 @@ func (s *Server) recvAssess(sess *session, epochDeadline time.Time) (Message, er
 // session order; auditors derive later-round rosters by applying the
 // agent_reaped and agent_registered events that follow.
 func (s *Server) openEpoch(epoch int) {
-	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochStart,
+	s.record(telemetry.Event{Type: telemetry.EventEpochStart,
 		Epoch: epoch, Agent: -1, Partner: -1, Value: float64(len(s.sessions))})
 	if s.Events == nil {
 		return
@@ -667,7 +735,7 @@ func (s *Server) openEpoch(epoch int) {
 	if s.Shards > 1 {
 		shards = s.Shards
 	}
-	s.Events.Record(telemetry.EpochSnapshot{
+	s.record(telemetry.EpochSnapshot{
 		Epoch: epoch, Source: telemetry.SnapshotSourceWire,
 		Policy: s.Policy.Name(), Seed: s.Seed, Alpha: alpha,
 		Shards: shards, Kernel: s.Kernel, Agents: agents, Jobs: jobs,
@@ -698,7 +766,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 	round := 0
 	for {
 		if round > 0 {
-			s.Events.Record(telemetry.Event{Type: telemetry.EventRematchRound,
+			s.record(telemetry.Event{Type: telemetry.EventRematchRound,
 				Epoch: epoch, Agent: -1, Partner: -1, Round: round,
 				Value: float64(len(s.sessions))})
 		}
@@ -706,7 +774,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 		if len(s.sessions) == 0 {
 			// Every participant died; the epoch completes trivially
 			// rather than wedging Serve.
-			s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+			s.record(telemetry.Event{Type: telemetry.EventEpochEnd,
 				Epoch: epoch, Agent: -1, Partner: -1})
 			return Message{Type: "summary", PartnerID: -1}, nil
 		}
@@ -749,6 +817,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 				Epoch:            epoch,
 				IDs:              ids,
 				Tel:              &telemetry.Telemetry{Metrics: s.Metrics, Events: s.Events},
+				Span:             s.curSpan,
 			}
 			res, err := mk.Clear(context.Background(), pop.Jobs, jobIdx, s.Penalties)
 			if err != nil {
@@ -793,7 +862,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 				msg.PartnerJob = partner.job.Name
 				msg.PredictedPenalty = pen(i, match[i])
 				if i < match[i] {
-					s.Events.Record(telemetry.Event{Type: telemetry.EventPairMatched,
+					s.record(telemetry.Event{Type: telemetry.EventPairMatched,
 						Epoch: epoch, Agent: sess.id, Partner: partner.id,
 						Job: sess.job.Name, Predicted: pen(i, match[i])})
 				}
@@ -801,7 +870,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 				// An explicit solo record (odd population, Threshold
 				// policy): the auditor's coverage invariant needs to tell
 				// "deliberately unpaired" apart from "forgotten".
-				s.Events.Record(telemetry.Event{Type: telemetry.EventAgentUnpaired,
+				s.record(telemetry.Event{Type: telemetry.EventAgentUnpaired,
 					Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 			}
 			if err := s.send(sess, msg); err != nil {
@@ -880,7 +949,7 @@ func (s *Server) runEpoch(epoch int) (Message, error) {
 				}
 			}
 		}
-		s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+		s.record(telemetry.Event{Type: telemetry.EventEpochEnd,
 			Epoch: epoch, Agent: -1, Partner: -1, Value: meanPenalty})
 		return summary, nil
 	}
@@ -909,6 +978,17 @@ type Client struct {
 	// WriteTimeout bounds each message write to the coordinator; zero
 	// means DefaultClientWriteTimeout, negative disables.
 	WriteTimeout time.Duration
+	// TraceCtx is the coordinator's causal coordinate from the
+	// registration reply (zero when the coordinator sent none). Dial
+	// fills it; cooper-agent rebases its span tree onto it and RunEpoch
+	// echoes it on assessments so server-side logs can attribute wire
+	// traffic.
+	TraceCtx telemetry.TraceContext
+	// Span, when non-nil, is the client's root span: RunEpoch opens one
+	// "epoch" child per call with an "await_assignment" sub-span per
+	// assignment round, giving the agent-side half of the stitched
+	// multi-process trace.
+	Span *telemetry.Span
 }
 
 // Close releases the connection.
@@ -937,17 +1017,23 @@ func (c *Client) setWriteDeadline() {
 // is assessed in turn and the last one is returned alongside the
 // summary that closes the epoch.
 func (c *Client) RunEpoch() (assignment, summary Message, err error) {
+	ep := c.Span.Child("epoch")
+	defer ep.Finish()
 	assigned := false
 	for {
 		var msg Message
+		wait := ep.Child("await_assignment")
 		c.setReadDeadline()
 		if err = c.dec.Decode(&msg); err != nil {
+			wait.Finish()
 			return
 		}
+		wait.Finish()
 		switch msg.Type {
 		case "assignment":
 			assigned = true
 			assignment = msg
+			ep.SetAttr("partner", msg.PartnerID)
 			c.setWriteDeadline()
 			if err = c.enc.Encode(c.assess(msg)); err != nil {
 				return
@@ -967,9 +1053,14 @@ func (c *Client) RunEpoch() (assignment, summary Message, err error) {
 }
 
 // assess evaluates one assignment, echoing its round sequence so the
-// coordinator can discard assessments for superseded rounds.
+// coordinator can discard assessments for superseded rounds, and the
+// trace context received at registration so wire captures attribute the
+// reply to the server's trace.
 func (c *Client) assess(assignment Message) Message {
 	assess := Message{Type: "assess", Action: "participate", Seq: assignment.Seq}
+	if !c.TraceCtx.IsZero() {
+		assess.TraceContext = c.TraceCtx.String()
+	}
 	if assignment.PartnerID >= 0 && c.Penalties != nil {
 		current := assignment.PredictedPenalty
 		bestJob, bestPen := "", current

@@ -32,7 +32,7 @@ func (s *Server) emitRematchRound(epoch, round int, kind string, churn wireChurn
 	if err != nil {
 		data = []byte("{}")
 	}
-	s.Events.Record(telemetry.Event{Type: telemetry.EventRematchRound,
+	s.record(telemetry.Event{Type: telemetry.EventRematchRound,
 		Epoch: epoch, Agent: -1, Partner: -1, Round: round, Kind: kind,
 		Value: float64(len(s.sessions)), Data: string(data)})
 }
@@ -80,7 +80,7 @@ func (s *Server) runEpochStream(epoch int) (Message, error) {
 		if len(s.sessions) == 0 {
 			// Every participant died and nobody joined; the epoch
 			// completes trivially rather than wedging Serve.
-			s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+			s.record(telemetry.Event{Type: telemetry.EventEpochEnd,
 				Epoch: epoch, Agent: -1, Partner: -1})
 			return Message{Type: "summary", PartnerID: -1}, nil
 		}
@@ -132,6 +132,7 @@ func (s *Server) runEpochStream(epoch int) (Message, error) {
 					IDs:                 ids,
 					SkipRecommendations: true,
 					Tel:                 &telemetry.Telemetry{Metrics: s.Metrics, Events: s.Events},
+					Span:                s.curSpan,
 				}
 				res, err := mk.Clear(context.Background(), jobs, jobIdx, s.Penalties)
 				if err != nil {
@@ -199,6 +200,7 @@ func (s *Server) runEpochStream(epoch int) (Message, error) {
 					Epoch:   epoch,
 					IDs:     ids,
 					Tel:     &telemetry.Telemetry{Metrics: s.Metrics, Events: s.Events},
+					Span:    s.curSpan,
 				}
 				res, err := mk.Repair(context.Background(), jobs, jobIdx, s.Penalties, prev, dirty, topK)
 				if err != nil {
@@ -258,12 +260,12 @@ func (s *Server) runEpochStream(epoch int) (Message, error) {
 				msg.PartnerJob = partner.job.Name
 				msg.PredictedPenalty = pen(i, match[i])
 				if i < match[i] {
-					s.Events.Record(telemetry.Event{Type: telemetry.EventPairMatched,
+					s.record(telemetry.Event{Type: telemetry.EventPairMatched,
 						Epoch: epoch, Agent: sess.id, Partner: partner.id,
 						Job: sess.job.Name, Predicted: pen(i, match[i])})
 				}
 			} else {
-				s.Events.Record(telemetry.Event{Type: telemetry.EventAgentUnpaired,
+				s.record(telemetry.Event{Type: telemetry.EventAgentUnpaired,
 					Epoch: epoch, Agent: sess.id, Partner: -1, Job: sess.job.Name})
 			}
 			if err := s.send(sess, msg); err != nil {
@@ -369,7 +371,7 @@ func (s *Server) runEpochStream(epoch int) (Message, error) {
 			}
 		}
 	}
-	s.Events.Record(telemetry.Event{Type: telemetry.EventEpochEnd,
+	s.record(telemetry.Event{Type: telemetry.EventEpochEnd,
 		Epoch: epoch, Agent: -1, Partner: -1, Value: meanPenalty})
 	return summary, nil
 }

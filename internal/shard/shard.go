@@ -266,15 +266,20 @@ func (m *Market) Clear(ctx context.Context, jobs []workload.Job, jobIdx []int, m
 	// Clear every shard concurrently. Each shard sees only its own
 	// sub-matrix and a private SplitSeed RNG stream; results land in
 	// per-shard slots, so the merge below is independent of scheduling.
+	// Shard spans are keyed by shard index (PhaseKeyed, not Phase): a
+	// counter-allocated span ID would depend on which worker created its
+	// span first, and the causal IDs must be schedule-independent.
 	local := make([]matching.Matching, shards)
+	spans := make([]*telemetry.Span, shards)
 	err := parallel.ForEach(ctx, m.Workers, shards, func(s int) error {
 		g := groups[s]
 		if len(g) == 0 {
 			return nil
 		}
-		sp := m.Tel.Phase(m.Span, "shard")
+		sp := m.Tel.PhaseKeyed(m.Span, "shard", int64(s))
 		sp.SetAttr("shard", s)
 		sp.SetAttr("agents", len(g))
+		spans[s] = sp
 		defer m.Tel.End(sp)
 
 		sub := make([][]float64, len(g))
@@ -328,7 +333,14 @@ func (m *Market) Clear(ctx context.Context, jobs []workload.Job, jobIdx []int, m
 			members[a] = m.id(i)
 		}
 		data, _ := json.Marshal(members)
-		m.Tel.Record(telemetry.Event{
+		// Each shard_matched event stamps under its shard's span (keyed,
+		// so the IDs match across runs); an empty shard has no span and
+		// falls back to the parent.
+		sp := spans[s]
+		if sp == nil {
+			sp = m.Span
+		}
+		m.Tel.RecordIn(sp, telemetry.Event{
 			Type: telemetry.EventShardMatched, Epoch: m.Epoch,
 			Agent: -1, Partner: -1, Round: s,
 			Value: float64(len(g)), Data: string(data),
@@ -426,8 +438,15 @@ func (m *Market) refine(res *Result, pen func(i, j int) float64) {
 		cands = DefaultRefinementCandidates
 	}
 	for round := 1; round <= budget; round++ {
+		// Each round gets its own span — keyed by round number so the ID
+		// is run-stable — which is what puts per-round durations of
+		// cross-shard trades in Chrome traces, not just the event log.
+		// The final tradeless round keeps its span too (it shows the cost
+		// of the convergence check) but emits no event.
+		sp := m.Tel.PhaseKeyed(m.Span, "refinement_round", int64(round))
 		trades, gain := m.refineOnce(res, pen, cands)
 		if len(trades) == 0 {
+			m.Tel.End(sp)
 			break
 		}
 		res.RefinementRounds = round
@@ -437,7 +456,11 @@ func (m *Market) refine(res *Result, pen func(i, j int) float64) {
 			pairs[k] = [2]int{m.id(t.i), m.id(t.j)}
 		}
 		data, _ := json.Marshal(pairs)
-		m.Tel.Record(telemetry.Event{
+		sp.SetAttr("round", round)
+		sp.SetAttr("trades", len(trades))
+		sp.SetAttr("gain", gain)
+		m.Tel.End(sp)
+		m.Tel.RecordIn(sp, telemetry.Event{
 			Type: telemetry.EventRefinementRound, Epoch: m.Epoch,
 			Agent: -1, Partner: -1, Round: round,
 			Value: float64(len(trades)), Predicted: gain,

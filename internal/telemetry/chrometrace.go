@@ -6,12 +6,15 @@ import (
 	"io"
 )
 
-// chromeEvent is one entry in the Chrome trace_event format's
-// traceEvents array: a complete ("ph":"X") event with a relative
-// timestamp and duration in microseconds. Perfetto and chrome://tracing
-// nest complete events on the same track by time containment, which
-// matches the span tree exactly.
-type chromeEvent struct {
+// ChromeEvent is one entry in the Chrome trace_event format's
+// traceEvents array — usually a complete ("ph":"X") event with a
+// relative timestamp and duration in microseconds, or a metadata
+// ("ph":"M") record naming a process or thread. Perfetto and
+// chrome://tracing nest complete events on the same track by time
+// containment, which matches the span tree exactly. Exported so other
+// exporters (cooper-trace's journey threads) can assemble merged
+// multi-process traces from span snapshots and events alike.
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
 	Ph   string         `json:"ph"`
@@ -25,7 +28,7 @@ type chromeEvent struct {
 // chromeTrace is the JSON-object form of the trace_event format (the
 // form that can also carry metadata), which every trace viewer accepts.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
@@ -38,38 +41,88 @@ func WriteChromeTrace(w io.Writer, root *SpanSnapshot) error {
 	if root == nil {
 		return fmt.Errorf("telemetry: no trace to export")
 	}
-	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
-	appendChromeEvents(&trace.TraceEvents, root, root.StartUnixUS)
+	events := []ChromeEvent{}
+	AppendSpanEvents(&events, root, root.StartUnixUS, 1, 1)
+	return WriteChromeEvents(w, events)
+}
+
+// WriteChromeEvents writes an already-assembled event list as a
+// trace_event JSON object. Callers composing multi-process traces
+// (journeys as threads on one pid, per-agent span trees on others)
+// build the list with AppendSpanEvents and ThreadNameEvent, then write
+// it once.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	trace := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
 	enc := json.NewEncoder(w)
 	return enc.Encode(trace)
 }
 
-// appendChromeEvents flattens the tree depth-first. A child whose clock
-// reads earlier than the root (impossible in practice, conceivable
-// under clock steps) clamps to zero rather than going negative, which
-// some viewers reject.
-func appendChromeEvents(out *[]chromeEvent, s *SpanSnapshot, epochUS int64) {
+// ThreadNameEvent returns the metadata record that names a (pid, tid)
+// track in trace viewers — how journey threads get labeled "agent 7341"
+// instead of a bare thread number.
+func ThreadNameEvent(pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{
+		Name: "thread_name",
+		Ph:   "M",
+		PID:  pid,
+		TID:  tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// ProcessNameEvent is ThreadNameEvent's process-level sibling.
+func ProcessNameEvent(pid int, name string) ChromeEvent {
+	return ChromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  pid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// AppendSpanEvents flattens a span-tree snapshot depth-first onto the
+// given (pid, tid) track, with timestamps relative to epochUS. A child
+// whose clock reads earlier than the epoch (impossible in practice,
+// conceivable under clock steps) clamps to zero rather than going
+// negative, which some viewers reject. Span attributes become the
+// event's args; a span with causal identity also carries its trace and
+// span IDs there, so a viewer's search box can jump from an exemplar's
+// trace ID to the span that produced it.
+func AppendSpanEvents(out *[]ChromeEvent, s *SpanSnapshot, epochUS int64, pid, tid int) {
+	if s == nil {
+		return
+	}
 	ts := s.StartUnixUS - epochUS
 	if ts < 0 {
 		ts = 0
 	}
-	ev := chromeEvent{
+	ev := ChromeEvent{
 		Name: s.Name,
 		Cat:  "cooper",
 		Ph:   "X",
 		TS:   ts,
 		Dur:  s.DurationUS,
-		PID:  1,
-		TID:  1,
+		PID:  pid,
+		TID:  tid,
 	}
-	if len(s.Attrs) > 0 {
-		ev.Args = make(map[string]any, len(s.Attrs))
+	if len(s.Attrs) > 0 || s.Trace != "" {
+		ev.Args = make(map[string]any, len(s.Attrs)+3)
 		for _, a := range s.Attrs {
 			ev.Args[a.Key] = a.Value
+		}
+		if s.Trace != "" {
+			ev.Args["trace"] = s.Trace
+			ev.Args["span"] = s.Span
+			if s.Parent != "" {
+				ev.Args["parent"] = s.Parent
+			}
 		}
 	}
 	*out = append(*out, ev)
 	for _, c := range s.Children {
-		appendChromeEvents(out, c, epochUS)
+		AppendSpanEvents(out, c, epochUS, pid, tid)
 	}
 }

@@ -134,6 +134,14 @@ type Event struct {
 	// (not a nested object) so Event stays comparable — determinism tests
 	// and cooper-replay -diff compare events with ==.
 	Data string `json:"data,omitempty"`
+
+	// Trace and Span tie the event to the span that was open when it was
+	// emitted, as 16-hex-digit IDs (see TraceID/SpanID). Empty means the
+	// emitter predates causal stamping or had no span in scope. Strings,
+	// not uint64s, so Event stays comparable and the JSONL form matches
+	// SpanSnapshot's. Telemetry.RecordIn stamps them.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 // Canon returns the event with its wall-clock stamp zeroed — the
@@ -155,17 +163,17 @@ const DefaultEventRingSize = 4096
 // (the ring bounds memory, not the sink). A nil *EventRing is a valid
 // no-op recorder, like every other telemetry sink.
 type EventRing struct {
-	mu       sync.Mutex
-	buf      []Event
-	start    int // index of the oldest retained event
-	n        int // retained count
-	seq      int64
-	dropped  int64
-	dropCtr  *Counter // mirrors dropped into a registry (events.dropped)
-	sink     *json.Encoder
-	sinkErr  error
-	now      func() time.Time
-	observer func(Event)
+	mu        sync.Mutex
+	buf       []Event
+	start     int // index of the oldest retained event
+	n         int // retained count
+	seq       int64
+	dropped   int64
+	dropCtr   *Counter // mirrors dropped into a registry (events.dropped)
+	sink      *json.Encoder
+	sinkErr   error
+	now       func() time.Time
+	observers []func(Event)
 }
 
 // NewEventRing returns a ring retaining at most size events (size <= 0
@@ -207,18 +215,37 @@ func (r *EventRing) SetSink(w io.Writer) {
 }
 
 // SetObserver registers fn to be called with every subsequent record,
-// after it has been stamped and appended. The callback runs outside the
-// ring's lock on the recording goroutine, so it may itself Record (a
-// live auditor turning a violation into an event) without deadlocking;
-// the flip side is that records from different goroutines may reach the
-// observer out of sequence order, so observers needing a total order
-// must sort by Seq or ignore cross-goroutine event types. nil clears.
+// after it has been stamped and appended, replacing every observer
+// registered so far. The callback runs outside the ring's lock on the
+// recording goroutine, so it may itself Record (a live auditor turning
+// a violation into an event) without deadlocking; the flip side is that
+// records from different goroutines may reach the observer out of
+// sequence order, so observers needing a total order must sort by Seq
+// or ignore cross-goroutine event types. nil clears.
 func (r *EventRing) SetObserver(fn func(Event)) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.observer = fn
+	if fn == nil {
+		r.observers = nil
+	} else {
+		r.observers = []func(Event){fn}
+	}
+	r.mu.Unlock()
+}
+
+// AddObserver registers fn alongside any observers already present
+// (SetObserver replaces; AddObserver accumulates), so the live auditor
+// and the journey builder can both watch one ring. Observers run in
+// registration order under SetObserver's delivery contract. A nil fn is
+// ignored.
+func (r *EventRing) AddObserver(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observers = append(r.observers, fn)
 	r.mu.Unlock()
 }
 
@@ -235,9 +262,11 @@ func (r *EventRing) Err() error {
 // Record stamps e with the next sequence number and the current time
 // and appends it, evicting the oldest retained event on overflow (the
 // ring keeps the tail — the newest records — and counts the eviction).
-func (r *EventRing) Record(e Event) {
+// It returns the stamped sequence number (-1 on a nil ring), so callers
+// can cross-link the record elsewhere — histogram exemplars store it.
+func (r *EventRing) Record(e Event) int64 {
 	if r == nil {
-		return
+		return -1
 	}
 	r.mu.Lock()
 	e.Seq = r.seq
@@ -259,11 +288,12 @@ func (r *EventRing) Record(e Event) {
 			r.sink = nil
 		}
 	}
-	observer := r.observer
+	observers := r.observers
 	r.mu.Unlock()
-	if observer != nil {
-		observer(e)
+	for _, fn := range observers {
+		fn(e)
 	}
+	return e.Seq
 }
 
 // Events returns the retained tail, oldest first. The slice is a copy.

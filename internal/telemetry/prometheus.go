@@ -94,9 +94,26 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, sum.Count); err != nil {
 				return err
 			}
-			_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-				n, promFloat(sum.Sum), n, sum.Count)
-			return err
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				n, promFloat(sum.Sum), n, sum.Count); err != nil {
+				return err
+			}
+			// Exemplars ride along as comment lines (the 0.0.4 text format
+			// has no exemplar syntax; OpenMetrics' "#"-prefixed form means
+			// every parser of this format skips them), linking a bucket's
+			// latest observation to the flight-recorder event and trace
+			// that produced it.
+			for _, ex := range sum.Exemplars {
+				bound := "+Inf"
+				if ex.Bucket < len(sum.Bounds) {
+					bound = promFloat(sum.Bounds[ex.Bucket])
+				}
+				if _, err := fmt.Fprintf(w, "# EXEMPLAR %s_bucket{le=%q} %s {seq=%d,trace=%q,agent=%d}\n",
+					n, bound, promFloat(ex.Value), ex.Seq, ex.Trace, ex.Agent); err != nil {
+					return err
+				}
+			}
+			return nil
 		}})
 	}
 

@@ -70,13 +70,35 @@ func (g *Gauge) Value() float64 {
 // inclusive upper edges of each bucket, ascending; one implicit overflow
 // bucket catches everything above the last bound.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1, last is overflow
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	mu        sync.Mutex
+	bounds    []float64
+	counts    []uint64 // len(bounds)+1, last is overflow
+	count     uint64
+	sum       float64
+	min       float64
+	max       float64
+	exemplars map[int]Exemplar // bucket index → latest exemplar
+}
+
+// Exemplar links one histogram observation back to its cause: the
+// flight-recorder Seq and trace ID of the event that produced it, plus
+// the agent involved. Buckets keep the latest exemplar they received
+// (latest-wins, like OpenMetrics), so "what was the p99 admission wait?"
+// has a concrete answer — this agent, this event, this trace.
+type Exemplar struct {
+	// Bucket is the index of the bucket the observation landed in
+	// (len(bounds) = the overflow bucket); stamped by ObserveExemplar.
+	Bucket int `json:"bucket"`
+	// Value is the observed value, also stamped by ObserveExemplar.
+	Value float64 `json:"value"`
+	// Seq is the flight-recorder sequence number of the linked event
+	// (-1 when no event was recorded).
+	Seq int64 `json:"seq"`
+	// Trace is the linked event's 16-hex-digit trace ID ("" when the
+	// emitter had no trace in scope).
+	Trace string `json:"trace,omitempty"`
+	// Agent is the wire agent ID the observation belongs to (-1 n/a).
+	Agent int `json:"agent"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -104,6 +126,26 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 }
 
+// ObserveExemplar adds one sample and attaches ex to the bucket the
+// sample lands in, replacing that bucket's previous exemplar
+// (latest-wins). ex.Bucket and ex.Value are stamped here; callers fill
+// Seq/Trace/Agent.
+func (h *Histogram) ObserveExemplar(v float64, ex Exemplar) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	h.mu.Lock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	ex.Bucket = idx
+	ex.Value = v
+	if h.exemplars == nil {
+		h.exemplars = make(map[int]Exemplar)
+	}
+	h.exemplars[idx] = ex
+	h.mu.Unlock()
+}
+
 // HistogramSummary is a point-in-time digest of a histogram.
 type HistogramSummary struct {
 	Count  uint64    `json:"count"`
@@ -116,6 +158,52 @@ type HistogramSummary struct {
 	P99    float64   `json:"p99"`
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
+	// Exemplars holds each populated bucket's latest exemplar, ascending
+	// by bucket index; empty for histograms fed only by Observe.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Exemplar returns the exemplar for the bucket containing the
+// q-quantile, falling back to the nearest exemplar-bearing bucket below
+// it and then above it ("which admission produced the p99?" tolerates a
+// bucket whose own exemplar was never set). ok is false when the
+// summary carries no exemplars at all.
+func (s HistogramSummary) Exemplar(q float64) (Exemplar, bool) {
+	if len(s.Exemplars) == 0 || s.Count == 0 {
+		return Exemplar{}, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Locate the bucket holding the q-quantile observation.
+	target := q * float64(s.Count)
+	bucket := len(s.Counts) - 1
+	var cum float64
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if cum >= target && c > 0 {
+			bucket = i
+			break
+		}
+	}
+	byBucket := make(map[int]Exemplar, len(s.Exemplars))
+	for _, ex := range s.Exemplars {
+		byBucket[ex.Bucket] = ex
+	}
+	for b := bucket; b >= 0; b-- {
+		if ex, ok := byBucket[b]; ok {
+			return ex, true
+		}
+	}
+	for b := bucket + 1; b < len(s.Counts); b++ {
+		if ex, ok := byBucket[b]; ok {
+			return ex, true
+		}
+	}
+	return Exemplar{}, false
 }
 
 // Summary digests the histogram: count, sum, mean, min/max, and
@@ -131,6 +219,15 @@ func (h *Histogram) Summary() HistogramSummary {
 		Sum:    h.sum,
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
+	}
+	if len(h.exemplars) > 0 {
+		s.Exemplars = make([]Exemplar, 0, len(h.exemplars))
+		for _, ex := range h.exemplars {
+			s.Exemplars = append(s.Exemplars, ex)
+		}
+		sort.Slice(s.Exemplars, func(i, j int) bool {
+			return s.Exemplars[i].Bucket < s.Exemplars[j].Bucket
+		})
 	}
 	if h.count == 0 {
 		return s

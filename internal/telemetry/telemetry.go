@@ -18,11 +18,20 @@ type Telemetry struct {
 
 // New returns an enabled Telemetry with an empty registry, a root
 // "pipeline" span, and a flight recorder whose overflow count mirrors
-// into the registry's events.dropped counter.
+// into the registry's events.dropped counter. Trace identity derives
+// from seed 0; daemons that promise same-seed byte-identical traces use
+// NewSeeded.
 func New() *Telemetry {
+	return NewSeeded(0)
+}
+
+// NewSeeded is New with the root span's TraceID/SpanID derived from the
+// run seed, so two same-seed runs emit byte-identical trace and span ID
+// sequences (given deterministic span-creation order or keyed spans).
+func NewSeeded(seed int64) *Telemetry {
 	t := &Telemetry{
 		Metrics: NewRegistry(),
-		Trace:   NewSpan("pipeline"),
+		Trace:   NewSpanSeeded("pipeline", seed),
 		Events:  NewEventRing(DefaultEventRingSize),
 	}
 	t.Events.AttachDroppedCounter(t.Metrics.Counter("events.dropped"))
@@ -51,6 +60,19 @@ func (t *Telemetry) Phase(parent *Span, name string) *Span {
 	return parent.Child(name)
 }
 
+// PhaseKeyed is Phase via Span.ChildKeyed: the span's ID derives from
+// the key rather than a creation counter, so phases opened concurrently
+// (per-shard clears) keep schedule-independent identities.
+func (t *Telemetry) PhaseKeyed(parent *Span, name string, key int64) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = t.Trace
+	}
+	return parent.ChildKeyed(name, key)
+}
+
 // End finishes a phase span and records its duration in the phase
 // histogram, so snapshots carry p50/p95/p99 phase timings across epochs.
 func (t *Telemetry) End(s *Span) {
@@ -62,12 +84,28 @@ func (t *Telemetry) End(s *Span) {
 		Observe(s.Duration().Seconds())
 }
 
-// Record appends an event to the flight recorder (nil-safe).
-func (t *Telemetry) Record(e Event) {
+// Record appends an event to the flight recorder (nil-safe), returning
+// the stamped sequence number (-1 when telemetry is disabled).
+func (t *Telemetry) Record(e Event) int64 {
 	if t == nil {
-		return
+		return -1
 	}
-	t.Events.Record(e)
+	return t.Events.Record(e)
+}
+
+// RecordIn stamps e with sp's causal identity (Trace and Span fields)
+// before recording it, tying the event to the span that was open when
+// it happened. A nil or identity-less sp leaves the fields as the
+// caller set them.
+func (t *Telemetry) RecordIn(sp *Span, e Event) int64 {
+	if t == nil {
+		return -1
+	}
+	if tc := sp.Context(); !tc.IsZero() {
+		e.Trace = tc.Trace.String()
+		e.Span = tc.Span.String()
+	}
+	return t.Events.Record(e)
 }
 
 // EventRing returns the flight recorder (nil for disabled telemetry),

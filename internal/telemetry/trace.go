@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"cooper/internal/parallel"
+)
+
+// TraceID identifies one causal trace: every span and event produced by
+// one seeded run (or one re-rooted client subtree) shares it. IDs are
+// derived from parallel.SplitSeed streams, never randomness, so two
+// same-seed runs emit byte-identical ID sequences.
+type TraceID uint64
+
+// SpanID identifies one span inside a trace.
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits, the W3C traceparent
+// field width (truncated to 64 bits, which is all we derive).
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// TraceContext is the portable causal coordinate of a span: the trace it
+// belongs to and its own span ID. It crosses process boundaries as the
+// string form (netproto's Message.TraceContext), and a client span tree
+// adopts it via Span.Rebase so dial/admit/assess spans stitch under the
+// server's epoch trace.
+type TraceContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsZero reports whether the context carries no identity (the zero
+// value, and what Parse returns on garbage).
+func (tc TraceContext) IsZero() bool { return tc.Trace == 0 && tc.Span == 0 }
+
+// String renders the context as "<trace>-<span>", 16 hex digits each —
+// the wire form.
+func (tc TraceContext) String() string {
+	return tc.Trace.String() + "-" + tc.Span.String()
+}
+
+// ParseTraceContext parses the wire form produced by String. The empty
+// string parses to the zero context (no error): absent propagation is a
+// legal state, not a protocol violation.
+func ParseTraceContext(s string) (TraceContext, error) {
+	if s == "" {
+		return TraceContext{}, nil
+	}
+	dash := strings.IndexByte(s, '-')
+	if dash != 16 || len(s) != 33 {
+		return TraceContext{}, fmt.Errorf("telemetry: malformed trace context %q", s)
+	}
+	var tr, sp uint64
+	if _, err := fmt.Sscanf(s[:16], "%016x", &tr); err != nil {
+		return TraceContext{}, fmt.Errorf("telemetry: malformed trace id in %q", s)
+	}
+	if _, err := fmt.Sscanf(s[17:], "%016x", &sp); err != nil {
+		return TraceContext{}, fmt.Errorf("telemetry: malformed span id in %q", s)
+	}
+	return TraceContext{Trace: TraceID(tr), Span: SpanID(sp)}, nil
+}
+
+// ID-derivation streams. Root trace and span IDs come from distinct
+// SplitSeed streams off the run seed; child span IDs come off the
+// parent's span ID, indexed either by creation order (Child) or by a
+// caller-supplied key offset into a disjoint range (ChildKeyed), so
+// spans created concurrently can still have schedule-independent IDs.
+const (
+	traceIDStream  int64 = 0x636f6f7065722d74 // "cooper-t"
+	rootSpanStream int64 = 0x636f6f7065722d73 // "cooper-s"
+	// keyedChildOffset separates ChildKeyed's key space from Child's
+	// counter space: counters count up from 0, keys sit at 1<<32 + key.
+	keyedChildOffset int64 = 1 << 32
+)
+
+// deriveTraceID returns the root trace ID for a run seed.
+func deriveTraceID(seed int64) TraceID {
+	return TraceID(uint64(parallel.SplitSeed(seed, traceIDStream)))
+}
+
+// deriveRootSpanID returns the root span ID for a run seed.
+func deriveRootSpanID(seed int64) SpanID {
+	return SpanID(uint64(parallel.SplitSeed(seed, rootSpanStream)))
+}
+
+// deriveChildSpanID returns the span ID of a parent's i-th child (or
+// keyed child at keyedChildOffset+key).
+func deriveChildSpanID(parent SpanID, i int64) SpanID {
+	return SpanID(uint64(parallel.SplitSeed(int64(parent), i)))
+}

@@ -180,9 +180,22 @@ func (m *Model) Frame(now time.Time, snap *telemetry.Snapshot, events []telemetr
 				float64(snap.Counter("rematch.departed"))/float64(epochs))
 		}
 		sb.WriteString("\n")
-		if h := snap.Histogram("net.admit_wait"); h.Count > 0 {
-			fmt.Fprintf(&sb, "admit wait: p50 %.4fs  p95 %.4fs  p99 %.4fs  (%d admissions)\n",
-				h.P50, h.P95, h.P99, h.Count)
+	}
+
+	// Admit waits render whenever admissions happened, not only when the
+	// streaming market's repair counters exist: a batch-mode daemon (or a
+	// snapshot from an older/newer build missing one family) still shows
+	// how long agents queued — and the p99's exemplar names the exact
+	// agent, event seq, and trace behind the tail.
+	if h := snap.Histogram("net.admit_wait"); h.Count > 0 {
+		fmt.Fprintf(&sb, "admit wait: p50 %.4fs  p95 %.4fs  p99 %.4fs  (%d admissions)\n",
+			h.P50, h.P95, h.P99, h.Count)
+		if ex, ok := h.Exemplar(0.99); ok {
+			fmt.Fprintf(&sb, "  p99 exemplar: agent %d  %.4fs  seq %d", ex.Agent, ex.Value, ex.Seq)
+			if ex.Trace != "" {
+				fmt.Fprintf(&sb, "  trace %s", ex.Trace)
+			}
+			sb.WriteString("\n")
 		}
 	}
 

@@ -124,13 +124,62 @@ func TestFrameChurnPanel(t *testing.T) {
 		}
 	}
 
-	// Without rematch counters the section is absent entirely, even if an
-	// admit-wait histogram somehow exists.
+	// Without either metric family the panel is absent entirely.
 	plain := telemetry.NewRegistry()
 	plain.Counter("epoch.count").Add(4)
 	frame = NewModel(4).Frame(time.Unix(100, 0), snapOf(plain), nil, nil)
 	if strings.Contains(frame, "streaming market") || strings.Contains(frame, "admit wait") {
 		t.Errorf("churn panel rendered without rematch counters:\n%s", frame)
+	}
+}
+
+// TestFramePartialStreamingMetrics renders snapshots where only one of
+// the streaming families exists — an admit-wait histogram without
+// rematch counters (batch-mode daemon, or a snapshot from a build
+// missing one family), and rematch counters without the histogram.
+// Each renders its own section; neither panics or drags in the other's
+// columns.
+func TestFramePartialStreamingMetrics(t *testing.T) {
+	// Admit waits without any rematch vocabulary.
+	reg := telemetry.NewRegistry()
+	reg.Counter("epoch.count").Add(2)
+	h := reg.Histogram("net.admit_wait", telemetry.DurationBuckets())
+	h.Observe(0.001)
+	h.ObserveExemplar(0.9, telemetry.Exemplar{Seq: 17, Agent: 5, Trace: "5c9b57351fc1f0dc"})
+
+	frame := NewModel(4).Frame(time.Unix(100, 0), snapOf(reg), nil, nil)
+	if !strings.Contains(frame, "admit wait: p50") || !strings.Contains(frame, "(2 admissions)") {
+		t.Errorf("admit waits missing without rematch counters:\n%s", frame)
+	}
+	if strings.Contains(frame, "streaming market") {
+		t.Errorf("rematch section rendered without rematch counters:\n%s", frame)
+	}
+	// The p99 exemplar names the agent, seq, and trace behind the tail.
+	for _, want := range []string{"p99 exemplar: agent 5", "seq 17", "trace 5c9b57351fc1f0dc"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing exemplar detail %q:\n%s", want, frame)
+		}
+	}
+
+	// Rematch counters without an admit-wait histogram.
+	reg = telemetry.NewRegistry()
+	reg.Counter("epoch.count").Add(2)
+	reg.Counter("rematch.repairs").Add(3)
+	reg.Counter("rematch.joined").Add(1)
+	frame = NewModel(4).Frame(time.Unix(100, 0), snapOf(reg), nil, nil)
+	if !strings.Contains(frame, "streaming market: repairs 3") {
+		t.Errorf("rematch section missing without admit-wait histogram:\n%s", frame)
+	}
+	if strings.Contains(frame, "admit wait") {
+		t.Errorf("admit-wait line rendered with no observations:\n%s", frame)
+	}
+
+	// An exemplar-free histogram renders the quantile line only.
+	reg = telemetry.NewRegistry()
+	reg.Histogram("net.admit_wait", telemetry.DurationBuckets()).Observe(0.002)
+	frame = NewModel(4).Frame(time.Unix(100, 0), snapOf(reg), nil, nil)
+	if !strings.Contains(frame, "admit wait: p50") || strings.Contains(frame, "exemplar") {
+		t.Errorf("exemplar-free admit waits misrendered:\n%s", frame)
 	}
 }
 
